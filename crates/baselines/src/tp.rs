@@ -1,0 +1,256 @@
+//! **TP** — two-phase updates (Reitblatt et al. [20]).
+//!
+//! Phase 1 installs, on every switch of the final path, a duplicate
+//! rule matching the *new* version tag (the paper uses VLAN IDs as
+//! version numbers); existing traffic still carries the old tag and
+//! ignores them. Phase 2 flips the ingress stamp: packets entering
+//! from the flip instant on carry the new tag and follow the new
+//! rules end-to-end. Old rules are garbage collected once in-flight
+//! old-tag packets drain.
+//!
+//! Per-packet consistency means no packet ever sees a mixed
+//! configuration, so TP cannot loop — but during the transition every
+//! switch on either path holds rules for *both* versions, doubling
+//! flow-table occupancy (the drawback quantified in Fig. 9), and the
+//! changeover can still congest shared links when the new path
+//! delivers the stamped packets to a shared link sooner than the old
+//! path drains it.
+
+use chronus_net::{Capacity, Flow, SwitchId, TimeStep, UpdateInstance};
+use chronus_timenet::{CongestionEvent, SimulationReport};
+use std::collections::{BTreeSet, HashMap};
+
+/// One rule operation in a two-phase plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuleOp {
+    /// Install a rule matching the new version tag at this switch.
+    InstallTagged(SwitchId),
+    /// Flip the ingress stamp at the source switch.
+    FlipStamp(SwitchId),
+    /// Remove the old-version rule at this switch.
+    RemoveOld(SwitchId),
+}
+
+/// A two-phase update plan for one flow, plus its rule-space ledger.
+#[derive(Clone, Debug)]
+pub struct TpPlan {
+    /// Phase 1: tagged duplicates on every final-path switch.
+    pub phase1: Vec<RuleOp>,
+    /// Phase 2: the ingress stamp flip.
+    pub phase2: RuleOp,
+    /// Cleanup after old packets drain.
+    pub cleanup: Vec<RuleOp>,
+    baseline: usize,
+    peak: usize,
+}
+
+impl TpPlan {
+    /// Rules installed for this flow before the update begins: one
+    /// forwarding rule per initial-path switch (the destination's
+    /// delivery rule included) plus the ingress tagging rule.
+    pub fn baseline_rule_count(&self) -> usize {
+        self.baseline
+    }
+
+    /// Peak rules held *during* the transition: the old generation,
+    /// the complete new tagged generation, and the ingress stamp —
+    /// the quantity Fig. 9 reports for TP.
+    pub fn peak_rule_count(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Builds the two-phase plan for one flow.
+pub fn tp_plan(flow: &Flow) -> TpPlan {
+    let phase1: Vec<RuleOp> = flow
+        .fin
+        .hops()
+        .iter()
+        .map(|&v| RuleOp::InstallTagged(v))
+        .collect();
+    let cleanup: Vec<RuleOp> = flow
+        .initial
+        .hops()
+        .iter()
+        .map(|&v| RuleOp::RemoveOld(v))
+        .collect();
+    // Old generation: one rule per initial-path switch (destination
+    // delivery included) + the ingress tagging rule.
+    let baseline = flow.initial.len() + 1;
+    // Transition: old generation + full tagged new generation + the
+    // flipped stamp rule.
+    let peak = flow.initial.len() + flow.fin.len() + 1;
+    TpPlan {
+        phase1,
+        phase2: RuleOp::FlipStamp(flow.source()),
+        cleanup,
+        baseline,
+        peak,
+    }
+}
+
+/// Peak rules Chronus needs for the same migration: one rule per
+/// switch on either path — actions are rewritten in place, fresh
+/// switches add a single rule, nothing is duplicated (§II-A: "we only
+/// modify the action in the flow table during the update process").
+pub fn chronus_peak_rule_count(flow: &Flow) -> usize {
+    let union: BTreeSet<SwitchId> = flow
+        .initial
+        .hops()
+        .iter()
+        .chain(flow.fin.hops())
+        .copied()
+        .collect();
+    union.len()
+}
+
+/// Executes the two-phase changeover analytically: old-tag cohorts
+/// (emitted before `flip_time`) follow `p_init`, new-tag cohorts
+/// follow `p_fin`; the per-link loads of both streams are summed and
+/// checked against capacities. Returns a standard
+/// [`SimulationReport`] (loops and blackholes are impossible under
+/// per-packet consistency, so only congestion events can appear).
+pub fn tp_flip_report(instance: &UpdateInstance, flip_time: TimeStep) -> SimulationReport {
+    let mut loads: HashMap<(SwitchId, SwitchId), HashMap<TimeStep, Capacity>> = HashMap::new();
+
+    for flow in &instance.flows {
+        let net = &instance.network;
+        let phi_init = flow.initial.total_delay(net).unwrap_or(0) as TimeStep;
+        let phi_fin = flow.fin.total_delay(net).unwrap_or(0) as TimeStep;
+        // Old-tag cohorts still relevant around the flip.
+        for tau in (flip_time - phi_init - 2)..flip_time {
+            let mut t = tau;
+            for (u, v) in flow.initial.edges() {
+                *loads.entry((u, v)).or_default().entry(t).or_insert(0) += flow.demand;
+                t += net.delay(u, v).unwrap_or(1) as TimeStep;
+            }
+        }
+        // New-tag cohorts until the pattern repeats.
+        for tau in flip_time..=(flip_time + phi_fin + phi_init + 2) {
+            let mut t = tau;
+            for (u, v) in flow.fin.edges() {
+                *loads.entry((u, v)).or_default().entry(t).or_insert(0) += flow.demand;
+                t += net.delay(u, v).unwrap_or(1) as TimeStep;
+            }
+        }
+    }
+
+    let mut report = SimulationReport::default();
+    for (&(u, v), series) in &loads {
+        let capacity = instance
+            .network
+            .capacity(u, v)
+            .expect("loads only on real links");
+        for (&t, &load) in series {
+            if t >= 0 && load > capacity {
+                report.congestion.push(CongestionEvent {
+                    src: u,
+                    dst: v,
+                    time: t,
+                    load,
+                    capacity,
+                });
+            }
+        }
+    }
+    report.congestion.sort_by_key(|c| (c.time, c.src, c.dst));
+    report.link_loads = loads
+        .into_iter()
+        .map(|(k, m)| (k, m.into_iter().collect()))
+        .collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_net::{motivating_example, Flow, FlowId, NetworkBuilder, Path};
+
+    fn sid(i: u32) -> SwitchId {
+        SwitchId(i)
+    }
+
+    #[test]
+    fn plan_shape_on_motivating_example() {
+        let inst = motivating_example();
+        let plan = tp_plan(inst.flow());
+        // New path has 5 hops → 5 tagged installs.
+        assert_eq!(plan.phase1.len(), 5);
+        assert_eq!(plan.phase2, RuleOp::FlipStamp(sid(0)));
+        assert_eq!(plan.cleanup.len(), 6);
+        // 6 old + 1 tag = 7 baseline; 6 + 5 + 1 = 12 peak.
+        assert_eq!(plan.baseline_rule_count(), 7);
+        assert_eq!(plan.peak_rule_count(), 12);
+    }
+
+    #[test]
+    fn chronus_needs_fewer_rules() {
+        let inst = motivating_example();
+        let flow = inst.flow();
+        let chronus = chronus_peak_rule_count(flow);
+        let tp = tp_plan(flow).peak_rule_count();
+        // Union of both paths is 6 switches vs 12 TP rules: the ≥ 50%
+        // saving Fig. 9 reports.
+        assert_eq!(chronus, 6);
+        assert!(tp >= 2 * chronus);
+    }
+
+    #[test]
+    fn per_packet_consistency_never_loops() {
+        let inst = motivating_example();
+        let report = tp_flip_report(&inst, 3);
+        assert!(report.loops.is_empty());
+        assert!(report.blackholes.is_empty());
+    }
+
+    #[test]
+    fn tp_congests_when_new_prefix_is_faster() {
+        // Shared tail with a fast shortcut: the flip cannot avoid
+        // overlapping the streams on <2,3> (same analysis as Chronus'
+        // infeasible case — TP has no way out either).
+        let mut b = NetworkBuilder::with_switches(4);
+        b.add_link(sid(0), sid(1), 1, 1).unwrap();
+        b.add_link(sid(1), sid(2), 1, 1).unwrap();
+        b.add_link(sid(2), sid(3), 1, 1).unwrap();
+        b.add_link(sid(0), sid(2), 1, 1).unwrap();
+        let flow = Flow::new(
+            FlowId(0),
+            1,
+            Path::new(vec![sid(0), sid(1), sid(2), sid(3)]),
+            Path::new(vec![sid(0), sid(2), sid(3)]),
+        )
+        .unwrap();
+        let inst = UpdateInstance::single(b.build(), flow).unwrap();
+        let report = tp_flip_report(&inst, 2);
+        assert!(!report.congestion_free());
+        assert_eq!(report.congestion[0].src, sid(2));
+    }
+
+    #[test]
+    fn tp_clean_when_new_prefix_is_slower() {
+        let mut b = NetworkBuilder::with_switches(4);
+        b.add_link(sid(0), sid(1), 1, 1).unwrap();
+        b.add_link(sid(1), sid(2), 1, 1).unwrap();
+        b.add_link(sid(2), sid(3), 1, 1).unwrap();
+        b.add_link(sid(0), sid(2), 1, 3).unwrap();
+        let flow = Flow::new(
+            FlowId(0),
+            1,
+            Path::new(vec![sid(0), sid(1), sid(2), sid(3)]),
+            Path::new(vec![sid(0), sid(2), sid(3)]),
+        )
+        .unwrap();
+        let inst = UpdateInstance::single(b.build(), flow).unwrap();
+        let report = tp_flip_report(&inst, 2);
+        assert!(report.congestion_free(), "{report}");
+    }
+
+    #[test]
+    fn loads_cover_both_streams() {
+        let inst = motivating_example();
+        let report = tp_flip_report(&inst, 3);
+        // Old path loaded before the changeover, new path after.
+        assert!(report.peak_load(sid(0), sid(1)) >= 1); // old first link
+        assert!(report.peak_load(sid(0), sid(3)) >= 1); // new first link
+    }
+}

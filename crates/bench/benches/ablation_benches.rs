@@ -1,0 +1,95 @@
+//! Ablation benches: the design choices DESIGN.md calls out.
+//!
+//! - greedy with/without the Algorithm-4 pre-filter;
+//! - greedy with heads-only vs all-pending candidates;
+//! - greedy vs the one-per-drain-period sequential baseline;
+//! - fail-fast vs exhaustive simulator gating.
+
+use chronus_core::greedy::{greedy_schedule_with, GreedyConfig};
+use chronus_core::sequential::sequential_schedule;
+use chronus_net::{InstanceGenerator, InstanceGeneratorConfig};
+use chronus_timenet::{FluidSimulator, Schedule, SimulatorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn instance(seed: u64) -> chronus_net::UpdateInstance {
+    InstanceGenerator::new(InstanceGeneratorConfig::paper(30, seed))
+        .generate()
+        .expect("generator succeeds")
+}
+
+fn bench_greedy_configs(c: &mut Criterion) {
+    let inst = instance(5);
+    let mut g = c.benchmark_group("greedy_ablation");
+    let configs = [
+        ("default", GreedyConfig::default()),
+        (
+            "no_loop_precheck",
+            GreedyConfig {
+                loop_precheck: false,
+                ..GreedyConfig::default()
+            },
+        ),
+        (
+            "all_candidates",
+            GreedyConfig {
+                heads_only: false,
+                ..GreedyConfig::default()
+            },
+        ),
+        (
+            "unguarded",
+            GreedyConfig {
+                exact_gate: false,
+                ..GreedyConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| greedy_schedule_with(std::hint::black_box(&inst), *cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy_vs_sequential(c: &mut Criterion) {
+    let inst = instance(6);
+    let mut g = c.benchmark_group("scheduler_comparison");
+    g.bench_function("greedy", |b| {
+        b.iter(|| greedy_schedule_with(std::hint::black_box(&inst), GreedyConfig::default()))
+    });
+    g.bench_function("sequential", |b| {
+        b.iter(|| sequential_schedule(std::hint::black_box(&inst)))
+    });
+    g.finish();
+}
+
+fn bench_failfast_gate(c: &mut Criterion) {
+    let inst = instance(7);
+    let schedule = Schedule::all_at_zero(&inst);
+    let mut g = c.benchmark_group("simulator_gate");
+    for (name, fail_fast) in [("exhaustive", false), ("fail_fast", true)] {
+        let cfg = SimulatorConfig {
+            record_loads: false,
+            fail_fast,
+            ..SimulatorConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &cfg,
+            |b, cfg| {
+                let sim = FluidSimulator::with_config(&inst, *cfg);
+                b.iter(|| sim.run(std::hint::black_box(&schedule)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_configs,
+    bench_greedy_vs_sequential,
+    bench_failfast_gate
+);
+criterion_main!(benches);

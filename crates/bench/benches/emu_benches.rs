@@ -1,0 +1,26 @@
+//! Emulator event-loop throughput.
+
+use chronus_bench::fig6::fig6_instance;
+use chronus_core::greedy::greedy_schedule;
+use chronus_emu::{EmuConfig, Emulator, UpdateDriver};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_emulation(c: &mut Criterion) {
+    let inst = fig6_instance();
+    let schedule = greedy_schedule(&inst).expect("feasible").schedule;
+    let cfg = EmuConfig {
+        run_for: 5_000_000_000,
+        update_at: 1_000_000_000,
+        ..Default::default()
+    };
+    c.bench_function("emulate_fig6_5s", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(&inst, cfg, 9);
+            emu.install_driver(UpdateDriver::chronus(schedule.clone(), &inst));
+            std::hint::black_box(emu.run())
+        })
+    });
+}
+
+criterion_group!(benches, bench_emulation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Flow-table lookup / longest-prefix-match benches.
+
+use chronus_openflow::{Action, FlowTable, Ipv4Prefix, Match, Packet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table_with(n: usize) -> FlowTable {
+    let mut t = FlowTable::new();
+    for i in 0..n {
+        let p = Ipv4Prefix::new((10 << 24) | ((i as u32) << 8), 24);
+        t.add(10, Match::dst_prefix(p), vec![Action::Output((i % 16) as u16)])
+            .expect("unbounded");
+    }
+    t
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_table_lookup");
+    for n in [16usize, 256, 4096] {
+        let t = table_with(n);
+        let pkt = Packet::new(1, 1, (10 << 24) | (((n / 2) as u32) << 8) | 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(t, pkt), |b, (t, pkt)| {
+            b.iter(|| std::hint::black_box(t.lookup(pkt)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_modify(c: &mut Criterion) {
+    c.bench_function("modify_actions_in_place", |b| {
+        let mut t = table_with(256);
+        let id = t.rules().next().expect("rule exists").id;
+        b.iter(|| t.modify_actions(id, vec![Action::Output(3)]))
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_modify);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Time-extended network and fluid-simulator benches.
+
+use chronus_net::{motivating_example, InstanceGenerator, InstanceGeneratorConfig};
+use chronus_timenet::{FluidSimulator, Schedule, TimeExtendedNetwork};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_simulator");
+    for n in [20usize, 60, 200] {
+        let inst = InstanceGenerator::new(InstanceGeneratorConfig::paper(n, 7))
+            .generate()
+            .expect("generator succeeds");
+        let schedule = Schedule::all_at_zero(&inst);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, schedule), |b, (i, s)| {
+            b.iter(|| FluidSimulator::check(std::hint::black_box(i), std::hint::black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_te_network(c: &mut Criterion) {
+    let inst = motivating_example();
+    c.bench_function("te_window_links", |b| {
+        b.iter(|| {
+            let te = TimeExtendedNetwork::new(&inst.network, -5, 20);
+            std::hint::black_box(te.link_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator, bench_te_network);
+criterion_main!(benches);

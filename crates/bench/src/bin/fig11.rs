@@ -1,0 +1,22 @@
+//! Regenerates Fig. 11: CDF of the update time at 40 switches.
+use chronus_bench::fig11::{run, UpdateTimes};
+use chronus_bench::util::{CsvSink, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args(std::env::args().skip(1));
+    let times = run(&opts, 40);
+    let mut sink = CsvSink::new("fig11", &["scheme", "time_units", "cdf"]);
+    println!("Fig. 11 — CDF of update time (|T|, time units) at 40 switches");
+    for (name, sample) in [("Chronus", &times.chronus), ("OPT", &times.opt)] {
+        println!("{name}:");
+        for (x, f) in UpdateTimes::cdf(sample) {
+            println!("  <= {x:>3} time units: {:>5.1}%", f * 100.0);
+            sink.row(&[name.to_string(), x.to_string(), format!("{f:.4}")]);
+        }
+        if let Some(p90) = UpdateTimes::quantile(sample, 0.9) {
+            println!("  p90 = {p90} time units over {} instances", sample.len());
+        }
+    }
+    let path = sink.finish();
+    println!("(csv: {})", path.display());
+}

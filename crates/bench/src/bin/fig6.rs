@@ -1,0 +1,23 @@
+//! Regenerates Fig. 6: bandwidth consumption vs time per scheme.
+use chronus_bench::util::CsvSink;
+
+fn main() {
+    let series = chronus_bench::fig6::run();
+    let mut sink = CsvSink::new("fig6", &["scheme", "second", "mbps"]);
+    println!("Fig. 6 — bandwidth consumption (Mbps) during the update");
+    println!("{:>8} {:>7} {:>9}", "scheme", "second", "Mbps");
+    for s in &series {
+        for &(sec, mbps) in &s.series {
+            println!("{:>8} {:>7} {:>9.1}", s.name, sec, mbps);
+            sink.row(&[s.name.to_string(), sec.to_string(), format!("{mbps:.2}")]);
+        }
+        println!(
+            "-- {} peak {:.1} Mbps, lost bytes {}",
+            s.name,
+            s.peak(),
+            s.lost_bytes
+        );
+    }
+    let path = sink.finish();
+    println!("(csv: {})", path.display());
+}

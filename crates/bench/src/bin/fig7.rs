@@ -1,0 +1,33 @@
+//! Regenerates Fig. 7: percentage of congestion-free update instances.
+use chronus_bench::sweep::{run_sweep, PAPER_SIZES};
+use chronus_bench::util::{text_table, CsvSink, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args(std::env::args().skip(1));
+    let points = run_sweep(&opts, &PAPER_SIZES);
+    let mut sink = CsvSink::new("fig7", &["switches", "chronus_pct", "opt_pct", "or_pct"]);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            sink.row(&[
+                p.switches.to_string(),
+                format!("{:.1}", p.chronus_free_pct),
+                format!("{:.1}", p.opt_free_pct),
+                format!("{:.1}", p.or_free_pct),
+            ]);
+            vec![
+                p.switches.to_string(),
+                format!("{:.1}", p.chronus_free_pct),
+                format!("{:.1}", p.opt_free_pct),
+                format!("{:.1}", p.or_free_pct),
+            ]
+        })
+        .collect();
+    println!("Fig. 7 — % congestion-free update instances");
+    println!(
+        "{}",
+        text_table(&["switches", "Chronus %", "OPT %", "OR %"], &rows)
+    );
+    let path = sink.finish();
+    println!("(csv: {})", path.display());
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 8: number of congested time-extended links.
+use chronus_bench::sweep::{run_sweep, PAPER_SIZES};
+use chronus_bench::util::{text_table, CsvSink, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args(std::env::args().skip(1));
+    let points = run_sweep(&opts, &PAPER_SIZES);
+    let mut sink = CsvSink::new("fig8", &["switches", "chronus_links", "or_links"]);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            sink.row(&[
+                p.switches.to_string(),
+                format!("{:.2}", p.chronus_congested_links),
+                format!("{:.2}", p.or_congested_links),
+            ]);
+            vec![
+                p.switches.to_string(),
+                format!("{:.2}", p.chronus_congested_links),
+                format!("{:.2}", p.or_congested_links),
+            ]
+        })
+        .collect();
+    println!("Fig. 8 — congested time-extended links per instance (mean)");
+    println!(
+        "{}",
+        text_table(&["switches", "Chronus", "OR"], &rows)
+    );
+    let path = sink.finish();
+    println!("(csv: {})", path.display());
+}

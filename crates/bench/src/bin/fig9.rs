@@ -1,0 +1,46 @@
+//! Regenerates Fig. 9: forwarding-rule counts, Chronus vs TP.
+use chronus_bench::fig9::{run, PAPER_SIZES};
+use chronus_bench::util::{text_table, CsvSink, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args(std::env::args().skip(1));
+    let points = run(&opts, &PAPER_SIZES);
+    let mut sink = CsvSink::new(
+        "fig9",
+        &["switches", "chronus_min", "chronus_q1", "chronus_median", "chronus_q3", "chronus_max", "chronus_mean", "tp_mean", "saving_pct"],
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let c = &p.chronus;
+            sink.row(&[
+                p.switches.to_string(),
+                format!("{:.0}", c.min),
+                format!("{:.0}", c.q1),
+                format!("{:.0}", c.median),
+                format!("{:.0}", c.q3),
+                format!("{:.0}", c.max),
+                format!("{:.1}", c.mean),
+                format!("{:.1}", p.tp_mean),
+                format!("{:.1}", p.saving_pct),
+            ]);
+            vec![
+                p.switches.to_string(),
+                format!("{:.0}/{:.0}/{:.0}/{:.0}/{:.0}", c.min, c.q1, c.median, c.q3, c.max),
+                format!("{:.1}", c.mean),
+                format!("{:.1}", p.tp_mean),
+                format!("{:.1}%", p.saving_pct),
+            ]
+        })
+        .collect();
+    println!("Fig. 9 — # forwarding rules (box = Chronus, point = TP)");
+    println!(
+        "{}",
+        text_table(
+            &["switches", "Chronus box (min/q1/med/q3/max)", "Chronus mean", "TP mean", "saving"],
+            &rows
+        )
+    );
+    let path = sink.finish();
+    println!("(csv: {})", path.display());
+}

@@ -1,0 +1,27 @@
+//! Extension experiment: joint vs independent multi-flow scheduling.
+use chronus_bench::multiflow::run;
+use chronus_bench::util::{text_table, CsvSink, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args(std::env::args().skip(1));
+    let mut sink = CsvSink::new("multiflow", &["flows", "joint_clean", "independent_clean", "total"]);
+    let mut rows = Vec::new();
+    for k in [2usize, 3, 4, 6] {
+        let p = run(&opts, 16, k);
+        sink.row(&[
+            k.to_string(),
+            p.joint_clean.to_string(),
+            p.independent_clean.to_string(),
+            p.total.to_string(),
+        ]);
+        rows.push(vec![
+            k.to_string(),
+            format!("{}/{}", p.joint_clean, p.total),
+            format!("{}/{}", p.independent_clean, p.total),
+        ]);
+    }
+    println!("Multi-flow extension — clean migrations, joint vs independent scheduling");
+    println!("{}", text_table(&["flows", "joint", "independent"], &rows));
+    let path = sink.finish();
+    println!("(csv: {})", path.display());
+}

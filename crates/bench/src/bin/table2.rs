@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II.
+fn main() {
+    println!("{}", chronus_bench::table2::render(2));
+}

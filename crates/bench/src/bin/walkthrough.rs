@@ -1,0 +1,4 @@
+//! Walks through the paper's Figs. 1/2/3/5 example end to end.
+fn main() {
+    println!("{}", chronus_bench::walkthrough::run());
+}

@@ -1,0 +1,118 @@
+//! # chronus-bench — the experiment harness
+//!
+//! One module (and one binary under `src/bin/`) per table/figure of
+//! the paper's evaluation (§V). Every experiment is a library function
+//! returning plain data, so the binaries, the integration tests and
+//! EXPERIMENTS.md all draw from the same code:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table II (flow tables)            | [`table2`]      | `table2` |
+//! | Figs. 1/2/3/5 worked example      | [`walkthrough`] | `walkthrough` |
+//! | Fig. 6 (bandwidth vs time)        | [`fig6`]        | `fig6` |
+//! | Fig. 7 (% congestion-free)        | [`sweep`]       | `fig7` |
+//! | Fig. 8 (# congested links)        | [`sweep`]       | `fig8` |
+//! | Fig. 9 (# forwarding rules)       | [`fig9`]        | `fig9` |
+//! | Fig. 10 (running time)            | [`fig10`]       | `fig10` |
+//! | Fig. 11 (update-time CDF)         | [`fig11`]       | `fig11` |
+//! | Multi-flow extension (beyond paper) | [`multiflow`] | `multiflow` |
+//!
+//! Each binary accepts `--runs`, `--instances` and `--budget-ms` to
+//! scale between a seconds-long smoke run (the defaults) and the
+//! paper-scale configuration (`--paper`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig9;
+pub mod multiflow;
+pub mod sweep;
+pub mod table2;
+pub mod util;
+pub mod walkthrough;
+
+use chronus_core::greedy::greedy_schedule;
+use chronus_core::MutpProblem;
+use chronus_net::{TimeStep, UpdateInstance};
+use chronus_timenet::Schedule;
+
+/// A schedule for every instance, even infeasible ones: the greedy
+/// result when it exists, otherwise the greedy's partial progress
+/// force-completed by updating the leftovers one per drain period
+/// (so the simulation can still count how much congestion the
+/// best effort causes — the Fig. 8 accounting for instances where no
+/// clean schedule exists).
+pub fn best_effort_schedule(instance: &UpdateInstance) -> Schedule {
+    if let Ok(out) = greedy_schedule(instance) {
+        return out.schedule;
+    }
+    // Force-complete: reverse final-path order, one update per drain
+    // period — loop-safe ordering, congestion where unavoidable.
+    let problem = MutpProblem::new(instance).expect("generated instances are valid");
+    let drain = problem.drain_bound();
+    let mut schedule = Schedule::new();
+    let mut t: TimeStep = 0;
+    for (fi, flow) in instance.flows.iter().enumerate() {
+        let pending = problem.pending(fi);
+        let mut ordered: Vec<_> = flow
+            .fin
+            .hops()
+            .iter()
+            .rev()
+            .filter(|v| pending.contains(v))
+            .copied()
+            .collect();
+        // Any pending switch not on the final path (cannot happen by
+        // construction, but stay total):
+        for &v in pending {
+            if !ordered.contains(&v) {
+                ordered.push(v);
+            }
+        }
+        for v in ordered {
+            schedule.set(flow.id, v, t);
+            t += drain;
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_net::{motivating_example, Flow, FlowId, NetworkBuilder, Path, SwitchId};
+    use chronus_timenet::FluidSimulator;
+
+    #[test]
+    fn best_effort_matches_greedy_when_feasible() {
+        let inst = motivating_example();
+        let s = best_effort_schedule(&inst);
+        let report = FluidSimulator::check(&inst, &s);
+        assert!(report.congestion_free() && report.loop_free());
+    }
+
+    #[test]
+    fn best_effort_always_complete_even_when_infeasible() {
+        let sid = SwitchId;
+        let mut b = NetworkBuilder::with_switches(4);
+        b.add_link(sid(0), sid(1), 1, 1).unwrap();
+        b.add_link(sid(1), sid(2), 1, 1).unwrap();
+        b.add_link(sid(2), sid(3), 1, 1).unwrap();
+        b.add_link(sid(0), sid(2), 1, 1).unwrap();
+        let flow = Flow::new(
+            FlowId(0),
+            1,
+            Path::new(vec![sid(0), sid(1), sid(2), sid(3)]),
+            Path::new(vec![sid(0), sid(2), sid(3)]),
+        )
+        .unwrap();
+        let inst = UpdateInstance::single(b.build(), flow).unwrap();
+        let s = best_effort_schedule(&inst);
+        assert!(s.validate(&inst).is_ok(), "all required switches scheduled");
+        let report = FluidSimulator::check(&inst, &s);
+        assert!(!report.congestion_free(), "fast shortcut congests regardless");
+    }
+}

@@ -1,0 +1,78 @@
+//! Table II: flow tables at the source and destination switches.
+//!
+//! The paper's prototype forwards on the destination IP address and
+//! floods ARP; Table II lists the source switch R1 and destination
+//! switch R12 rules. This module installs the same rule structure
+//! into real `chronus-openflow` tables and renders them.
+
+use chronus_openflow::render::render_table;
+use chronus_openflow::{Action, FlowTable, Ipv4Prefix, Match};
+
+/// Builds and renders the paper's Table II: source switch `R1` and
+/// destination switch `R12` tables for `n_hosts` host prefixes.
+pub fn render(n_hosts: usize) -> String {
+    let mut source = FlowTable::new();
+    let mut destination = FlowTable::new();
+
+    for h in 0..n_hosts {
+        let host_net = Ipv4Prefix::new(u32::from_be_bytes([10, 0, h as u8 + 1, 0]), 24);
+        // Source R1: traffic from each attached host toward the
+        // destination prefix leaves on the solid-line port.
+        source
+            .add(
+                10,
+                Match {
+                    in_port: Some(h as u16 + 1),
+                    src: Some(host_net),
+                    dst: Some("10.0.100.0/24".parse().expect("valid prefix")),
+                    vlan: None,
+                },
+                vec![Action::Output(10)], // "Output: solid line"
+            )
+            .expect("unbounded table");
+        // Destination R12: deliver to the host port.
+        destination
+            .add(
+                10,
+                Match {
+                    in_port: None,
+                    src: Some(host_net),
+                    dst: Some("10.0.100.0/24".parse().expect("valid prefix")),
+                    vlan: None,
+                },
+                vec![Action::Output(h as u16 + 1)], // "Output: host n"
+            )
+            .expect("unbounded table");
+    }
+    // ARP is flooded on both (the paper: "ARP packets are flooded to
+    // all output ports"; rendered as the low-priority wildcard rule).
+    source
+        .add(0, Match::default(), vec![Action::Flood])
+        .expect("unbounded table");
+    destination
+        .add(0, Match::default(), vec![Action::Flood])
+        .expect("unbounded table");
+
+    let mut out = String::new();
+    out.push_str(&render_table("source switch R1", &source));
+    out.push('\n');
+    out.push_str(&render_table("destination switch R12", &destination));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_lists_both_switches() {
+        let s = render(2);
+        assert!(s.contains("source switch R1"));
+        assert!(s.contains("destination switch R12"));
+        assert!(s.contains("10.0.1.0/24"));
+        assert!(s.contains("10.0.100.0/24"));
+        assert!(s.contains("Flood"));
+        // Two host rows + flood per table.
+        assert!(s.matches("Output: 1").count() >= 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Harness utilities: CLI scaling options, CSV output, box-plot
+//! statistics and simple text tables.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Experiment scaling options, parsed from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Independent runs (paper: "each data point is an average of at
+    /// least 30 runs").
+    pub runs: usize,
+    /// Update instances per run (paper: 500).
+    pub instances: usize,
+    /// Wall-clock budget per exact solver invocation.
+    pub budget: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        // Smoke-scale defaults: seconds, not hours.
+        RunOptions {
+            runs: 3,
+            instances: 40,
+            budget: Duration::from_millis(300),
+            seed: 20170605, // ICDCS'17
+        }
+    }
+}
+
+impl RunOptions {
+    /// The paper-scale configuration (30 runs × 500 instances, 600 s
+    /// solver budgets).
+    pub fn paper() -> Self {
+        RunOptions {
+            runs: 30,
+            instances: 500,
+            budget: Duration::from_secs(600),
+            seed: 20170605,
+        }
+    }
+
+    /// Parses `--runs N --instances M --budget-ms B --seed S --paper`
+    /// from an argument iterator (unknown arguments are ignored so
+    /// binaries can add their own).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = RunOptions::default();
+        let argv: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--paper" => opts = RunOptions::paper(),
+                "--runs" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.runs = v;
+                        i += 1;
+                    }
+                }
+                "--instances" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.instances = v;
+                        i += 1;
+                    }
+                }
+                "--budget-ms" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.budget = Duration::from_millis(v);
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Five-number summary for box plots (Fig. 9).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean (the paper quotes averages in the text).
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary of a sample (empty ⇒ all zeros).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return BoxStats {
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        BoxStats {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().expect("non-empty"),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+        }
+    }
+}
+
+/// A simple CSV sink under `target/experiments/`.
+pub struct CsvSink {
+    path: PathBuf,
+    buf: String,
+}
+
+impl CsvSink {
+    /// Opens a sink for `name.csv` with a header row.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        let mut buf = String::new();
+        let _ = writeln!(buf, "{}", header.join(","));
+        let path = PathBuf::from("target/experiments").join(format!("{name}.csv"));
+        CsvSink { path, buf }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        let _ = writeln!(self.buf, "{}", cells.join(","));
+    }
+
+    /// Writes the file, returning its path (errors are printed, not
+    /// fatal — the experiment data also went to stdout).
+    pub fn finish(self) -> PathBuf {
+        if let Some(dir) = self.path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        if let Err(e) = fs::write(&self.path, &self.buf) {
+            eprintln!("warning: could not write {}: {e}", self.path.display());
+        }
+        self.path
+    }
+}
+
+/// Formats a right-aligned text table.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hs: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "{}", fmt(&hs, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for r in rows {
+        let _ = writeln!(out, "{}", fmt(r, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_and_scale() {
+        let opts = RunOptions::from_args(
+            ["--runs", "7", "--instances", "11", "--budget-ms", "250", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.runs, 7);
+        assert_eq!(opts.instances, 11);
+        assert_eq!(opts.budget, Duration::from_millis(250));
+        assert_eq!(opts.seed, 9);
+        let paper = RunOptions::from_args(["--paper".to_string()].into_iter());
+        assert_eq!(paper.runs, 30);
+        assert_eq!(paper.instances, 500);
+    }
+
+    #[test]
+    fn box_stats_quartiles() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        let empty = BoxStats::of(&[]);
+        assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn text_table_aligns() {
+        let t = text_table(
+            &["n", "value"],
+            &[vec!["10".into(), "0.5".into()], vec!["100".into(), "12.25".into()]],
+        );
+        assert!(t.contains("  n"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_sink_writes() {
+        let mut sink = CsvSink::new("util_test", &["a", "b"]);
+        sink.row(&["1".into(), "2".into()]);
+        let path = sink.finish();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("a,b\n1,2"));
+    }
+}

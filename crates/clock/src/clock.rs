@@ -1,0 +1,116 @@
+//! Hardware clock model: offset plus frequency drift.
+
+/// Simulated nanoseconds. Signed and wide: drift math can briefly
+/// leave the `u64` range.
+pub type Nanos = i128;
+
+/// A switch's hardware clock.
+///
+/// The local reading at true time `t` is
+/// `local(t) = t + offset + drift_ppb · t / 10⁹` — a fixed offset plus
+/// a frequency error in parts-per-billion (real switch oscillators
+/// drift on the order of ±10 ppm = ±10 000 ppb; hardware-assisted
+/// sync as assumed by Time4 keeps the *corrected* clock within a
+/// microsecond).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardwareClock {
+    offset: Nanos,
+    drift_ppb: i64,
+}
+
+impl HardwareClock {
+    /// A perfect clock.
+    pub fn perfect() -> Self {
+        HardwareClock {
+            offset: 0,
+            drift_ppb: 0,
+        }
+    }
+
+    /// A clock with the given initial offset (ns) and frequency error
+    /// (parts per billion).
+    pub fn new(offset: Nanos, drift_ppb: i64) -> Self {
+        HardwareClock { offset, drift_ppb }
+    }
+
+    /// The current offset component (ns).
+    pub fn offset(&self) -> Nanos {
+        self.offset
+    }
+
+    /// The frequency error in ppb.
+    pub fn drift_ppb(&self) -> i64 {
+        self.drift_ppb
+    }
+
+    /// Local reading at true time `t`.
+    pub fn read(&self, t: Nanos) -> Nanos {
+        t + self.offset + (self.drift_ppb as Nanos * t) / 1_000_000_000
+    }
+
+    /// Clock error at true time `t`: `local(t) − t`.
+    pub fn error_at(&self, t: Nanos) -> Nanos {
+        self.read(t) - t
+    }
+
+    /// The true time at which the local clock shows `local` —
+    /// inverting [`HardwareClock::read`]. This is when a trigger armed
+    /// for local time `local` actually fires.
+    pub fn true_time_of_local(&self, local: Nanos) -> Nanos {
+        // local = t (1 + d) + offset  with d = drift_ppb / 1e9
+        // ⇒ t = (local − offset) · 1e9 / (1e9 + drift_ppb)
+        (local - self.offset) * 1_000_000_000 / (1_000_000_000 + self.drift_ppb as Nanos)
+    }
+
+    /// Applies a correction: subtracts `estimate` from the offset (the
+    /// servo step of a sync protocol).
+    pub fn correct_offset(&mut self, estimate: Nanos) {
+        self.offset -= estimate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_reads_true_time() {
+        let c = HardwareClock::perfect();
+        assert_eq!(c.read(123_456), 123_456);
+        assert_eq!(c.error_at(1_000_000_000), 0);
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        let c = HardwareClock::new(500, 0);
+        assert_eq!(c.read(1_000), 1_500);
+        assert_eq!(c.error_at(0), 500);
+        assert_eq!(c.true_time_of_local(1_500), 1_000);
+    }
+
+    #[test]
+    fn drift_accumulates_with_time() {
+        // +10 ppm = +10_000 ppb: one second of true time gains 10 µs.
+        let c = HardwareClock::new(0, 10_000);
+        assert_eq!(c.error_at(1_000_000_000), 10_000);
+        assert_eq!(c.error_at(2_000_000_000), 20_000);
+    }
+
+    #[test]
+    fn true_time_inverts_read() {
+        let c = HardwareClock::new(-300, 25_000);
+        for t in [0i128, 1_000_000, 1_000_000_000, 60_000_000_000] {
+            let local = c.read(t);
+            let back = c.true_time_of_local(local);
+            assert!((back - t).abs() <= 1, "inversion error at {t}: {back}");
+        }
+    }
+
+    #[test]
+    fn correction_reduces_error() {
+        let mut c = HardwareClock::new(2_000, 0);
+        let est = c.error_at(0);
+        c.correct_offset(est);
+        assert_eq!(c.error_at(0), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Timed-trigger execution: fire scheduled updates when the *local*
+//! clock passes the trigger time.
+
+use crate::clock::{HardwareClock, Nanos};
+
+/// A scheduled trigger: an opaque payload armed for a local-clock
+/// time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trigger<T> {
+    /// Local-clock time at which the switch should act.
+    pub local_time: Nanos,
+    /// What to do (e.g. a FlowMod to apply).
+    pub payload: T,
+}
+
+/// A per-switch trigger list driven by that switch's hardware clock —
+/// the Time4 execution model: the controller distributes update
+/// messages ahead of time, each carrying its scheduled execution
+/// time, and the switch fires them by its own (synchronized) clock.
+#[derive(Clone, Debug)]
+pub struct ScheduledExecutor<T> {
+    clock: HardwareClock,
+    triggers: Vec<Trigger<T>>,
+}
+
+impl<T> ScheduledExecutor<T> {
+    /// Creates an executor for a switch with the given clock.
+    pub fn new(clock: HardwareClock) -> Self {
+        ScheduledExecutor {
+            clock,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// The switch's clock.
+    pub fn clock(&self) -> &HardwareClock {
+        &self.clock
+    }
+
+    /// Arms a trigger for local-clock time `local_time`.
+    pub fn arm(&mut self, local_time: Nanos, payload: T) {
+        self.triggers.push(Trigger {
+            local_time,
+            payload,
+        });
+        self.triggers.sort_by_key(|t| t.local_time);
+    }
+
+    /// Number of armed (not yet fired) triggers.
+    pub fn armed(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// The true time at which an armed trigger will fire — local
+    /// trigger time translated through the clock error.
+    pub fn true_fire_time(&self, local_time: Nanos) -> Nanos {
+        self.clock.true_time_of_local(local_time)
+    }
+
+    /// Advances true time to `now` and returns every trigger whose
+    /// local time has passed, in firing order, each paired with its
+    /// *true* firing instant (so callers can measure scheduling
+    /// error).
+    pub fn advance_to(&mut self, now: Nanos) -> Vec<(Nanos, T)> {
+        let local_now = self.clock.read(now);
+        let mut fired = Vec::new();
+        while let Some(first) = self.triggers.first() {
+            if first.local_time <= local_now {
+                let t = self.triggers.remove(0);
+                let true_at = self.clock.true_time_of_local(t.local_time);
+                fired.push((true_at, t.payload));
+            } else {
+                break;
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_fires_exactly_on_time() {
+        let mut ex = ScheduledExecutor::new(HardwareClock::perfect());
+        ex.arm(1_000, "update-v2");
+        ex.arm(2_000, "update-v3");
+        assert_eq!(ex.armed(), 2);
+        assert!(ex.advance_to(999).is_empty());
+        let fired = ex.advance_to(1_500);
+        assert_eq!(fired, vec![(1_000, "update-v2")]);
+        let fired = ex.advance_to(5_000);
+        assert_eq!(fired, vec![(2_000, "update-v3")]);
+        assert_eq!(ex.armed(), 0);
+    }
+
+    #[test]
+    fn skewed_clock_fires_early_or_late_by_its_error() {
+        // Clock running 500 ns fast: local time reaches the trigger
+        // 500 ns of true time early.
+        let fast = HardwareClock::new(500, 0);
+        let mut ex = ScheduledExecutor::new(fast);
+        ex.arm(10_000, ());
+        let fired = ex.advance_to(9_500);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 9_500);
+
+        let slow = HardwareClock::new(-500, 0);
+        let mut ex = ScheduledExecutor::new(slow);
+        ex.arm(10_000, ());
+        assert!(ex.advance_to(10_000).is_empty());
+        let fired = ex.advance_to(10_500);
+        assert_eq!(fired[0].0, 10_500);
+    }
+
+    #[test]
+    fn triggers_fire_in_order_regardless_of_arming_order() {
+        let mut ex = ScheduledExecutor::new(HardwareClock::perfect());
+        ex.arm(3_000, 'c');
+        ex.arm(1_000, 'a');
+        ex.arm(2_000, 'b');
+        let fired: Vec<char> = ex.advance_to(10_000).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn true_fire_time_matches_clock_inversion() {
+        let clock = HardwareClock::new(250, 5_000);
+        let ex: ScheduledExecutor<()> = ScheduledExecutor::new(clock);
+        assert_eq!(
+            ex.true_fire_time(1_000_000),
+            clock.true_time_of_local(1_000_000)
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! A conservative reference scheduler: one switch per drain period.
+//!
+//! The paper's conclusion names approximation algorithms as future
+//! work; this module provides the natural baseline for that study — a
+//! scheduler that is *maximally* conservative about time: it updates
+//! switches one at a time in dependency-respecting order and waits a
+//! full drain period between updates, so that each update meets a
+//! completely stationary data plane. Its makespan is therefore an
+//! upper bound of roughly `pending × drain` steps, against which the
+//! greedy's parallelism (and OPT) can be measured — the
+//! `ablation_benches` bench and the EXPERIMENTS.md ablation table do
+//! exactly that.
+
+use crate::loopcheck::creates_forwarding_loop;
+use crate::{MutpProblem, ScheduleError};
+use chronus_net::{SwitchId, TimeStep, UpdateInstance};
+use chronus_timenet::{FluidSimulator, Schedule, SimulatorConfig, Verdict};
+use std::collections::BTreeSet;
+
+/// The result of the sequential scheduler.
+#[derive(Clone, Debug)]
+pub struct SequentialOutcome {
+    /// The (certified) schedule.
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: TimeStep,
+    /// Simulator calls spent.
+    pub simulator_calls: usize,
+}
+
+/// Schedules one switch per drain period, each commit verified by the
+/// exact simulator; within a period, the first pending switch whose
+/// update passes Algorithm 4 and the gate is taken.
+///
+/// # Errors
+/// [`ScheduleError::Infeasible`] when some switch can never be updated
+/// even against a stationary data plane (then no scheduler can help —
+/// the same condition the greedy reports), or
+/// [`ScheduleError::Invalid`] for malformed instances.
+pub fn sequential_schedule(
+    instance: &UpdateInstance,
+) -> Result<SequentialOutcome, ScheduleError> {
+    let problem = MutpProblem::new(instance)?;
+    let sim = FluidSimulator::with_config(
+        instance,
+        SimulatorConfig {
+            record_loads: false,
+            fail_fast: true,
+            ..SimulatorConfig::default()
+        },
+    );
+
+    let mut schedule = Schedule::new();
+    let mut pending: Vec<BTreeSet<SwitchId>> = (0..instance.flows.len())
+        .map(|fi| problem.pending(fi).clone())
+        .collect();
+    // Fresh switches activate at step 0 (no flow crosses them yet).
+    for (fi, flow) in instance.flows.iter().enumerate() {
+        for v in problem.fresh_switches(fi) {
+            schedule.set(flow.id, v, 0);
+            pending[fi].remove(&v);
+        }
+    }
+
+    let drain = problem.drain_bound();
+    let mut t: TimeStep = 0;
+    let mut simulator_calls = 0usize;
+    let total: usize = pending.iter().map(BTreeSet::len).sum();
+
+    for _ in 0..total {
+        let mut committed = false;
+        'flows: for (fi, flow) in instance.flows.iter().enumerate() {
+            let candidates: Vec<SwitchId> = pending[fi].iter().copied().collect();
+            for v in candidates {
+                if creates_forwarding_loop(instance, flow, &schedule, v, t) {
+                    continue;
+                }
+                schedule.set(flow.id, v, t);
+                simulator_calls += 1;
+                if sim.run(&schedule).verdict() == Verdict::Consistent {
+                    pending[fi].remove(&v);
+                    committed = true;
+                    break 'flows;
+                }
+                schedule.unset(flow.id, v);
+            }
+        }
+        if !committed {
+            // The data plane is stationary at each period boundary, so
+            // failure here is final.
+            let blocked = pending.iter().flat_map(|p| p.iter().copied()).next();
+            return Err(ScheduleError::Infeasible {
+                blocked,
+                reason: "no switch is updatable against a stationary data plane".into(),
+            });
+        }
+        t += drain;
+    }
+
+    let makespan = schedule.makespan().unwrap_or(0);
+    Ok(SequentialOutcome {
+        schedule,
+        makespan,
+        simulator_calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_schedule;
+    use chronus_net::motivating_example;
+
+    #[test]
+    fn sequential_solves_the_motivating_example() {
+        let inst = motivating_example();
+        let out = sequential_schedule(&inst).expect("feasible");
+        let report = FluidSimulator::check(&inst, &out.schedule);
+        assert_eq!(report.verdict(), Verdict::Consistent, "{report}");
+        out.schedule.validate(&inst).expect("complete");
+    }
+
+    #[test]
+    fn sequential_is_much_slower_than_greedy() {
+        let inst = motivating_example();
+        let seq = sequential_schedule(&inst).expect("feasible");
+        let greedy = greedy_schedule(&inst).expect("feasible");
+        assert!(
+            seq.makespan > greedy.makespan,
+            "sequential {} vs greedy {}",
+            seq.makespan,
+            greedy.makespan
+        );
+        // One drain period per non-fresh pending switch.
+        let problem = MutpProblem::new(&inst).unwrap();
+        assert!(seq.makespan >= (problem.pending_total() as i64 - 1) * problem.drain_bound());
+    }
+
+    #[test]
+    fn sequential_reports_truly_infeasible_instances() {
+        use chronus_net::{Flow, FlowId, NetworkBuilder, Path, SwitchId};
+        let sid = SwitchId;
+        let mut b = NetworkBuilder::with_switches(4);
+        b.add_link(sid(0), sid(1), 1, 1).unwrap();
+        b.add_link(sid(1), sid(2), 1, 1).unwrap();
+        b.add_link(sid(2), sid(3), 1, 1).unwrap();
+        b.add_link(sid(0), sid(2), 1, 1).unwrap();
+        let flow = Flow::new(
+            FlowId(0),
+            1,
+            Path::new(vec![sid(0), sid(1), sid(2), sid(3)]),
+            Path::new(vec![sid(0), sid(2), sid(3)]),
+        )
+        .unwrap();
+        let inst = UpdateInstance::single(b.build(), flow).unwrap();
+        assert!(sequential_schedule(&inst).is_err());
+    }
+
+    #[test]
+    fn sequential_agrees_with_greedy_on_random_instances() {
+        use chronus_net::{InstanceGenerator, InstanceGeneratorConfig};
+        let mut gen = InstanceGenerator::new(InstanceGeneratorConfig::paper(12, 31337));
+        let mut compared = 0;
+        for inst in gen.generate_batch(10) {
+            let g = greedy_schedule(&inst);
+            let s = sequential_schedule(&inst);
+            match (g, s) {
+                (Ok(g), Ok(s)) => {
+                    assert!(g.makespan <= s.makespan);
+                    compared += 1;
+                }
+                // The greedy explores strictly more placements than the
+                // sequential baseline, so greedy-fails ⇒ sequential-fails.
+                (Err(_), Ok(_)) => {}
+                (Ok(_), Err(e)) => panic!("sequential failed on a feasible instance: {e}"),
+                (Err(_), Err(_)) => {}
+            }
+        }
+        assert!(compared >= 3);
+    }
+}

@@ -1,0 +1,640 @@
+//! The emulation loop.
+
+use crate::controller::{ChronusDriver, OrDriver, TpDriver, UpdateDriver};
+use crate::event::{Event, EventQueue};
+use crate::link::EmuLink;
+use crate::report::EmuReport;
+use crate::switchdev::{EmuSwitch, HOST_PORT};
+use crate::traffic::{chunk_size_for, CbrSource};
+use chronus_clock::{HardwareClock, Nanos};
+use chronus_net::{LinkIdx, SwitchId, UpdateInstance};
+use chronus_openflow::{Action, FlowMod, Ipv4Prefix, Match, Packet, RuleId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Emulator parameters mapping the abstract model onto wall-clock
+/// quantities (defaults follow the paper's Mininet setup: 1 model
+/// capacity unit = 1 Mbps, 1 model delay unit = 100 ms, 1 s statistics
+/// sampling, updates start at the 5 s mark of a 20 s run).
+#[derive(Clone, Copy, Debug)]
+pub struct EmuConfig {
+    /// Bits per second per model capacity unit.
+    pub capacity_unit_bps: u64,
+    /// Nanoseconds per model delay unit.
+    pub delay_unit_ns: Nanos,
+    /// Nanoseconds per schedule time step (keep equal to
+    /// `delay_unit_ns` for fidelity to the analysis).
+    pub step_ns: Nanos,
+    /// Target chunk emissions per delay unit per flow.
+    pub chunks_per_step: u64,
+    /// Statistics sampling interval.
+    pub stats_interval: Nanos,
+    /// Total run length.
+    pub run_for: Nanos,
+    /// When the update plan starts.
+    pub update_at: Nanos,
+    /// Drop-tail buffer depth, expressed as queueing delay.
+    pub buffer_delay: Nanos,
+    /// Max absolute clock offset drawn per switch (± ns) — the Time4
+    /// synchronization residual.
+    pub clock_error_ns: i64,
+    /// Max absolute frequency error drawn per switch (± ppb).
+    pub clock_drift_ppb: i64,
+    /// Initial packet TTL (loop guard).
+    pub ttl: u8,
+    /// Probability that a fire-and-forget control message (an OR or TP
+    /// FlowMod) is lost in the control channel. Chronus messages are
+    /// unaffected: Time4 distributes them ahead of the trigger time
+    /// and retransmits until acknowledged, so loss only costs latency
+    /// it has already budgeted for.
+    pub control_loss_prob: f64,
+}
+
+impl Default for EmuConfig {
+    fn default() -> Self {
+        EmuConfig {
+            capacity_unit_bps: 1_000_000,
+            delay_unit_ns: 100_000_000,
+            step_ns: 100_000_000,
+            chunks_per_step: 8,
+            stats_interval: 1_000_000_000,
+            run_for: 20_000_000_000,
+            update_at: 5_000_000_000,
+            buffer_delay: 200_000_000,
+            clock_error_ns: 1_000,
+            clock_drift_ppb: 10_000,
+            ttl: 64,
+            control_loss_prob: 0.0,
+        }
+    }
+}
+
+/// The discrete-event emulator.
+pub struct Emulator {
+    config: EmuConfig,
+    switches: Vec<EmuSwitch>,
+    links: Vec<EmuLink>,
+    link_endpoints: Vec<(SwitchId, SwitchId)>,
+    queue: EventQueue,
+    flows: Vec<CbrSource>,
+    /// Initial-path rule ids: (flow, switch) → installed rule.
+    rule_ids: HashMap<(usize, SwitchId), RuleId>,
+    dst_ip_to_flow: HashMap<u32, usize>,
+    instance_paths: Vec<(Vec<SwitchId>, Vec<SwitchId>)>, // (init, fin) hops
+    report: EmuReport,
+    rng: StdRng,
+    xid: u64,
+    peak_rules: usize,
+}
+
+impl Emulator {
+    /// Builds the testbed for an instance: switches with drawn clock
+    /// errors, links, initial-path rules, and CBR sources.
+    pub fn new(instance: &UpdateInstance, config: EmuConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = &instance.network;
+
+        let mut switches: Vec<EmuSwitch> = net
+            .switches()
+            .map(|id| {
+                let offset = rng.gen_range(-config.clock_error_ns..=config.clock_error_ns);
+                let drift = rng.gen_range(-config.clock_drift_ppb..=config.clock_drift_ppb);
+                EmuSwitch::new(id, HardwareClock::new(offset as Nanos, drift))
+            })
+            .collect();
+
+        let mut links = Vec::with_capacity(net.link_count());
+        let mut link_endpoints = Vec::with_capacity(net.link_count());
+        for (i, l) in net.links().enumerate() {
+            links.push(EmuLink::new(
+                l.capacity * config.capacity_unit_bps,
+                l.delay as Nanos * config.delay_unit_ns,
+                config.buffer_delay,
+            ));
+            link_endpoints.push((l.src, l.dst));
+            switches[l.src.index()].attach_link(l.dst, LinkIdx(i as u32));
+        }
+
+        let mut emu = Emulator {
+            config,
+            switches,
+            links,
+            link_endpoints,
+            queue: EventQueue::new(),
+            flows: Vec::new(),
+            rule_ids: HashMap::new(),
+            dst_ip_to_flow: HashMap::new(),
+            instance_paths: Vec::new(),
+            report: EmuReport::default(),
+            rng,
+            xid: 0,
+            peak_rules: 0,
+        };
+
+        for (fi, flow) in instance.flows.iter().enumerate() {
+            emu.attach_flow(fi, flow, instance);
+        }
+        emu.report.delivered_bytes = vec![0; instance.flows.len()];
+
+        // Traffic from t = 0, staggered a little per flow.
+        for fi in 0..emu.flows.len() {
+            emu.queue.push(fi as Nanos * 1_000_000, Event::ChunkEmit { flow: fi });
+        }
+        // Statistics sampling and the stop event.
+        emu.queue.push(config.stats_interval, Event::StatsSample);
+        emu.queue.push(config.run_for, Event::Stop);
+        emu.track_rule_peak();
+        emu
+    }
+
+    fn flow_ip(fi: usize, host: u8) -> u32 {
+        u32::from_be_bytes([10, host, (fi >> 8) as u8, fi as u8])
+    }
+
+    fn attach_flow(&mut self, fi: usize, flow: &chronus_net::Flow, instance: &UpdateInstance) {
+        let dst_ip = Self::flow_ip(fi, 0);
+        let src_ip = Self::flow_ip(fi, 1);
+        self.dst_ip_to_flow.insert(dst_ip, fi);
+        self.instance_paths
+            .push((flow.initial.hops().to_vec(), flow.fin.hops().to_vec()));
+
+        // Forwarding rules along the initial path.
+        let hops = flow.initial.hops();
+        for w in hops.windows(2) {
+            let port = self.switches[w[0].index()]
+                .port_towards(w[1])
+                .expect("initial path links exist");
+            let id = self.switches[w[0].index()]
+                .table
+                .add(
+                    10,
+                    Match::dst_prefix(Ipv4Prefix::host(dst_ip)),
+                    vec![Action::Output(port)],
+                )
+                .expect("unbounded tables");
+            self.rule_ids.insert((fi, w[0]), id);
+        }
+        // Delivery rule at the destination.
+        let dst = flow.destination();
+        let id = self.switches[dst.index()]
+            .table
+            .add(
+                10,
+                Match::dst_prefix(Ipv4Prefix::host(dst_ip)),
+                vec![Action::Output(HOST_PORT)],
+            )
+            .expect("unbounded tables");
+        self.rule_ids.insert((fi, dst), id);
+
+        let rate_bps = flow.demand * self.config.capacity_unit_bps;
+        let chunk = chunk_size_for(rate_bps, self.config.delay_unit_ns, self.config.chunks_per_step);
+        self.flows.push(CbrSource {
+            src_switch: flow.source(),
+            dst_ip,
+            src_ip,
+            rate_bps,
+            chunk_bytes: chunk,
+        });
+        let _ = instance;
+    }
+
+    fn next_xid(&mut self) -> u64 {
+        self.xid += 1;
+        self.xid
+    }
+
+    /// The FlowMod moving `switch` to its final-path next hop for flow
+    /// `fi`: an in-place action modify when an old rule exists, an add
+    /// for fresh switches.
+    fn update_flowmod(&mut self, fi: usize, switch: SwitchId) -> FlowMod {
+        let (_, fin) = self.instance_paths[fi].clone();
+        let pos = fin
+            .iter()
+            .position(|&v| v == switch)
+            .expect("updates only target final-path switches");
+        let next = fin[pos + 1];
+        let port = self.switches[switch.index()]
+            .port_towards(next)
+            .expect("final path links exist");
+        let xid = self.next_xid();
+        match self.rule_ids.get(&(fi, switch)) {
+            Some(&id) => FlowMod::modify(xid, id, vec![Action::Output(port)]),
+            None => FlowMod::add(
+                xid,
+                10,
+                Match::dst_prefix(Ipv4Prefix::host(self.flows[fi].dst_ip)),
+                vec![Action::Output(port)],
+            ),
+        }
+    }
+
+    /// Translates a driver into timed `ApplyFlowMod` events.
+    pub fn install_driver(&mut self, driver: UpdateDriver) {
+        match driver {
+            UpdateDriver::None => {}
+            UpdateDriver::Chronus(d) => self.install_chronus(d),
+            UpdateDriver::Or(d) => self.install_or(d),
+            UpdateDriver::Tp(d) => self.install_tp(d),
+        }
+    }
+
+    fn install_chronus(&mut self, d: ChronusDriver) {
+        let assignments: Vec<(chronus_net::FlowId, SwitchId, i64)> = d.schedule.iter().collect();
+        for (flow_id, switch, t) in assignments {
+            let fi = flow_id.index();
+            let fm = self.update_flowmod(fi, switch);
+            // The controller arms a Time4 trigger for the nominal
+            // local time; the switch's clock error shifts the true
+            // firing instant.
+            let local_target = self.config.update_at + t as Nanos * self.config.step_ns;
+            let true_fire = self.switches[switch.index()]
+                .clock
+                .true_time_of_local(local_target)
+                .max(0);
+            self.queue.push(true_fire, Event::ApplyFlowMod { switch, flowmod: fm });
+        }
+    }
+
+    fn install_or(&mut self, d: OrDriver) {
+        // Single-flow semantics (the paper's OR baseline is per flow).
+        let fi = 0;
+        let mut round_start = self.config.update_at;
+        for round in &d.rounds {
+            let mut latest = round_start;
+            for &switch in round {
+                let latency = self.rng.gen_range(d.latency_range.0..=d.latency_range.1);
+                let at = round_start + latency;
+                latest = latest.max(at);
+                if self.control_message_lost() {
+                    continue; // fire-and-forget FlowMod vanished
+                }
+                let fm = self.update_flowmod(fi, switch);
+                self.queue.push(at, Event::ApplyFlowMod { switch, flowmod: fm });
+            }
+            // Barrier: next round only after every reply.
+            round_start = latest + 1_000_000;
+        }
+    }
+
+    /// Draws whether a fire-and-forget control message is lost.
+    fn control_message_lost(&mut self) -> bool {
+        self.config.control_loss_prob > 0.0
+            && self.rng.gen::<f64>() < self.config.control_loss_prob
+    }
+
+    fn install_tp(&mut self, d: TpDriver) {
+        let fi = 0;
+        let (_, fin) = self.instance_paths[fi].clone();
+        let dst_ip = self.flows[fi].dst_ip;
+        let source = fin[0];
+        let dst = *fin.last().expect("paths have a destination");
+
+        // Phase 1: tagged generation at priority 20 on every
+        // final-path switch except the source (whose stamp rule is the
+        // flip itself).
+        let mut latest = self.config.update_at;
+        for (pos, &v) in fin.iter().enumerate() {
+            if v == source {
+                continue;
+            }
+            let actions = if v == dst {
+                vec![Action::StripVlan, Action::Output(HOST_PORT)]
+            } else {
+                let next = fin[pos + 1];
+                let port = self.switches[v.index()]
+                    .port_towards(next)
+                    .expect("final path links exist");
+                vec![Action::Output(port)]
+            };
+            let mat = Match {
+                dst: Some(Ipv4Prefix::host(dst_ip)),
+                vlan: Some(2),
+                ..Default::default()
+            };
+            let xid = self.next_xid();
+            let latency = self.rng.gen_range(d.latency_range.0..=d.latency_range.1);
+            let at = self.config.update_at + latency;
+            latest = latest.max(at);
+            if self.control_message_lost() {
+                continue; // the tagged duplicate never arrives
+            }
+            self.queue.push(
+                at,
+                Event::ApplyFlowMod {
+                    switch: v,
+                    flowmod: FlowMod::add(xid, 20, mat, actions),
+                },
+            );
+        }
+
+        // Phase 2: flip the ingress stamp after the phase-1 barrier.
+        let flip_at = latest + d.flip_gap;
+        let next = fin[1];
+        let port = self.switches[source.index()]
+            .port_towards(next)
+            .expect("final path links exist");
+        let src_rule = self.rule_ids[&(fi, source)];
+        let xid = self.next_xid();
+        self.queue.push(
+            flip_at,
+            Event::ApplyFlowMod {
+                switch: source,
+                flowmod: FlowMod::modify(
+                    xid,
+                    src_rule,
+                    vec![Action::SetVlan(2), Action::Output(port)],
+                ),
+            },
+        );
+
+        // Cleanup: delete old rules that are no longer on the final
+        // path once old-tag packets drained.
+        let cleanup_at = flip_at + d.cleanup_gap;
+        let (init, fin_hops) = self.instance_paths[fi].clone();
+        for &v in &init {
+            if fin_hops.contains(&v) {
+                continue;
+            }
+            if let Some(&id) = self.rule_ids.get(&(fi, v)) {
+                let xid = self.next_xid();
+                self.queue.push(
+                    cleanup_at,
+                    Event::ApplyFlowMod {
+                        switch: v,
+                        flowmod: FlowMod::delete(xid, id),
+                    },
+                );
+            }
+        }
+    }
+
+    fn track_rule_peak(&mut self) {
+        let total: usize = self.switches.iter().map(|s| s.table.len()).sum();
+        self.peak_rules = self.peak_rules.max(total);
+    }
+
+    /// The highest total rule count observed so far (Fig. 9 metric).
+    pub fn peak_rule_count(&self) -> usize {
+        self.peak_rules
+    }
+
+    /// Current total rule count across all switches.
+    pub fn current_rule_count(&self) -> usize {
+        self.switches.iter().map(|s| s.table.len()).sum()
+    }
+
+    /// Runs the emulation to completion and returns the report.
+    pub fn run(mut self) -> EmuReport {
+        while let Some(ev) = self.queue.pop() {
+            let now = ev.at;
+            match ev.event {
+                Event::Stop => break,
+                Event::ChunkEmit { flow } => {
+                    let f = self.flows[flow];
+                    let pkt = Packet {
+                        in_port: HOST_PORT,
+                        src: f.src_ip,
+                        dst: f.dst_ip,
+                        vlan: None,
+                        bytes: f.chunk_bytes,
+                    };
+                    self.queue.push(
+                        now,
+                        Event::PacketArrive {
+                            switch: f.src_switch,
+                            packet: pkt,
+                            ttl: self.config.ttl,
+                        },
+                    );
+                    let next = now + f.interval();
+                    if next < self.config.run_for {
+                        self.queue.push(next, Event::ChunkEmit { flow });
+                    }
+                }
+                Event::PacketArrive { switch, packet, ttl } => {
+                    self.handle_packet(now, switch, packet, ttl);
+                }
+                Event::LinkDeliver { switch, packet, ttl, .. } => {
+                    self.handle_packet(now, switch, packet, ttl);
+                }
+                Event::ApplyFlowMod { switch, flowmod } => {
+                    if let Ok(maybe_id) = self.switches[switch.index()].apply_flowmod(&flowmod) {
+                        // Remember ids of rules added during updates so
+                        // later drivers could address them.
+                        if let Some(id) = maybe_id {
+                            if let Some(fi) =
+                                flowmod.mat.dst.map(|p| p.network()).and_then(|ip| {
+                                    self.dst_ip_to_flow.get(&ip).copied()
+                                })
+                            {
+                                self.rule_ids.entry((fi, switch)).or_insert(id);
+                            }
+                        }
+                        self.report.applied_updates.push((now, switch));
+                    }
+                    self.track_rule_peak();
+                }
+                Event::StatsSample => {
+                    for (i, link) in self.links.iter_mut().enumerate() {
+                        let w = link.sample_window();
+                        self.report.push_sample(
+                            self.link_endpoints[i],
+                            now,
+                            w,
+                            self.config.stats_interval,
+                        );
+                    }
+                    let next = now + self.config.stats_interval;
+                    if next <= self.config.run_for {
+                        self.queue.push(next, Event::StatsSample);
+                    }
+                }
+            }
+        }
+        self.report.buffer_drops = self.links.iter().map(|l| l.totals().dropped).sum();
+        self.report.peak_rule_count = self.peak_rules;
+        self.report
+    }
+
+    fn handle_packet(&mut self, now: Nanos, switch: SwitchId, packet: Packet, ttl: u8) {
+        let (pkt, ports) = self.switches[switch.index()].forward(packet);
+        if ports.is_empty() {
+            self.report.table_misses += 1;
+            return;
+        }
+        for port in ports {
+            if port == HOST_PORT {
+                if let Some(&fi) = self.dst_ip_to_flow.get(&pkt.dst) {
+                    self.report.delivered_bytes[fi] += pkt.bytes;
+                }
+                continue;
+            }
+            if ttl == 0 {
+                self.report.ttl_drops += 1;
+                continue;
+            }
+            let Some(link_idx) = self.switches[switch.index()].link_behind(port) else {
+                self.report.table_misses += 1;
+                continue;
+            };
+            let head = self.link_endpoints[link_idx.index()].1;
+            if let Some(arrival) = self.links[link_idx.index()].transmit(now, pkt.bytes) {
+                // The receiving in-port: the head's port towards us if
+                // a reverse link exists, otherwise a synthetic port.
+                let in_port = self.switches[head.index()]
+                    .port_towards(switch)
+                    .unwrap_or(u16::MAX);
+                let mut arrived = pkt;
+                arrived.in_port = in_port;
+                self.queue.push(
+                    arrival,
+                    Event::PacketArrive {
+                        switch: head,
+                        packet: arrived,
+                        ttl: ttl - 1,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_core::greedy::greedy_schedule;
+    use chronus_net::motivating_example;
+
+    fn short_config() -> EmuConfig {
+        EmuConfig {
+            run_for: 8_000_000_000,
+            update_at: 2_000_000_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn steady_state_delivers_everything() {
+        let inst = motivating_example();
+        let emu = Emulator::new(&inst, short_config(), 1);
+        let report = emu.run();
+        assert!(report.clean(), "drops: {report:?}");
+        // 1 Mbps for 8 s ≈ 1 MB delivered (minus in-flight tail).
+        let delivered = report.total_delivered();
+        assert!(
+            delivered > 800_000 && delivered <= 1_000_000,
+            "delivered {delivered}"
+        );
+        // The old path carries ≈1 Mbps in every sampled window.
+        let s0s1 = &report.bandwidth[&(SwitchId(0), SwitchId(1))];
+        assert!(!s0s1.is_empty());
+        for s in &s0s1[1..] {
+            assert!((s.offered_mbps - 1.0).abs() < 0.3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn chronus_update_stays_clean_and_migrates() {
+        let inst = motivating_example();
+        let schedule = greedy_schedule(&inst).unwrap().schedule;
+        let mut emu = Emulator::new(&inst, short_config(), 2);
+        emu.install_driver(UpdateDriver::chronus(schedule, &inst));
+        let report = emu.run();
+        assert_eq!(report.ttl_drops, 0, "no loops under Chronus");
+        assert_eq!(report.table_misses, 0);
+        assert_eq!(report.applied_updates.len(), 4);
+        // After the update, traffic flows on the new first link <v1,v4>.
+        let new_link = &report.bandwidth[&(SwitchId(0), SwitchId(3))];
+        let late = new_link.last().unwrap();
+        assert!(late.offered_mbps > 0.7, "migrated traffic: {late:?}");
+        // And the old second link <v2,v3> is quiet at the end.
+        let old_link = &report.bandwidth[&(SwitchId(1), SwitchId(2))];
+        let late_old = old_link.last().unwrap();
+        assert!(late_old.offered_mbps < 0.3, "old path drained: {late_old:?}");
+    }
+
+    #[test]
+    fn or_round_with_source_congests_transiently() {
+        // Round 1 fires v1 and v2 together: new flow reaches <v4,v5>
+        // through the shortcut (delay 1 unit) while old in-flight
+        // cohorts are still draining through v2→v3→v4 (delay 3 units):
+        // for ~2 delay units the link sees double its capacity — the
+        // Fig. 6 congestion spike.
+        let inst = motivating_example();
+        let cfg = EmuConfig {
+            stats_interval: 100_000_000, // 100 ms windows resolve the spike
+            ..short_config()
+        };
+        // Only the first OR round: the overlap on <v4,v5> is not cut
+        // short by v4's own update, so a full sampling window sees
+        // both streams.
+        let rounds = vec![vec![SwitchId(0), SwitchId(1)]];
+        let mut emu = Emulator::new(&inst, cfg, 5);
+        emu.install_driver(UpdateDriver::or_rounds(rounds));
+        let report = emu.run();
+        let peak = report.peak_offered_mbps((SwitchId(3), SwitchId(4)));
+        assert!(
+            peak > 1.5,
+            "old+new streams must overlap on <v4,v5>, peak {peak}"
+        );
+    }
+
+    #[test]
+    fn persistent_mixed_state_exhausts_ttl() {
+        // Updating v4 (new rule → v3) while v3 keeps its old rule
+        // (→ v4) creates a standing two-switch loop: every arriving
+        // packet bounces until its TTL expires.
+        let inst = motivating_example();
+        let cfg = EmuConfig {
+            ttl: 8, // a bounce costs 2 hops / 200 ms; 8 hops expire fast
+            ..short_config()
+        };
+        let mut emu = Emulator::new(&inst, cfg, 6);
+        emu.install_driver(UpdateDriver::or_rounds(vec![vec![SwitchId(3)]]));
+        let report = emu.run();
+        // The standing loop kills packets two ways: TTL expiry on the
+        // bounce, and buffer overflow on the links the circulating
+        // traffic doubles up. Either way, traffic dies and delivery
+        // stalls.
+        assert!(
+            report.ttl_drops > 0 || report.buffer_drops > 0,
+            "standing loop must drop packets: {report:?}"
+        );
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn two_phase_is_loop_free_but_doubles_rules() {
+        let inst = motivating_example();
+        let mut emu = Emulator::new(&inst, short_config(), 3);
+        let base_rules = emu.current_rule_count();
+        emu.install_driver(UpdateDriver::two_phase());
+        // Run and inspect: no loops, no misses.
+        let report = emu.run();
+        assert_eq!(report.ttl_drops, 0, "TP is per-packet consistent");
+        assert_eq!(report.table_misses, 0);
+        // Baseline: 6 rules (5 forwarding + 1 delivery).
+        assert_eq!(base_rules, 6);
+    }
+
+    #[test]
+    fn tp_peak_rules_exceed_chronus_peak() {
+        let inst = motivating_example();
+        // TP: the transition holds old rules (6) plus the tagged new
+        // generation (4: v4, v3, v2, v6 — the source's stamp rule is
+        // the modified original).
+        let mut tp = Emulator::new(&inst, short_config(), 4);
+        tp.install_driver(UpdateDriver::two_phase());
+        let tp_report = tp.run();
+        assert_eq!(tp_report.peak_rule_count, 10);
+
+        // Chronus rewrites actions in place: the peak never exceeds
+        // the baseline 6 rules.
+        let schedule = greedy_schedule(&inst).unwrap().schedule;
+        let mut ch = Emulator::new(&inst, short_config(), 4);
+        ch.install_driver(UpdateDriver::chronus(schedule, &inst));
+        let ch_report = ch.run();
+        assert_eq!(ch_report.peak_rule_count, 6);
+    }
+}

@@ -1,0 +1,150 @@
+//! The discrete-event queue.
+
+use chronus_clock::Nanos;
+use chronus_net::{LinkIdx, SwitchId};
+use chronus_openflow::{FlowMod, Packet};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the emulation.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A traffic source emits one chunk.
+    ChunkEmit {
+        /// Index into the emulator's flow list.
+        flow: usize,
+    },
+    /// A packet arrives at a switch (after traversing a link or being
+    /// injected by a host).
+    PacketArrive {
+        /// Receiving switch.
+        switch: SwitchId,
+        /// The packet.
+        packet: Packet,
+        /// Remaining hop budget; 0 ⇒ counted as a TTL drop (loop!).
+        ttl: u8,
+    },
+    /// A link finishes serializing a chunk onto the wire; the chunk
+    /// will arrive after the propagation delay.
+    LinkDeliver {
+        /// Which link.
+        link: LinkIdx,
+        /// Destination switch (the link's head).
+        switch: SwitchId,
+        /// The packet.
+        packet: Packet,
+        /// Remaining hop budget.
+        ttl: u8,
+    },
+    /// A FlowMod takes effect at a switch (control-channel delivery or
+    /// a timed trigger firing).
+    ApplyFlowMod {
+        /// Target switch.
+        switch: SwitchId,
+        /// The modification.
+        flowmod: FlowMod,
+    },
+    /// The statistics module samples all byte counters.
+    StatsSample,
+    /// End of the run.
+    Stop,
+}
+
+/// A timestamped event; `seq` makes ordering total and FIFO-stable.
+#[derive(Clone, Debug)]
+pub struct Scheduled {
+    /// Simulated time (true time, ns).
+    pub at: Nanos,
+    /// Tie-breaking sequence number.
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: Nanos, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    /// Events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_fifo_on_ties() {
+        let mut q = EventQueue::new();
+        q.push(20, Event::StatsSample);
+        q.push(10, Event::Stop);
+        q.push(20, Event::ChunkEmit { flow: 1 });
+        let a = q.pop().unwrap();
+        assert_eq!(a.at, 10);
+        assert!(matches!(a.event, Event::Stop));
+        let b = q.pop().unwrap();
+        assert_eq!(b.at, 20);
+        assert!(matches!(b.event, Event::StatsSample), "FIFO on equal time");
+        let c = q.pop().unwrap();
+        assert!(matches!(c.event, Event::ChunkEmit { flow: 1 }));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(1, Event::Stop);
+        q.push(2, Event::Stop);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

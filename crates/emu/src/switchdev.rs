@@ -1,0 +1,185 @@
+//! Emulated switches: flow table + ports + hardware clock.
+
+use chronus_clock::HardwareClock;
+use chronus_net::{LinkIdx, SwitchId};
+use chronus_openflow::{
+    Action, FlowMod, FlowModCommand, FlowTable, Packet, RuleId, TableError,
+};
+use std::collections::HashMap;
+
+/// The reserved port a host hangs off (packet delivery).
+pub const HOST_PORT: u16 = 0;
+
+/// One emulated switch.
+#[derive(Clone, Debug)]
+pub struct EmuSwitch {
+    /// The switch's model id.
+    pub id: SwitchId,
+    /// Its flow table.
+    pub table: FlowTable,
+    /// Its (possibly skewed) hardware clock.
+    pub clock: HardwareClock,
+    port_to_link: HashMap<u16, LinkIdx>,
+    neighbor_to_port: HashMap<SwitchId, u16>,
+    next_port: u16,
+}
+
+impl EmuSwitch {
+    /// Creates a switch with an empty table.
+    pub fn new(id: SwitchId, clock: HardwareClock) -> Self {
+        EmuSwitch {
+            id,
+            table: FlowTable::new(),
+            clock,
+            port_to_link: HashMap::new(),
+            neighbor_to_port: HashMap::new(),
+            next_port: HOST_PORT + 1,
+        }
+    }
+
+    /// Registers the outgoing link towards `neighbor`, assigning the
+    /// next free port. Idempotent per neighbor.
+    pub fn attach_link(&mut self, neighbor: SwitchId, link: LinkIdx) -> u16 {
+        if let Some(&p) = self.neighbor_to_port.get(&neighbor) {
+            return p;
+        }
+        let port = self.next_port;
+        self.next_port += 1;
+        self.neighbor_to_port.insert(neighbor, port);
+        self.port_to_link.insert(port, link);
+        port
+    }
+
+    /// The egress port towards `neighbor`, if attached.
+    pub fn port_towards(&self, neighbor: SwitchId) -> Option<u16> {
+        self.neighbor_to_port.get(&neighbor).copied()
+    }
+
+    /// The link behind an egress port.
+    pub fn link_behind(&self, port: u16) -> Option<LinkIdx> {
+        self.port_to_link.get(&port).copied()
+    }
+
+    /// Applies a FlowMod to the table.
+    ///
+    /// # Errors
+    /// Any [`TableError`] from the table operation.
+    pub fn apply_flowmod(&mut self, fm: &FlowMod) -> Result<Option<RuleId>, TableError> {
+        match fm.command {
+            FlowModCommand::Add => self
+                .table
+                .add(fm.priority, fm.mat, fm.actions.clone())
+                .map(Some),
+            FlowModCommand::ModifyActions => {
+                let id = fm.rule.ok_or(TableError::NoSuchRule(RuleId(u64::MAX)))?;
+                self.table.modify_actions(id, fm.actions.clone())?;
+                Ok(None)
+            }
+            FlowModCommand::Delete => {
+                let id = fm.rule.ok_or(TableError::NoSuchRule(RuleId(u64::MAX)))?;
+                self.table.remove(id)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Runs a packet through the table (bumping counters) and applies
+    /// header-rewriting actions, returning the possibly-rewritten
+    /// packet and the egress decisions (`HOST_PORT` means deliver).
+    pub fn forward(&mut self, mut packet: Packet) -> (Packet, Vec<u16>) {
+        let actions = self.table.process(&packet);
+        let mut out = Vec::new();
+        for a in actions {
+            match a {
+                Action::Output(p) => out.push(p),
+                Action::SetVlan(v) => packet.vlan = Some(v),
+                Action::StripVlan => packet.vlan = None,
+                Action::Flood => {
+                    // Flood to every switch port except the ingress.
+                    for &p in self.port_to_link.keys() {
+                        if p != packet.in_port {
+                            out.push(p);
+                        }
+                    }
+                }
+                Action::Drop => {}
+            }
+        }
+        (packet, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_openflow::{Ipv4Prefix, Match};
+
+    fn sw() -> EmuSwitch {
+        EmuSwitch::new(SwitchId(1), HardwareClock::perfect())
+    }
+
+    #[test]
+    fn port_assignment_is_stable() {
+        let mut s = sw();
+        let p1 = s.attach_link(SwitchId(2), LinkIdx(0));
+        let p2 = s.attach_link(SwitchId(3), LinkIdx(1));
+        assert_ne!(p1, p2);
+        assert_ne!(p1, HOST_PORT);
+        assert_eq!(s.attach_link(SwitchId(2), LinkIdx(0)), p1, "idempotent");
+        assert_eq!(s.port_towards(SwitchId(2)), Some(p1));
+        assert_eq!(s.link_behind(p2), Some(LinkIdx(1)));
+        assert_eq!(s.port_towards(SwitchId(9)), None);
+    }
+
+    #[test]
+    fn flowmod_roundtrip() {
+        let mut s = sw();
+        let add = FlowMod::add(
+            1,
+            5,
+            Match::dst_prefix(Ipv4Prefix::host(7)),
+            vec![Action::Output(1)],
+        );
+        let id = s.apply_flowmod(&add).unwrap().unwrap();
+        assert_eq!(s.table.len(), 1);
+        let modify = FlowMod::modify(2, id, vec![Action::Output(2)]);
+        s.apply_flowmod(&modify).unwrap();
+        assert_eq!(s.table.rule(id).unwrap().actions, vec![Action::Output(2)]);
+        let del = FlowMod::delete(3, id);
+        s.apply_flowmod(&del).unwrap();
+        assert!(s.table.is_empty());
+        assert!(s.apply_flowmod(&del).is_err());
+    }
+
+    #[test]
+    fn forward_applies_rewrites_and_outputs() {
+        let mut s = sw();
+        s.attach_link(SwitchId(2), LinkIdx(0));
+        s.table
+            .add(
+                5,
+                Match::dst_prefix(Ipv4Prefix::host(7)),
+                vec![Action::SetVlan(2), Action::Output(1)],
+            )
+            .unwrap();
+        let (pkt, out) = s.forward(Packet::new(HOST_PORT, 1, 7));
+        assert_eq!(pkt.vlan, Some(2));
+        assert_eq!(out, vec![1]);
+        // Miss: no outputs.
+        let (_, out) = s.forward(Packet::new(HOST_PORT, 1, 99));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flood_skips_ingress() {
+        let mut s = sw();
+        s.attach_link(SwitchId(2), LinkIdx(0)); // port 1
+        s.attach_link(SwitchId(3), LinkIdx(1)); // port 2
+        s.table
+            .add(1, Match::default(), vec![Action::Flood])
+            .unwrap();
+        let (_, mut out) = s.forward(Packet::new(1, 1, 2));
+        out.sort_unstable();
+        assert_eq!(out, vec![2]);
+    }
+}

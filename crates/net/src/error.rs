@@ -1,0 +1,109 @@
+//! Error type for network-model construction and validation.
+
+use crate::{SwitchId, TimeStep};
+use std::fmt;
+
+/// Errors raised while building or validating the network model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A referenced switch id does not exist in the network.
+    UnknownSwitch(SwitchId),
+    /// A link `⟨u, v⟩` was added twice.
+    DuplicateLink(SwitchId, SwitchId),
+    /// Self-loop links `⟨v, v⟩` are not allowed.
+    SelfLoop(SwitchId),
+    /// Link delays must be strictly positive (see paper §II-B; a zero
+    /// delay collapses the time-extended network).
+    ZeroDelay(SwitchId, SwitchId),
+    /// Link capacities must be strictly positive.
+    ZeroCapacity(SwitchId, SwitchId),
+    /// A path referenced a link `⟨u, v⟩` that is not in the network.
+    MissingLink(SwitchId, SwitchId),
+    /// A path visits the same switch twice (violates the static
+    /// loop-freedom required of `p_init`/`p_fin`).
+    PathNotSimple(SwitchId),
+    /// A path has fewer than two hops.
+    PathTooShort,
+    /// `p_init` and `p_fin` do not share source and destination.
+    EndpointMismatch {
+        /// Endpoints of the initial path.
+        init: (SwitchId, SwitchId),
+        /// Endpoints of the final path.
+        fin: (SwitchId, SwitchId),
+    },
+    /// A flow demand of zero is meaningless.
+    ZeroDemand,
+    /// A flow's demand exceeds the capacity of a link on one of its own
+    /// paths, so even the static routing would be congested.
+    DemandExceedsCapacity {
+        /// Violating link tail.
+        src: SwitchId,
+        /// Violating link head.
+        dst: SwitchId,
+    },
+    /// A schedule assigned an update to a history time step (`< 0`);
+    /// the paper only allows updates at the current or future steps.
+    UpdateInThePast(SwitchId, TimeStep),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownSwitch(s) => write!(f, "unknown switch {s}"),
+            NetError::DuplicateLink(u, v) => write!(f, "duplicate link <{u}, {v}>"),
+            NetError::SelfLoop(v) => write!(f, "self-loop on switch {v}"),
+            NetError::ZeroDelay(u, v) => {
+                write!(f, "link <{u}, {v}> must have a positive transmission delay")
+            }
+            NetError::ZeroCapacity(u, v) => {
+                write!(f, "link <{u}, {v}> must have a positive capacity")
+            }
+            NetError::MissingLink(u, v) => write!(f, "no link <{u}, {v}> in the network"),
+            NetError::PathNotSimple(v) => {
+                write!(f, "path visits switch {v} more than once")
+            }
+            NetError::PathTooShort => write!(f, "a path needs at least two switches"),
+            NetError::EndpointMismatch { init, fin } => write!(
+                f,
+                "initial path {} -> {} and final path {} -> {} must share endpoints",
+                init.0, init.1, fin.0, fin.1
+            ),
+            NetError::ZeroDemand => write!(f, "flow demand must be positive"),
+            NetError::DemandExceedsCapacity { src, dst } => write!(
+                f,
+                "flow demand exceeds the capacity of link <{src}, {dst}> on its own path"
+            ),
+            NetError::UpdateInThePast(v, t) => {
+                write!(f, "switch {v} scheduled at history step {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_readable() {
+        let e = NetError::DuplicateLink(SwitchId(1), SwitchId(2));
+        assert_eq!(e.to_string(), "duplicate link <s1, s2>");
+        let e = NetError::UpdateInThePast(SwitchId(3), -2);
+        assert!(e.to_string().contains("history step -2"));
+        let e = NetError::EndpointMismatch {
+            init: (SwitchId(0), SwitchId(5)),
+            fin: (SwitchId(0), SwitchId(4)),
+        };
+        assert!(e.to_string().contains("s5"));
+        assert!(e.to_string().contains("s4"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&NetError::PathTooShort);
+    }
+}

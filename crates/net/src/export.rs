@@ -1,0 +1,116 @@
+//! Graphviz DOT export for networks and update instances.
+//!
+//! The paper's figures draw the initial path as a solid line and the
+//! final path as a dashed one; [`instance_to_dot`] reproduces exactly
+//! that convention so any generated instance can be rendered with
+//! `dot -Tpdf` and compared against Fig. 1 visually.
+
+use crate::{Network, Path, UpdateInstance};
+use std::fmt::Write as _;
+
+/// Renders a bare network: every switch a node, every link an edge
+/// labelled `capacity/delay`.
+pub fn network_to_dot(net: &Network) -> String {
+    let mut out = String::from("digraph network {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for s in net.switches() {
+        let name = net.switch_name(s).unwrap_or("?");
+        let _ = writeln!(out, "  {} [label=\"{}\"];", s.index(), name);
+    }
+    for l in net.links() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}/{}\"];",
+            l.src.index(),
+            l.dst.index(),
+            l.capacity,
+            l.delay
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an update instance in the paper's visual language: links on
+/// the initial path solid and bold, links on the final path dashed,
+/// links on both drawn doubled, everything else grey; the source is a
+/// double circle, the destination a double octagon.
+pub fn instance_to_dot(instance: &UpdateInstance) -> String {
+    let net = &instance.network;
+    let mut out = String::from("digraph instance {\n  rankdir=LR;\n  node [shape=circle];\n");
+
+    let on = |p: &Path, u: crate::SwitchId, v: crate::SwitchId| -> bool {
+        p.edges().any(|(a, b)| (a, b) == (u, v))
+    };
+
+    for s in net.switches() {
+        let name = net.switch_name(s).unwrap_or("?");
+        let mut shape = "circle";
+        for f in &instance.flows {
+            if s == f.source() {
+                shape = "doublecircle";
+            } else if s == f.destination() {
+                shape = "doubleoctagon";
+            }
+        }
+        let _ = writeln!(out, "  {} [label=\"{}\", shape={}];", s.index(), name, shape);
+    }
+
+    for l in net.links() {
+        let mut solid = false;
+        let mut dashed = false;
+        for f in &instance.flows {
+            solid |= on(&f.initial, l.src, l.dst);
+            dashed |= on(&f.fin, l.src, l.dst);
+        }
+        let style = match (solid, dashed) {
+            (true, true) => "style=bold, color=\"black:black\"",
+            (true, false) => "style=bold",
+            (false, true) => "style=dashed",
+            (false, false) => "color=grey",
+        };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [{} , label=\"{}/{}\"];",
+            l.src.index(),
+            l.dst.index(),
+            style,
+            l.capacity,
+            l.delay
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivating_example;
+    use crate::topology::{self, LinkParams};
+
+    #[test]
+    fn network_dot_lists_every_switch_and_link() {
+        let net = topology::line(3, LinkParams::default());
+        let dot = network_to_dot(&net);
+        assert!(dot.starts_with("digraph network"));
+        assert!(dot.contains("0 [label=\"v1\"]"));
+        assert!(dot.contains("0 -> 1 [label=\"1/1\"]"));
+        assert_eq!(dot.matches("->").count(), net.link_count());
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn instance_dot_uses_paper_conventions() {
+        let inst = motivating_example();
+        let dot = instance_to_dot(&inst);
+        // Source and destination are highlighted.
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("shape=doubleoctagon"));
+        // Old-path links solid/bold, new-only links dashed.
+        assert!(dot.contains("style=bold"));
+        assert!(dot.contains("style=dashed"));
+        // The old chain link v1->v2 is bold, the dashed v2->v6 dashed.
+        assert!(dot.contains("0 -> 1 [style=bold"));
+        assert!(dot.contains("1 -> 5 [style=dashed"));
+    }
+}

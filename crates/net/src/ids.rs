@@ -1,0 +1,107 @@
+//! Strongly-typed identifiers for switches, links and flows.
+
+use std::fmt;
+
+/// Identifier of a switch in a [`crate::Network`].
+///
+/// Switch ids are dense indices assigned by [`crate::NetworkBuilder`] in
+/// insertion order, so they can be used to index per-switch vectors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct SwitchId(pub u32);
+
+impl SwitchId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SwitchId {
+    fn from(v: u32) -> Self {
+        SwitchId(v)
+    }
+}
+
+/// Dense index of a link inside a [`crate::Network`].
+///
+/// Links are stored in a flat arena; `LinkIdx` is the handle into it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LinkIdx(pub u32);
+
+impl LinkIdx {
+    /// Returns the index as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a dynamic flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn switch_id_display_and_index() {
+        let s = SwitchId(7);
+        assert_eq!(s.to_string(), "s7");
+        assert_eq!(s.index(), 7);
+        assert_eq!(SwitchId::from(7u32), s);
+    }
+
+    #[test]
+    fn link_idx_display_and_index() {
+        let l = LinkIdx(3);
+        assert_eq!(l.to_string(), "e3");
+        assert_eq!(l.index(), 3);
+    }
+
+    #[test]
+    fn flow_id_display() {
+        assert_eq!(FlowId(0).to_string(), "f0");
+        assert_eq!(FlowId(0).index(), 0);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(2));
+        assert_eq!(set.len(), 2);
+        assert!(SwitchId(1) < SwitchId(2));
+        assert!(LinkIdx(0) < LinkIdx(1));
+        assert!(FlowId(4) > FlowId(3));
+    }
+}

@@ -1,0 +1,374 @@
+//! Update-instance generators reproducing the paper's evaluation
+//! workloads (§V-B): "the initial routing path is fixed and the final
+//! routing path is chosen randomly … initial and final routing paths
+//! have the common source and destination."
+
+use crate::routing::{biased_random_path, shortest_path_delay};
+use crate::topology::{self, TopologyConfig};
+use crate::{Capacity, Flow, FlowId, Path, SwitchId, UpdateInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`InstanceGenerator`].
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceGeneratorConfig {
+    /// Number of switches in each generated topology.
+    pub switches: usize,
+    /// Inclusive link-capacity range (heterogeneous capacities put a
+    /// random subset of links in the contended `C < 2d` regime).
+    pub capacity_range: (Capacity, Capacity),
+    /// Inclusive link-delay range.
+    pub delay_range: (u64, u64),
+    /// Extra random links beyond the spanning tree, as a fraction of
+    /// the switch count (0.5 ⇒ `n/2` chords).
+    pub chord_fraction: f64,
+    /// Flow demand. The paper's interesting regime is `capacity < 2·d`
+    /// on some links so that old+new flow cannot share them.
+    pub demand: Capacity,
+    /// How strongly the random final path gravitates toward short
+    /// detours (see [`biased_random_path`]); 0 = uniform random walk.
+    pub greediness: f64,
+    /// Same knob for the ("fixed") initial path. With 0, both routes
+    /// are uniform loop-erased walks that cross each other in
+    /// arbitrary order — the regime where update ordering and timing
+    /// decide everything, as in the paper's random-routing workload.
+    pub initial_greediness: f64,
+    /// Probability that the final path is a *segment reversal*: one
+    /// randomly chosen segment of the initial path is traversed in the
+    /// opposite direction (entry/exit chords are added to the topology
+    /// when absent) — exactly the structure of the paper's Fig. 1,
+    /// where update *order and timing* decide between a clean
+    /// migration and transient congestion. The remaining instances get
+    /// a fully random final path.
+    pub detour_fraction: f64,
+    /// Base RNG seed; instance `i` derives its own stream from it.
+    pub seed: u64,
+}
+
+impl InstanceGeneratorConfig {
+    /// The paper's §V-B flavour at `n` switches: 500-unit links,
+    /// demand 300 (so no link can hold two copies of the flow),
+    /// delays in `[1, 10]`.
+    pub fn paper(n: usize, seed: u64) -> Self {
+        InstanceGeneratorConfig {
+            switches: n,
+            capacity_range: (300, 700),
+            delay_range: (1, 10),
+            chord_fraction: 0.2,
+            demand: 300,
+            greediness: 0.0,
+            initial_greediness: 0.0,
+            detour_fraction: 0.7,
+            seed,
+        }
+    }
+}
+
+/// Seeded generator of single-flow update instances over random
+/// connected topologies.
+///
+/// ```
+/// use chronus_net::{InstanceGenerator, InstanceGeneratorConfig};
+/// let mut g = InstanceGenerator::new(InstanceGeneratorConfig::paper(20, 1));
+/// let inst = g.generate().expect("20-switch instances always exist");
+/// assert_eq!(inst.network.switch_count(), 20);
+/// assert_eq!(inst.flows.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct InstanceGenerator {
+    cfg: InstanceGeneratorConfig,
+    counter: u64,
+}
+
+impl InstanceGenerator {
+    /// Creates a generator from a config.
+    pub fn new(cfg: InstanceGeneratorConfig) -> Self {
+        InstanceGenerator { cfg, counter: 0 }
+    }
+
+    /// The config this generator draws from.
+    pub fn config(&self) -> &InstanceGeneratorConfig {
+        &self.cfg
+    }
+
+    /// Generates the next instance. Returns `None` only if no usable
+    /// source/destination pair with two distinct paths could be found
+    /// after a bounded number of attempts (practically impossible on
+    /// connected topologies of ≥ 4 switches).
+    pub fn generate(&mut self) -> Option<UpdateInstance> {
+        let attempt_seed = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.counter);
+        self.counter += 1;
+        let mut rng = StdRng::seed_from_u64(attempt_seed);
+
+        let topo_cfg = TopologyConfig {
+            switches: self.cfg.switches,
+            capacity_range: self.cfg.capacity_range,
+            delay_range: self.cfg.delay_range,
+            seed: rng.gen(),
+        };
+        let chords = ((self.cfg.switches as f64) * self.cfg.chord_fraction) as usize;
+        let net = topology::random_connected(topo_cfg, chords);
+
+        for _ in 0..64 {
+            let src = SwitchId(rng.gen_range(0..self.cfg.switches as u32));
+            let dst = SwitchId(rng.gen_range(0..self.cfg.switches as u32));
+            if src == dst {
+                continue;
+            }
+            // The initial path is an arbitrary ("fixed") route, not the
+            // shortest one — otherwise no reroute could ever reach a
+            // shared link faster than the incumbent and every instance
+            // would be trivially congestion-free.
+            let Some(initial) =
+                biased_random_path(&net, src, dst, self.cfg.initial_greediness, &mut rng)
+                    .or_else(|| shortest_path_delay(&net, src, dst))
+            else {
+                continue;
+            };
+            // Segment-reversal reroutes when drawn and possible (the
+            // initial path needs ≥ 4 hops), otherwise a fully random
+            // final path.
+            if rng.gen::<f64>() < self.cfg.detour_fraction {
+                if let Some((net2, fin)) = segment_reversal(
+                    &net,
+                    &initial,
+                    self.cfg.demand,
+                    self.cfg.capacity_range,
+                    self.cfg.delay_range,
+                    &mut rng,
+                ) {
+                    if let Ok(flow) =
+                        Flow::new(FlowId(0), self.cfg.demand, initial.clone(), fin)
+                    {
+                        if flow.validate(&net2).is_ok() {
+                            return UpdateInstance::single(net2, flow).ok();
+                        }
+                    }
+                    continue;
+                }
+                // Fall through to the random-path reroute below.
+            }
+            let Some(fin) = biased_random_path(&net, src, dst, self.cfg.greediness, &mut rng)
+            else {
+                continue;
+            };
+            if fin == initial {
+                continue; // no-op instance; draw again
+            }
+            let Ok(flow) = Flow::new(FlowId(0), self.cfg.demand, initial, fin) else {
+                continue;
+            };
+            if flow.validate(&net).is_err() {
+                continue;
+            }
+            return UpdateInstance::single(net, flow).ok();
+        }
+        None
+    }
+
+    /// Generates a batch of `count` instances (the paper compares "500
+    /// different update instances in each run").
+    pub fn generate_batch(&mut self, count: usize) -> Vec<UpdateInstance> {
+        let mut out = Vec::with_capacity(count);
+        let mut misses = 0;
+        while out.len() < count && misses < count * 4 + 16 {
+            match self.generate() {
+                Some(i) => out.push(i),
+                None => misses += 1,
+            }
+        }
+        out
+    }
+}
+
+/// Reverses one randomly chosen segment of `initial` (the Fig. 1
+/// structure: the new route walks part of the old route backwards).
+/// The interior reverse links always exist (all generated links are
+/// duplex); the entry chord `init[i] → init[j−1]` and exit chord
+/// `init[i+1] → init[j]` are added to a copy of the network when
+/// absent, with parameters drawn from the given ranges. Returns the
+/// (possibly extended) network and the final path; `None` if the
+/// initial path has no reversible segment.
+pub fn segment_reversal(
+    net: &crate::Network,
+    initial: &Path,
+    demand: Capacity,
+    capacity_range: (Capacity, Capacity),
+    delay_range: (u64, u64),
+    rng: &mut StdRng,
+) -> Option<(crate::Network, Path)> {
+    let hops = initial.hops();
+    if hops.len() < 4 {
+        return None;
+    }
+    // Segment [i, j] with at least two interior switches to reverse.
+    let i = rng.gen_range(0..hops.len() - 3);
+    let j = rng.gen_range(i + 3..hops.len());
+    segment_reversal_at(net, initial, i, j, demand, capacity_range, delay_range, rng)
+}
+
+/// [`segment_reversal`] with an explicit segment `[i, j]` (both on the
+/// initial path, `j ≥ i + 3`). Exposed so the scale experiments can
+/// reverse the *entire* path, coupling every switch of the route.
+#[allow(clippy::too_many_arguments)]
+pub fn segment_reversal_at(
+    net: &crate::Network,
+    initial: &Path,
+    i: usize,
+    j: usize,
+    demand: Capacity,
+    capacity_range: (Capacity, Capacity),
+    delay_range: (u64, u64),
+    rng: &mut StdRng,
+) -> Option<(crate::Network, Path)> {
+    let hops = initial.hops();
+    if hops.len() < 4 || i + 3 > j || j >= hops.len() {
+        return None;
+    }
+
+    let mut fin: Vec<SwitchId> = hops[..=i].to_vec();
+    fin.extend(hops[i + 1..j].iter().rev());
+    fin.push(hops[j]);
+    let fin = Path::try_new(fin).ok()?;
+
+    // Copy the network, adding any missing link the reversal needs.
+    let mut b = crate::NetworkBuilder::new();
+    for s in net.switches() {
+        b.add_switch(net.switch_name(s).unwrap_or("v").to_string());
+    }
+    for l in net.links() {
+        b.add_link(l.src, l.dst, l.capacity, l.delay)
+            .expect("copying a valid network");
+    }
+    for (u, v) in fin.edges() {
+        if !b.has_link(u, v) {
+            let cap = rng
+                .gen_range(capacity_range.0..=capacity_range.1)
+                .max(demand);
+            let delay = rng.gen_range(delay_range.0..=delay_range.1);
+            b.add_link(u, v, cap, delay).expect("new reversal link");
+        }
+    }
+    Some((b.build(), fin))
+}
+
+/// Builds the paper's Fig. 1 motivating example: six switches, unit
+/// capacity and unit delay, old path `v1 v2 v3 v4 v5 v6`, new path
+/// `v1 v4 v3 v2 v6` (the dashed edges of the figure). Returns the
+/// instance; the source is `v1`, the destination `v6`.
+pub fn motivating_example() -> UpdateInstance {
+    let mut b = crate::NetworkBuilder::with_switches(6);
+    let v = |i: u32| SwitchId(i - 1); // name v1..v6 like the paper
+    for (u, w) in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)] {
+        b.add_link(v(u), v(w), 1, 1).expect("solid chain");
+    }
+    // Dashed (final) edges that are not already solid.
+    for (u, w) in [(2, 6), (1, 4), (4, 3), (3, 2)] {
+        b.add_link(v(u), v(w), 1, 1).expect("dashed edges");
+    }
+    let net = b.build();
+    let initial = Path::new(vec![v(1), v(2), v(3), v(4), v(5), v(6)]);
+    let fin = Path::new(vec![v(1), v(4), v(3), v(2), v(6)]);
+    let flow = Flow::new(FlowId(0), 1, initial, fin).expect("example flow is valid");
+    UpdateInstance::single(net, flow).expect("example instance is valid")
+}
+
+/// A "reversal" instance on a line-plus-shortcuts topology where the
+/// final path traverses the middle switches in the opposite order —
+/// the worst case for naive orderings, guaranteed to contain potential
+/// transient loops. Used by stress tests.
+pub fn reversal_instance(n: usize, capacity: Capacity, demand: Capacity) -> UpdateInstance {
+    assert!(n >= 4, "reversal instance needs at least 4 switches");
+    let mut b = crate::NetworkBuilder::with_switches(n);
+    let s = |i: usize| SwitchId(i as u32);
+    // Old path: 0 -> 1 -> ... -> n-1.
+    for i in 0..n - 1 {
+        b.add_link(s(i), s(i + 1), capacity, 1).expect("chain");
+    }
+    // New path: 0 -> n-2 -> n-3 -> ... -> 1 -> n-1.
+    b.add_link(s(0), s(n - 2), capacity, 1).expect("entry shortcut");
+    for i in (2..n - 1).rev() {
+        b.add_link(s(i), s(i - 1), capacity, 1).expect("reverse edges");
+    }
+    b.add_link(s(1), s(n - 1), capacity, 1).expect("exit shortcut");
+    let net = b.build();
+    let initial = Path::new((0..n).map(s).collect());
+    let mut fin_hops = vec![s(0)];
+    fin_hops.extend((1..n - 1).rev().map(s));
+    fin_hops.push(s(n - 1));
+    let fin = Path::new(fin_hops);
+    let flow = Flow::new(FlowId(0), demand, initial, fin).expect("reversal flow valid");
+    UpdateInstance::single(net, flow).expect("reversal instance valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = InstanceGeneratorConfig::paper(15, 77);
+        let a = InstanceGenerator::new(cfg).generate().unwrap();
+        let b = InstanceGenerator::new(cfg).generate().unwrap();
+        assert_eq!(a.flow().initial, b.flow().initial);
+        assert_eq!(a.flow().fin, b.flow().fin);
+    }
+
+    #[test]
+    fn generated_instances_are_valid_and_distinct() {
+        let mut g = InstanceGenerator::new(InstanceGeneratorConfig::paper(12, 3));
+        let batch = g.generate_batch(10);
+        assert_eq!(batch.len(), 10);
+        for inst in &batch {
+            let f = inst.flow();
+            assert!(f.validate(&inst.network).is_ok());
+            assert_ne!(f.initial, f.fin);
+            assert_eq!(f.initial.source(), f.fin.source());
+            assert_eq!(f.initial.destination(), f.fin.destination());
+        }
+        // At least two different path pairs across the batch.
+        let distinct: std::collections::HashSet<_> = batch
+            .iter()
+            .map(|i| (i.flow().initial.clone(), i.flow().fin.clone()))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn paper_config_straddles_the_contention_threshold() {
+        let cfg = InstanceGeneratorConfig::paper(10, 0);
+        assert!(cfg.capacity_range.0 < 2 * cfg.demand, "some links contended");
+        assert!(cfg.capacity_range.1 >= 2 * cfg.demand, "some links safe");
+    }
+
+    #[test]
+    fn motivating_example_shape() {
+        let inst = motivating_example();
+        assert_eq!(inst.network.switch_count(), 6);
+        let f = inst.flow();
+        assert_eq!(f.initial.len(), 6);
+        assert_eq!(f.fin.len(), 5);
+        // v1, v2, v3, v4 change next hops; v5 keeps its old rule but is
+        // abandoned by the flow; v6 is the destination.
+        let ups = f.switches_to_update();
+        assert_eq!(ups.len(), 4);
+        assert!(ups.contains(&SwitchId(0)));
+        assert!(ups.contains(&SwitchId(1)));
+        assert!(ups.contains(&SwitchId(2)));
+        assert!(ups.contains(&SwitchId(3)));
+    }
+
+    #[test]
+    fn reversal_instance_shape() {
+        let inst = reversal_instance(6, 1, 1);
+        let f = inst.flow();
+        assert!(f.validate(&inst.network).is_ok());
+        assert_eq!(f.initial.hops().len(), 6);
+        assert_eq!(f.fin.hops().len(), 6);
+        assert_eq!(f.fin.hops()[1], SwitchId(4));
+    }
+}

@@ -1,0 +1,65 @@
+//! Capacitated, delayed directed links.
+
+use crate::{Capacity, Delay, SwitchId};
+use std::fmt;
+
+/// A directed link `⟨src, dst⟩` with capacity `C` and transmission
+/// delay `σ` (paper §II-B).
+///
+/// If one unit of flow leaves `src` at step `t`, it arrives at `dst` at
+/// step `t + σ` — this is exactly the edge-drawing rule of the
+/// time-extended network (paper Definition 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Link {
+    /// Tail switch.
+    pub src: SwitchId,
+    /// Head switch.
+    pub dst: SwitchId,
+    /// Capacity `C(src, dst)` — the maximum load at any single step.
+    pub capacity: Capacity,
+    /// Transmission delay `σ(src, dst)` in time steps, strictly positive.
+    pub delay: Delay,
+}
+
+impl Link {
+    /// Creates a new link description.
+    ///
+    /// Validation (positive delay/capacity, no self-loop) happens when
+    /// the link is added through [`crate::NetworkBuilder::add_link`].
+    pub fn new(src: SwitchId, dst: SwitchId, capacity: Capacity, delay: Delay) -> Self {
+        Link {
+            src,
+            dst,
+            capacity,
+            delay,
+        }
+    }
+
+    /// The `(src, dst)` endpoint pair, usable as a map key.
+    #[inline]
+    pub fn endpoints(&self) -> (SwitchId, SwitchId) {
+        (self.src, self.dst)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{}, {}> (C={}, sigma={})",
+            self.src, self.dst, self.capacity, self.delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_fields_and_display() {
+        let l = Link::new(SwitchId(0), SwitchId(1), 500, 2);
+        assert_eq!(l.endpoints(), (SwitchId(0), SwitchId(1)));
+        assert_eq!(l.to_string(), "<s0, s1> (C=500, sigma=2)");
+    }
+}

@@ -1,0 +1,423 @@
+//! Routing algorithms: BFS, delay-weighted Dijkstra, Yen's k-shortest
+//! simple paths, and seeded random simple paths.
+//!
+//! The experiment harness uses [`shortest_path_delay`] for initial
+//! routes and [`random_simple_path`] for the paper's "final path is
+//! chosen randomly" setup (§V-B).
+
+use crate::{Delay, Network, Path, SwitchId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Shortest path by hop count (BFS). Returns `None` if `dst` is
+/// unreachable from `src` or either switch is unknown.
+pub fn shortest_path_hops(net: &Network, src: SwitchId, dst: SwitchId) -> Option<Path> {
+    if !net.contains_switch(src) || !net.contains_switch(dst) {
+        return None;
+    }
+    if src == dst {
+        return None;
+    }
+    let n = net.switch_count();
+    let mut prev: Vec<Option<SwitchId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[src.index()] = true;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        if u == dst {
+            break;
+        }
+        for l in net.out_links(u) {
+            if !visited[l.dst.index()] {
+                visited[l.dst.index()] = true;
+                prev[l.dst.index()] = Some(u);
+                queue.push_back(l.dst);
+            }
+        }
+    }
+    reconstruct(&prev, src, dst)
+}
+
+/// Shortest path by total transmission delay (Dijkstra). Returns `None`
+/// if unreachable.
+pub fn shortest_path_delay(net: &Network, src: SwitchId, dst: SwitchId) -> Option<Path> {
+    if !net.contains_switch(src) || !net.contains_switch(dst) || src == dst {
+        return None;
+    }
+    let n = net.switch_count();
+    let mut dist: Vec<Delay> = vec![Delay::MAX; n];
+    let mut prev: Vec<Option<SwitchId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for l in net.out_links(u) {
+            let nd = d.saturating_add(l.delay);
+            if nd < dist[l.dst.index()] {
+                dist[l.dst.index()] = nd;
+                prev[l.dst.index()] = Some(u);
+                heap.push(Reverse((nd, l.dst)));
+            }
+        }
+    }
+    if dist[dst.index()] == Delay::MAX {
+        return None;
+    }
+    reconstruct(&prev, src, dst)
+}
+
+fn reconstruct(prev: &[Option<SwitchId>], src: SwitchId, dst: SwitchId) -> Option<Path> {
+    let mut hops = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur.index()]?;
+        hops.push(cur);
+    }
+    hops.reverse();
+    Some(Path::new(hops))
+}
+
+/// Yen's algorithm: the `k` delay-shortest *simple* paths from `src` to
+/// `dst`, in non-decreasing delay order. Returns fewer than `k` paths
+/// if the graph does not contain that many.
+pub fn k_shortest_paths(
+    net: &Network,
+    src: SwitchId,
+    dst: SwitchId,
+    k: usize,
+) -> Vec<Path> {
+    let Some(first) = shortest_path_delay(net, src, dst) else {
+        return Vec::new();
+    };
+    let mut result = vec![first];
+    let mut candidates: Vec<(Delay, Path)> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().expect("result is non-empty").clone();
+        for i in 0..last.len() - 1 {
+            let spur = last.hops()[i];
+            let root = &last.hops()[..=i];
+
+            // Edges removed: the outgoing edge each previous path takes
+            // after sharing this root, plus all root nodes except spur.
+            let mut banned_edges: HashSet<(SwitchId, SwitchId)> = HashSet::new();
+            for p in &result {
+                if p.len() > i && &p.hops()[..=i] == root {
+                    banned_edges.insert((p.hops()[i], p.hops()[i + 1]));
+                }
+            }
+            let banned_nodes: HashSet<SwitchId> = root[..i].iter().copied().collect();
+
+            if let Some(spur_path) =
+                shortest_path_delay_filtered(net, spur, dst, &banned_nodes, &banned_edges)
+            {
+                let mut hops = root[..i].to_vec();
+                hops.extend_from_slice(spur_path.hops());
+                let total = Path::new(hops);
+                if total.validate(net).is_ok() {
+                    let d = total.total_delay(net).expect("validated path has delay");
+                    if !result.contains(&total)
+                        && !candidates.iter().any(|(_, p)| p == &total)
+                    {
+                        candidates.push((d, total));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by_key(|(d, p)| (*d, p.hops().to_vec()));
+        let (_, best) = candidates.remove(0);
+        result.push(best);
+    }
+    result
+}
+
+fn shortest_path_delay_filtered(
+    net: &Network,
+    src: SwitchId,
+    dst: SwitchId,
+    banned_nodes: &HashSet<SwitchId>,
+    banned_edges: &HashSet<(SwitchId, SwitchId)>,
+) -> Option<Path> {
+    if src == dst {
+        return None;
+    }
+    let n = net.switch_count();
+    let mut dist: Vec<Delay> = vec![Delay::MAX; n];
+    let mut prev: Vec<Option<SwitchId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for l in net.out_links(u) {
+            if banned_nodes.contains(&l.dst) || banned_edges.contains(&(u, l.dst)) {
+                continue;
+            }
+            let nd = d.saturating_add(l.delay);
+            if nd < dist[l.dst.index()] {
+                dist[l.dst.index()] = nd;
+                prev[l.dst.index()] = Some(u);
+                heap.push(Reverse((nd, l.dst)));
+            }
+        }
+    }
+    if dist[dst.index()] == Delay::MAX {
+        return None;
+    }
+    reconstruct(&prev, src, dst)
+}
+
+/// A seeded random *simple* path from `src` to `dst`: a loop-erased
+/// random walk (whenever the walk revisits a switch, the loop it just
+/// closed is erased), which terminates in polynomial expected time on
+/// connected graphs — unlike backtracking DFS, whose worst case is
+/// exponential. Used to draw the paper's random final routing paths.
+///
+/// Returns `None` only if `dst` is unreachable from `src`.
+pub fn random_simple_path(
+    net: &Network,
+    src: SwitchId,
+    dst: SwitchId,
+    rng: &mut StdRng,
+) -> Option<Path> {
+    loop_erased_walk(net, src, dst, 0.0, rng)
+}
+
+/// Shared loop-erased random-walk core for [`random_simple_path`]
+/// (`greediness = 0`) and [`biased_random_path`].
+fn loop_erased_walk(
+    net: &Network,
+    src: SwitchId,
+    dst: SwitchId,
+    greediness: f64,
+    rng: &mut StdRng,
+) -> Option<Path> {
+    if !net.contains_switch(src) || !net.contains_switch(dst) || src == dst {
+        return None;
+    }
+    // Distance-to-destination field: restricts the walk to switches
+    // that can still reach `dst` and powers the greedy bias.
+    let n = net.switch_count();
+    let mut dist: Vec<Delay> = vec![Delay::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[dst.index()] = 0;
+    heap.push(Reverse((0u64, dst)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for l in net.in_links(u) {
+            let nd = d.saturating_add(l.delay);
+            if nd < dist[l.src.index()] {
+                dist[l.src.index()] = nd;
+                heap.push(Reverse((nd, l.src)));
+            }
+        }
+    }
+    if dist[src.index()] == Delay::MAX {
+        return None;
+    }
+
+    let mut hops: Vec<SwitchId> = vec![src];
+    let mut index: HashMap<SwitchId, usize> = HashMap::from([(src, 0)]);
+    let max_steps = 100 * n + 1_000;
+    for _ in 0..max_steps {
+        let cur = *hops.last().expect("walk is non-empty");
+        let mut neighbours: Vec<SwitchId> = net
+            .out_links(cur)
+            .map(|l| l.dst)
+            .filter(|s| dist[s.index()] != Delay::MAX)
+            .collect();
+        if neighbours.is_empty() {
+            return None; // cannot happen while dist[cur] is finite
+        }
+        let next = if greediness > 0.0 && rng.gen::<f64>() < greediness {
+            *neighbours
+                .iter()
+                .min_by_key(|s| dist[s.index()])
+                .expect("non-empty")
+        } else if greediness < 0.0 && rng.gen::<f64>() < -greediness {
+            *neighbours
+                .iter()
+                .max_by_key(|s| dist[s.index()])
+                .expect("non-empty")
+        } else {
+            neighbours.shuffle(rng);
+            neighbours[0]
+        };
+        if let Some(&pos) = index.get(&next) {
+            // Loop erase: drop everything after the first visit.
+            for dropped in hops.drain(pos + 1..) {
+                index.remove(&dropped);
+            }
+        } else {
+            index.insert(next, hops.len());
+            hops.push(next);
+        }
+        if next == dst {
+            return Some(Path::new(hops));
+        }
+    }
+    // The walk wandered too long (astronomically unlikely on connected
+    // graphs): fall back to the deterministic shortest path.
+    shortest_path_delay(net, src, dst)
+}
+
+/// A random simple path biased toward short paths: with probability
+/// `greediness` each walk step moves to the delay-closest neighbour of
+/// the destination instead of a uniformly random one. Produces the
+/// "random but plausible" reroutes used in experiments;
+/// `greediness = 0` degenerates to [`random_simple_path`]. A
+/// *negative* value biases the walk **away** from the destination with
+/// probability `-greediness`, stretching the resulting path — used to
+/// model long legacy routes in the scale experiments.
+pub fn biased_random_path(
+    net: &Network,
+    src: SwitchId,
+    dst: SwitchId,
+    greediness: f64,
+    rng: &mut StdRng,
+) -> Option<Path> {
+    loop_erased_walk(net, src, dst, greediness, rng)
+}
+
+/// Deterministic helper: a fresh RNG from a seed, for callers that do
+/// not want to depend on `rand` directly.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{self, LinkParams};
+    use crate::NetworkBuilder;
+
+    fn diamond_weighted() -> Network {
+        // 0 ->(1) 1 ->(1) 3   and   0 ->(5) 2 ->(1) 3
+        let mut b = NetworkBuilder::with_switches(4);
+        b.add_link(SwitchId(0), SwitchId(1), 10, 1).unwrap();
+        b.add_link(SwitchId(1), SwitchId(3), 10, 1).unwrap();
+        b.add_link(SwitchId(0), SwitchId(2), 10, 5).unwrap();
+        b.add_link(SwitchId(2), SwitchId(3), 10, 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn bfs_finds_fewest_hops() {
+        let net = topology::line(5, LinkParams::default());
+        let p = shortest_path_hops(&net, SwitchId(0), SwitchId(4)).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.source(), SwitchId(0));
+        assert_eq!(p.destination(), SwitchId(4));
+    }
+
+    #[test]
+    fn bfs_handles_unreachable_and_bad_input() {
+        let mut b = NetworkBuilder::with_switches(3);
+        b.add_link(SwitchId(0), SwitchId(1), 1, 1).unwrap();
+        let net = b.build();
+        assert!(shortest_path_hops(&net, SwitchId(0), SwitchId(2)).is_none());
+        assert!(shortest_path_hops(&net, SwitchId(0), SwitchId(0)).is_none());
+        assert!(shortest_path_hops(&net, SwitchId(0), SwitchId(9)).is_none());
+    }
+
+    #[test]
+    fn dijkstra_prefers_low_delay() {
+        let net = diamond_weighted();
+        let p = shortest_path_delay(&net, SwitchId(0), SwitchId(3)).unwrap();
+        assert_eq!(p.hops(), &[SwitchId(0), SwitchId(1), SwitchId(3)]);
+        assert_eq!(p.total_delay(&net), Some(2));
+    }
+
+    #[test]
+    fn dijkstra_matches_petgraph() {
+        let net = topology::random_connected(topology::TopologyConfig::simulation(20, 3), 15);
+        let (g, nodes) = topology::to_petgraph(&net);
+        let dist = petgraph::algo::dijkstra(&g, nodes[0], None, |e| *e.weight());
+        for target in 1..20usize {
+            let ours = shortest_path_delay(&net, SwitchId(0), SwitchId(target as u32))
+                .and_then(|p| p.total_delay(&net));
+            let theirs = dist.get(&nodes[target]).copied();
+            assert_eq!(ours, theirs, "distance mismatch to node {target}");
+        }
+    }
+
+    #[test]
+    fn yen_yields_distinct_sorted_paths() {
+        let net = topology::grid(3, 3, LinkParams::default());
+        let ps = k_shortest_paths(&net, SwitchId(0), SwitchId(8), 5);
+        assert!(ps.len() >= 3);
+        let mut last = 0;
+        for p in &ps {
+            assert!(p.validate(&net).is_ok());
+            let d = p.total_delay(&net).unwrap();
+            assert!(d >= last, "paths must be sorted by delay");
+            last = d;
+        }
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i], ps[j], "paths must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn yen_on_unreachable_is_empty() {
+        let mut b = NetworkBuilder::with_switches(2);
+        b.add_link(SwitchId(1), SwitchId(0), 1, 1).unwrap();
+        let net = b.build();
+        assert!(k_shortest_paths(&net, SwitchId(0), SwitchId(1), 3).is_empty());
+    }
+
+    #[test]
+    fn random_simple_path_is_valid_and_seeded() {
+        let net = topology::grid(4, 4, LinkParams::default());
+        let mut rng = seeded_rng(11);
+        let p = random_simple_path(&net, SwitchId(0), SwitchId(15), &mut rng).unwrap();
+        assert!(p.validate(&net).is_ok());
+        assert_eq!(p.source(), SwitchId(0));
+        assert_eq!(p.destination(), SwitchId(15));
+        // Same seed, same path.
+        let mut rng2 = seeded_rng(11);
+        let q = random_simple_path(&net, SwitchId(0), SwitchId(15), &mut rng2).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn random_path_none_when_unreachable() {
+        let mut b = NetworkBuilder::with_switches(3);
+        b.add_link(SwitchId(0), SwitchId(1), 1, 1).unwrap();
+        let net = b.build();
+        let mut rng = seeded_rng(5);
+        assert!(random_simple_path(&net, SwitchId(0), SwitchId(2), &mut rng).is_none());
+    }
+
+    #[test]
+    fn biased_path_valid_and_short_when_greedy() {
+        let net = topology::grid(4, 4, LinkParams::default());
+        let mut rng = seeded_rng(9);
+        let p = biased_random_path(&net, SwitchId(0), SwitchId(15), 1.0, &mut rng).unwrap();
+        assert!(p.validate(&net).is_ok());
+        // Fully greedy walk follows the distance field, i.e. a shortest path.
+        assert_eq!(p.total_delay(&net), Some(6));
+        let mut rng = seeded_rng(10);
+        let q = biased_random_path(&net, SwitchId(0), SwitchId(15), 0.0, &mut rng).unwrap();
+        assert!(q.validate(&net).is_ok());
+    }
+}

@@ -1,0 +1,83 @@
+//! Flow-table pretty-printing in the layout of the paper's Table II.
+
+use crate::table::FlowTable;
+use crate::types::Action;
+
+/// Renders a flow table like the paper's Table II: one row per rule,
+/// columns `InPort | SrcPfx | DstPfx | Tag | Action`.
+pub fn render_table(title: &str, table: &FlowTable) -> String {
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    for r in table.rules() {
+        let action = r
+            .actions
+            .iter()
+            .map(Action::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push([
+            r.mat.in_port.map_or_else(|| "*".into(), |p| p.to_string()),
+            r.mat.src.map_or_else(|| "*".into(), |p| p.to_string()),
+            r.mat.dst.map_or_else(|| "*".into(), |p| p.to_string()),
+            r.mat.vlan.map_or_else(|| "*".into(), |v| v.to_string()),
+            action,
+        ]);
+    }
+    let headers = ["InPort", "SrcPfx", "DstPfx", "Tag", "Action"];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("Flow table at {title}\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Action, Ipv4Prefix, Match};
+
+    #[test]
+    fn renders_table_ii_layout() {
+        let mut t = FlowTable::new();
+        t.add(
+            5,
+            Match {
+                in_port: Some(1),
+                src: Some(Ipv4Prefix::host(u32::from_be_bytes([10, 0, 0, 1]))),
+                dst: Some("10.0.12.0/24".parse().unwrap()),
+                vlan: None,
+            },
+            vec![Action::Output(2)],
+        )
+        .unwrap();
+        t.add(5, Match::default(), vec![Action::Flood]).unwrap();
+        let s = render_table("source switch R1", &t);
+        assert!(s.contains("Flow table at source switch R1"));
+        assert!(s.contains("InPort | SrcPfx"));
+        assert!(s.contains("10.0.12.0/24"));
+        assert!(s.contains("Output: 2"));
+        assert!(s.contains("Flood"));
+        // Wildcards render as '*'.
+        assert!(s.lines().last().unwrap().contains('*'));
+    }
+}

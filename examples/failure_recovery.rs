@@ -1,0 +1,85 @@
+//! Maintenance evacuation: move traffic off a link before it goes
+//! down, and replay the update on the emulated data plane.
+//!
+//! ```text
+//! cargo run --example failure_recovery
+//! ```
+//!
+//! The paper's §I motivations (3) and (4): "in order to replace a
+//! faulty router, it may be necessary to temporarily reroute traffic"
+//! and "fast network update mechanisms are required to react quickly
+//! to link failures and determine a failover path." A link on the
+//! primary route is scheduled for maintenance; the controller computes
+//! a failover path avoiding it, asks Chronus for a timed schedule, and
+//! executes the plan on the discrete-event emulator (the Mininet
+//! stand-in) over Time4-style synchronized clocks — checking that not
+//! a single packet loops or blackholes during the evacuation, *before*
+//! the link is taken down.
+
+use chronus::core::greedy::greedy_schedule;
+use chronus::emu::{EmuConfig, Emulator, UpdateDriver};
+use chronus::net::routing::shortest_path_delay;
+use chronus::net::topology::{self, LinkParams};
+use chronus::net::{Flow, FlowId, NetworkBuilder, SwitchId, UpdateInstance};
+use chronus::timenet::{FluidSimulator, Verdict};
+
+fn main() {
+    // A 3x4 grid fabric, 500-capacity links.
+    let grid = topology::grid(3, 4, LinkParams::new(500, 1));
+    let v = SwitchId;
+    let (src, dst) = (v(0), v(11));
+
+    // Primary route: delay-shortest path.
+    let primary = shortest_path_delay(&grid, src, dst).expect("grid is connected");
+    println!("primary    : {primary}");
+
+    // A link on the primary is scheduled for maintenance: compute the
+    // failover route on a copy of the fabric without it.
+    let (fa, fb) = primary.edges().nth(1).expect("primary has 3+ hops");
+    println!("MAINTENANCE: link <{fa}, {fb}> will go down");
+    let mut b = NetworkBuilder::with_switches(grid.switch_count());
+    for l in grid.links() {
+        if (l.src, l.dst) == (fa, fb) || (l.src, l.dst) == (fb, fa) {
+            continue;
+        }
+        b.add_link(l.src, l.dst, l.capacity, l.delay).expect("copied links");
+    }
+    let degraded = b.build();
+    let failover =
+        shortest_path_delay(&degraded, src, dst).expect("grid survives one link down");
+    println!("failover   : {failover}\n");
+
+    // The evacuation runs on the live fabric (the link is still up
+    // while traffic moves off it).
+    let flow = Flow::new(FlowId(0), 300, primary, failover).expect("valid flow");
+    let instance = UpdateInstance::single(grid, flow).expect("valid instance");
+    let outcome = greedy_schedule(&instance).expect("evacuation is schedulable");
+    let report = FluidSimulator::check(&instance, &outcome.schedule);
+    assert_eq!(report.verdict(), Verdict::Consistent);
+    println!(
+        "chronus schedule (|T| = {} steps):\n{}",
+        outcome.makespan + 1,
+        outcome.schedule
+    );
+
+    // Replay on the emulated data plane: 500 Mbps links, synchronized
+    // clocks with microsecond residual error, 10 s run.
+    let cfg = EmuConfig {
+        run_for: 10_000_000_000,
+        update_at: 2_000_000_000,
+        ..EmuConfig::default()
+    };
+    let mut emu = Emulator::new(&instance, cfg, 7);
+    emu.install_driver(UpdateDriver::chronus(outcome.schedule, &instance));
+    let emu_report = emu.run();
+    println!(
+        "emulation: delivered {} MB, ttl drops {}, table misses {}, buffer drops {}",
+        emu_report.total_delivered() / 1_000_000,
+        emu_report.ttl_drops,
+        emu_report.table_misses,
+        emu_report.buffer_drops
+    );
+    assert_eq!(emu_report.ttl_drops, 0);
+    assert_eq!(emu_report.table_misses, 0);
+    println!("evacuation completed with zero loss events; the link may go down");
+}

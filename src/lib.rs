@@ -1,0 +1,52 @@
+//! # chronus — consistent data-plane updates in timed SDNs
+//!
+//! A from-scratch Rust reproduction of *Chronus: Consistent Data Plane
+//! Updates in Timed SDNs* (Zheng, Chen, Schmid, Dai, Wu — ICDCS 2017).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`net`] — the network model: switches, capacitated/delayed links,
+//!   paths, flows, topologies, routing, instance generators;
+//! - [`timenet`] — time-extended networks, schedules and the exact
+//!   dynamic-flow simulator (the reproduction's ground truth);
+//! - [`core`] — the paper's algorithms: tree feasibility (Alg. 1),
+//!   greedy scheduling (Alg. 2), dependency sets (Alg. 3), loop checks
+//!   (Alg. 4) and execution plans (Alg. 5);
+//! - [`opt`] — exact MUTP solvers: schedule-space branch and bound and
+//!   the ILP of program (3);
+//! - [`baselines`] — the OR (order replacement) and TP (two-phase)
+//!   comparison schemes;
+//! - [`openflow`] — the OpenFlow-style data-plane substrate;
+//! - [`clock`] — the Time4-style synchronized-clock substrate;
+//! - [`emu`] — the discrete-event emulator standing in for Mininet.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chronus::core::greedy::greedy_schedule;
+//! use chronus::net::motivating_example;
+//! use chronus::timenet::{FluidSimulator, Verdict};
+//!
+//! let instance = motivating_example();
+//! let outcome = greedy_schedule(&instance).expect("feasible");
+//! let report = FluidSimulator::check(&instance, &outcome.schedule);
+//! assert_eq!(report.verdict(), Verdict::Consistent);
+//! println!("update in {} steps:\n{}", outcome.makespan + 1, outcome.schedule);
+//! ```
+//!
+//! Run `cargo run -p chronus-bench --release --bin walkthrough` for the
+//! paper's worked example, and the `fig6`…`fig11`/`table2` binaries to
+//! regenerate every figure and table of the evaluation (see
+//! EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use chronus_baselines as baselines;
+pub use chronus_clock as clock;
+pub use chronus_core as core;
+pub use chronus_emu as emu;
+pub use chronus_net as net;
+pub use chronus_openflow as openflow;
+pub use chronus_opt as opt;
+pub use chronus_timenet as timenet;

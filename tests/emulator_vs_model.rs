@@ -1,0 +1,121 @@
+//! Agreement between the analytical fluid model (`chronus-timenet`)
+//! and the packet-level emulator (`chronus-emu`): schedules the model
+//! certifies must replay cleanly on the emulated data plane, and the
+//! model's failure modes must materialize there too.
+
+use chronus::core::greedy::greedy_schedule;
+use chronus::emu::{EmuConfig, Emulator, UpdateDriver};
+use chronus::net::{motivating_example, InstanceGenerator, InstanceGeneratorConfig, SwitchId};
+use chronus::timenet::{FluidSimulator, Verdict};
+use chronus_bench::fig6::fig6_instance;
+
+fn quick_config() -> EmuConfig {
+    EmuConfig {
+        run_for: 8_000_000_000,
+        update_at: 2_000_000_000,
+        ..EmuConfig::default()
+    }
+}
+
+#[test]
+fn certified_schedules_replay_cleanly() {
+    for (name, inst) in [
+        ("motivating", motivating_example()),
+        ("fig6", fig6_instance()),
+    ] {
+        let out = greedy_schedule(&inst).expect("feasible");
+        assert_eq!(
+            FluidSimulator::check(&inst, &out.schedule).verdict(),
+            Verdict::Consistent
+        );
+        let mut emu = Emulator::new(&inst, quick_config(), 77);
+        emu.install_driver(UpdateDriver::chronus(out.schedule, &inst));
+        let report = emu.run();
+        assert_eq!(report.ttl_drops, 0, "{name}: loops on the wire");
+        assert_eq!(report.table_misses, 0, "{name}: blackholes on the wire");
+        assert!(report.total_delivered() > 0, "{name}: traffic flowed");
+    }
+}
+
+#[test]
+fn certified_random_instances_replay_cleanly() {
+    let mut gen = InstanceGenerator::new(InstanceGeneratorConfig::paper(12, 555));
+    let mut replayed = 0;
+    for inst in gen.generate_batch(8) {
+        let Ok(out) = greedy_schedule(&inst) else { continue };
+        let mut emu = Emulator::new(&inst, quick_config(), 1000 + replayed);
+        emu.install_driver(UpdateDriver::chronus(out.schedule, &inst));
+        let report = emu.run();
+        assert_eq!(report.ttl_drops, 0);
+        assert_eq!(report.table_misses, 0);
+        replayed += 1;
+    }
+    assert!(replayed >= 3, "need a few feasible instances, got {replayed}");
+}
+
+#[test]
+fn model_predicted_loop_materializes_as_packet_loss() {
+    // The model says updating v4 alone loops forever; on the wire the
+    // packets bounce until TTL death or buffer overflow.
+    let inst = motivating_example();
+    let cfg = EmuConfig {
+        ttl: 8,
+        ..quick_config()
+    };
+    let mut emu = Emulator::new(&inst, cfg, 9);
+    emu.install_driver(UpdateDriver::or_rounds(vec![vec![SwitchId(3)]]));
+    let report = emu.run();
+    assert!(
+        report.ttl_drops > 0 || report.buffer_drops > 0,
+        "the wire must lose packets: {report:?}"
+    );
+}
+
+#[test]
+fn clock_skew_within_time4_bounds_is_harmless() {
+    // Residual sync error of ±1 µs against 100 ms steps: five orders
+    // of magnitude of margin, as Time4 promises.
+    let inst = fig6_instance();
+    let out = greedy_schedule(&inst).expect("feasible");
+    for seed in [1, 2, 3] {
+        let cfg = EmuConfig {
+            clock_error_ns: 1_000,
+            clock_drift_ppb: 10_000,
+            ..quick_config()
+        };
+        let mut emu = Emulator::new(&inst, cfg, seed);
+        emu.install_driver(UpdateDriver::chronus(out.schedule.clone(), &inst));
+        let report = emu.run();
+        assert_eq!(report.ttl_drops, 0, "seed {seed}");
+        assert_eq!(report.table_misses, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn gross_clock_skew_breaks_schedules() {
+    // If clocks err by a full time step, the careful ordering is
+    // scrambled — the reason timed updates need synchronization at
+    // all. With the scheduled gaps gone, the Fig. 6 scenario's
+    // contention reappears as packet loss or overload.
+    let inst = fig6_instance();
+    let out = greedy_schedule(&inst).expect("feasible");
+    let mut broken = 0;
+    for seed in 0..8 {
+        let cfg = EmuConfig {
+            clock_error_ns: 300_000_000,  // three steps of skew
+            stats_interval: 200_000_000, // windows fine enough to see it
+            ..quick_config()
+        };
+        let mut emu = Emulator::new(&inst, cfg, seed);
+        emu.install_driver(UpdateDriver::chronus(out.schedule.clone(), &inst));
+        let report = emu.run();
+        let peak = report.global_peak_offered_mbps();
+        if !report.clean() || peak > 520.0 {
+            broken += 1;
+        }
+    }
+    assert!(
+        broken >= 3,
+        "step-scale skew must break runs (paper's motivation for Time4), broke {broken}/8"
+    );
+}

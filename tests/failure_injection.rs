@@ -1,0 +1,98 @@
+//! Failure injection: lossy control channels and their consequences.
+//!
+//! OR and TP FlowMods are fire-and-forget; when the control channel
+//! drops them, the migration silently stalls in a mixed state. Chronus
+//! distributes its timed updates ahead of the trigger window with
+//! acknowledgement (Time4), so message loss costs only pre-budgeted
+//! latency — modeled here as loss-immunity for the Chronus driver and
+//! verified as the paper's reliability argument.
+
+use chronus::baselines::or::{or_rounds, OrConfig};
+use chronus::core::greedy::greedy_schedule;
+use chronus::emu::{EmuConfig, Emulator, UpdateDriver};
+use chronus_bench::fig6::fig6_instance;
+
+fn lossy_config(loss: f64) -> EmuConfig {
+    EmuConfig {
+        run_for: 10_000_000_000,
+        update_at: 2_000_000_000,
+        control_loss_prob: loss,
+        ..EmuConfig::default()
+    }
+}
+
+#[test]
+fn lossless_or_applies_every_flowmod() {
+    let inst = fig6_instance();
+    let rounds = or_rounds(&inst, OrConfig::default()).expect("plan").rounds;
+    let mut emu = Emulator::new(&inst, lossy_config(0.0), 3);
+    emu.install_driver(UpdateDriver::or_rounds(rounds));
+    let report = emu.run();
+    assert_eq!(
+        report.applied_updates.len(),
+        inst.flow().switches_to_update().len()
+    );
+}
+
+#[test]
+fn lossy_or_stalls_the_migration() {
+    let inst = fig6_instance();
+    let rounds = or_rounds(&inst, OrConfig::default()).expect("plan").rounds;
+    let expected = inst.flow().switches_to_update().len();
+    let mut stalled = 0;
+    for seed in 0..10 {
+        let mut emu = Emulator::new(&inst, lossy_config(0.4), seed);
+        emu.install_driver(UpdateDriver::or_rounds(rounds.clone()));
+        let report = emu.run();
+        if report.applied_updates.len() < expected {
+            stalled += 1;
+        }
+    }
+    assert!(
+        stalled >= 5,
+        "40% loss must drop FlowMods in most runs, stalled {stalled}/10"
+    );
+}
+
+#[test]
+fn lossy_tp_leaves_blackholes_on_the_new_path() {
+    // Losing a phase-1 tagged install while the stamp still flips:
+    // stamped packets reach a switch with no rule for their tag and
+    // miss the table.
+    let inst = fig6_instance();
+    let mut seen_misses = false;
+    for seed in 0..10 {
+        let mut emu = Emulator::new(&inst, lossy_config(0.5), seed);
+        emu.install_driver(UpdateDriver::two_phase());
+        let report = emu.run();
+        if report.table_misses > 0 {
+            seen_misses = true;
+            break;
+        }
+    }
+    assert!(
+        seen_misses,
+        "a lost tagged install must blackhole stamped packets in some run"
+    );
+}
+
+#[test]
+fn chronus_timed_updates_survive_control_loss() {
+    // Time4 pre-distribution with retransmission: the trigger payloads
+    // are already resident when the window opens, so loss cannot stall
+    // the plan.
+    let inst = fig6_instance();
+    let schedule = greedy_schedule(&inst).expect("feasible").schedule;
+    for seed in 0..5 {
+        let mut emu = Emulator::new(&inst, lossy_config(0.5), seed);
+        emu.install_driver(UpdateDriver::chronus(schedule.clone(), &inst));
+        let report = emu.run();
+        assert_eq!(
+            report.applied_updates.len(),
+            inst.flow().switches_to_update().len(),
+            "seed {seed}: every timed update fires"
+        );
+        assert_eq!(report.ttl_drops, 0);
+        assert_eq!(report.table_misses, 0);
+    }
+}
