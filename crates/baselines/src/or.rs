@@ -292,7 +292,7 @@ fn search_rounds(
     let mut iterations = 0u64;
     for bits in (1..total).rev() {
         iterations += 1;
-        if iterations % 4096 == 0 && Instant::now() > deadline {
+        if iterations.is_multiple_of(4096) && Instant::now() > deadline {
             return SearchOutcome::TimedOut;
         }
         let candidate: BTreeSet<SwitchId> = rest

@@ -74,14 +74,10 @@ fn bench_failfast_gate(c: &mut Criterion) {
             fail_fast,
             ..SimulatorConfig::default()
         };
-        g.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &cfg,
-            |b, cfg| {
-                let sim = FluidSimulator::with_config(&inst, *cfg);
-                b.iter(|| sim.run(std::hint::black_box(&schedule)))
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let sim = FluidSimulator::with_config(&inst, *cfg);
+            b.iter(|| sim.run(std::hint::black_box(&schedule)))
+        });
     }
     g.finish();
 }

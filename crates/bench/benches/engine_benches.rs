@@ -1,0 +1,56 @@
+//! Engine throughput benches: planned requests per second as the
+//! worker count grows, over a mixed batch of feasible instances.
+
+use chronus_engine::{Engine, EngineConfig, UpdateRequest};
+use chronus_net::{motivating_example, reversal_instance, UpdateInstance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A batch mixing the paper's worked example with path reversals of
+/// several sizes — all greedy-feasible, so the bench measures the
+/// chain's fast path plus batching overhead.
+fn mixed_batch(len: usize) -> Vec<Arc<UpdateInstance>> {
+    let shapes: Vec<Arc<UpdateInstance>> = std::iter::once(Arc::new(motivating_example()))
+        .chain((4..=8).map(|n| Arc::new(reversal_instance(n, 2, 1))))
+        .collect();
+    (0..len).map(|i| shapes[i % shapes.len()].clone()).collect()
+}
+
+fn requests(instances: &[Arc<UpdateInstance>]) -> Vec<UpdateRequest> {
+    instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| UpdateRequest::new(i as u64, inst.clone(), Duration::from_secs(30)))
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let instances = mixed_batch(BATCH);
+    let mut g = c.benchmark_group("engine_plan_batch");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &instances,
+            |b, instances| b.iter(|| engine.plan_batch(requests(std::hint::black_box(instances)))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_sequential_reference(c: &mut Criterion) {
+    let instances = mixed_batch(32);
+    let reqs = requests(&instances);
+    let mut g = c.benchmark_group("engine_plan_sequential");
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    g.bench_function("reference", |b| {
+        b.iter(|| chronus_engine::plan_sequential(std::hint::black_box(&reqs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_sequential_reference);
+criterion_main!(benches);

@@ -7,8 +7,12 @@ fn table_with(n: usize) -> FlowTable {
     let mut t = FlowTable::new();
     for i in 0..n {
         let p = Ipv4Prefix::new((10 << 24) | ((i as u32) << 8), 24);
-        t.add(10, Match::dst_prefix(p), vec![Action::Output((i % 16) as u16)])
-            .expect("unbounded");
+        t.add(
+            10,
+            Match::dst_prefix(p),
+            vec![Action::Output((i % 16) as u16)],
+        )
+        .expect("unbounded");
     }
     t
 }

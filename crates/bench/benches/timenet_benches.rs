@@ -11,9 +11,13 @@ fn bench_simulator(c: &mut Criterion) {
             .generate()
             .expect("generator succeeds");
         let schedule = Schedule::all_at_zero(&inst);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, schedule), |b, (i, s)| {
-            b.iter(|| FluidSimulator::check(std::hint::black_box(i), std::hint::black_box(s)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, schedule),
+            |b, (i, s)| {
+                b.iter(|| FluidSimulator::check(std::hint::black_box(i), std::hint::black_box(s)))
+            },
+        );
     }
     g.finish();
 }

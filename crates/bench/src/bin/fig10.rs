@@ -16,7 +16,14 @@ fn main() {
     let points = run(&opts, sizes);
     let mut sink = CsvSink::new(
         "fig10",
-        &["switches", "chronus_ms", "or_ms", "or_completed", "opt_ms", "opt_completed"],
+        &[
+            "switches",
+            "chronus_ms",
+            "or_ms",
+            "or_completed",
+            "opt_ms",
+            "opt_completed",
+        ],
     );
     let fmt = |t: &chronus_bench::fig10::Timing| {
         if t.completed {

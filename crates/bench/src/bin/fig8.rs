@@ -22,10 +22,7 @@ fn main() {
         })
         .collect();
     println!("Fig. 8 — congested time-extended links per instance (mean)");
-    println!(
-        "{}",
-        text_table(&["switches", "Chronus", "OR"], &rows)
-    );
+    println!("{}", text_table(&["switches", "Chronus", "OR"], &rows));
     let path = sink.finish();
     println!("(csv: {})", path.display());
 }

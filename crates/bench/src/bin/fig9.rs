@@ -7,7 +7,17 @@ fn main() {
     let points = run(&opts, &PAPER_SIZES);
     let mut sink = CsvSink::new(
         "fig9",
-        &["switches", "chronus_min", "chronus_q1", "chronus_median", "chronus_q3", "chronus_max", "chronus_mean", "tp_mean", "saving_pct"],
+        &[
+            "switches",
+            "chronus_min",
+            "chronus_q1",
+            "chronus_median",
+            "chronus_q3",
+            "chronus_max",
+            "chronus_mean",
+            "tp_mean",
+            "saving_pct",
+        ],
     );
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -26,7 +36,10 @@ fn main() {
             ]);
             vec![
                 p.switches.to_string(),
-                format!("{:.0}/{:.0}/{:.0}/{:.0}/{:.0}", c.min, c.q1, c.median, c.q3, c.max),
+                format!(
+                    "{:.0}/{:.0}/{:.0}/{:.0}/{:.0}",
+                    c.min, c.q1, c.median, c.q3, c.max
+                ),
                 format!("{:.1}", c.mean),
                 format!("{:.1}", p.tp_mean),
                 format!("{:.1}%", p.saving_pct),
@@ -37,7 +50,13 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["switches", "Chronus box (min/q1/med/q3/max)", "Chronus mean", "TP mean", "saving"],
+            &[
+                "switches",
+                "Chronus box (min/q1/med/q3/max)",
+                "Chronus mean",
+                "TP mean",
+                "saving"
+            ],
             &rows
         )
     );

@@ -4,7 +4,10 @@ use chronus_bench::util::{text_table, CsvSink, RunOptions};
 
 fn main() {
     let opts = RunOptions::from_args(std::env::args().skip(1));
-    let mut sink = CsvSink::new("multiflow", &["flows", "joint_clean", "independent_clean", "total"]);
+    let mut sink = CsvSink::new(
+        "multiflow",
+        &["flows", "joint_clean", "independent_clean", "total"],
+    );
     let mut rows = Vec::new();
     for k in [2usize, 3, 4, 6] {
         let p = run(&opts, 16, k);

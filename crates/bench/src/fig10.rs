@@ -39,23 +39,15 @@ pub fn scale_instance(n: usize, seed: u64) -> Option<UpdateInstance> {
             continue;
         }
         if let Some(p) = random_simple_path(&net, src, dst, &mut rng) {
-            if best.as_ref().map_or(true, |b| p.len() > b.len()) {
+            if best.as_ref().is_none_or(|b| p.len() > b.len()) {
                 best = Some(p);
             }
         }
     }
     let initial = best?;
     let last = initial.len() - 1;
-    let (net, fin) = segment_reversal_at(
-        &net,
-        &initial,
-        0,
-        last,
-        300,
-        (300, 700),
-        (1, 10),
-        &mut rng,
-    )?;
+    let (net, fin) =
+        segment_reversal_at(&net, &initial, 0, last, 300, (300, 700), (1, 10), &mut rng)?;
     let flow = Flow::new(FlowId(0), 300, initial, fin).ok()?;
     flow.validate(&net).ok()?;
     UpdateInstance::single(net, flow).ok()
@@ -105,7 +97,12 @@ pub fn run(opts: &RunOptions, sizes: &[usize]) -> Vec<RuntimePoint> {
             chronus_ms += t0.elapsed().as_secs_f64() * 1e3;
 
             let t0 = Instant::now();
-            match or_rounds(&inst, OrConfig { budget: opts.budget }) {
+            match or_rounds(
+                &inst,
+                OrConfig {
+                    budget: opts.budget,
+                },
+            ) {
                 Ok(o) if o.exact => {}
                 _ => or_done = false,
             }
@@ -120,9 +117,7 @@ pub fn run(opts: &RunOptions, sizes: &[usize]) -> Vec<RuntimePoint> {
                 },
             ) {
                 Ok(_) => {}
-                Err(ScheduleError::Infeasible { reason, .. })
-                    if reason.contains("at most 63") =>
-                {
+                Err(ScheduleError::Infeasible { reason, .. }) if reason.contains("at most 63") => {
                     opt_done = false;
                 }
                 Err(ScheduleError::TimedOut { .. }) => opt_done = false,

@@ -113,6 +113,9 @@ mod tests {
         let gaps: Vec<TimeStep> = times.pairs.iter().map(|&(c, o)| c - o).collect();
         assert!(gaps.iter().all(|&g| g >= 0), "OPT must not exceed greedy");
         let median_gap = UpdateTimes::quantile(&gaps, 0.5).unwrap();
-        assert!(median_gap <= 4, "median greedy-OPT gap {median_gap} too large");
+        assert!(
+            median_gap <= 4,
+            "median greedy-OPT gap {median_gap} too large"
+        );
     }
 }

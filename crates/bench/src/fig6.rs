@@ -64,7 +64,7 @@ impl SchemeSeries {
 }
 
 fn emulate(instance: &UpdateInstance, driver: UpdateDriver, name: &'static str) -> SchemeSeries {
-    let mut emu = Emulator::new(instance, EmuConfig::default(), 0xF16_6);
+    let mut emu = Emulator::new(instance, EmuConfig::default(), 0xF166);
     emu.install_driver(driver);
     let report = emu.run();
     // Per window: the maximum offered Mbps across links.

@@ -113,6 +113,9 @@ mod tests {
         let s = best_effort_schedule(&inst);
         assert!(s.validate(&inst).is_ok(), "all required switches scheduled");
         let report = FluidSimulator::check(&inst, &s);
-        assert!(!report.congestion_free(), "fast shortcut congests regardless");
+        assert!(
+            !report.congestion_free(),
+            "fast shortcut congests regardless"
+        );
     }
 }

@@ -98,8 +98,7 @@ pub fn run(opts: &RunOptions, n: usize, flows_per_instance: usize) -> MultiflowP
         ..SimulatorConfig::default()
     };
     for i in 0..(opts.runs * opts.instances / 4).max(8) {
-        let Some(inst) = multiflow_instance(n, flows_per_instance, opts.seed + i as u64)
-        else {
+        let Some(inst) = multiflow_instance(n, flows_per_instance, opts.seed + i as u64) else {
             continue;
         };
         // Per-flow independent schedules must each exist.
@@ -151,7 +150,11 @@ mod tests {
             ..Default::default()
         };
         let point = run(&opts, 14, 3);
-        assert!(point.total >= 5, "need comparable instances, got {}", point.total);
+        assert!(
+            point.total >= 5,
+            "need comparable instances, got {}",
+            point.total
+        );
         // At this (deterministic) configuration the joint scheduler
         // certifies at least as many migrations as independent
         // composition gets lucky on.

@@ -50,7 +50,13 @@ fn or_schedule(instance: &UpdateInstance, rng: &mut StdRng) -> Option<Schedule> 
     // link delay, mimicking the Dionysus latency data relative to
     // propagation times.
     let max_latency = (instance.network.max_delay() as TimeStep * 2).max(1);
-    Some(OrOutcome { rounds, exact: false }.execute(flow, (0, max_latency), rng))
+    Some(
+        OrOutcome {
+            rounds,
+            exact: false,
+        }
+        .execute(flow, (0, max_latency), rng),
+    )
 }
 
 /// Runs the sweep over `sizes` switch counts.

@@ -193,7 +193,11 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let hs: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     let _ = writeln!(out, "{}", fmt(&hs, &widths));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for r in rows {
         let _ = writeln!(out, "{}", fmt(r, &widths));
     }
@@ -207,9 +211,18 @@ mod tests {
     #[test]
     fn options_parse_and_scale() {
         let opts = RunOptions::from_args(
-            ["--runs", "7", "--instances", "11", "--budget-ms", "250", "--seed", "9"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--runs",
+                "7",
+                "--instances",
+                "11",
+                "--budget-ms",
+                "250",
+                "--seed",
+                "9",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(opts.runs, 7);
         assert_eq!(opts.instances, 11);
@@ -237,7 +250,10 @@ mod tests {
     fn text_table_aligns() {
         let t = text_table(
             &["n", "value"],
-            &[vec!["10".into(), "0.5".into()], vec!["100".into(), "12.25".into()]],
+            &[
+                vec!["10".into(), "0.5".into()],
+                vec!["100".into(), "12.25".into()],
+            ],
         );
         assert!(t.contains("  n"));
         assert!(t.lines().count() >= 4);

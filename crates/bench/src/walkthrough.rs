@@ -68,11 +68,7 @@ pub fn run() -> String {
                     .join(" -> ")
             })
             .collect();
-        let committed: Vec<String> = round
-            .committed
-            .iter()
-            .map(|(_, v)| v.to_string())
-            .collect();
+        let committed: Vec<String> = round.committed.iter().map(|(_, v)| v.to_string()).collect();
         let _ = writeln!(
             out,
             "t{}: chains [{}]; updated [{}]",
@@ -85,8 +81,16 @@ pub fn run() -> String {
     let report = FluidSimulator::check(&inst, &greedy.schedule);
     let _ = writeln!(out, "simulator verdict: {:?}", report.verdict());
 
-    let _ = writeln!(out, "\n== Link occupancy during the migration (textual Fig. 2) ==");
-    out.push_str(&chronus_timenet::render_occupancy(&inst, &greedy.schedule, -2, 8));
+    let _ = writeln!(
+        out,
+        "\n== Link occupancy during the migration (textual Fig. 2) =="
+    );
+    out.push_str(&chronus_timenet::render_occupancy(
+        &inst,
+        &greedy.schedule,
+        -2,
+        8,
+    ));
 
     let _ = writeln!(out, "\n== Algorithm 5 execution plan ==");
     out.push_str(&ExecutionPlan::from_schedule(&greedy.schedule).to_string());

@@ -81,7 +81,7 @@ pub fn two_way_sync(
 
         let estimate = ((t2 - t1) - (t4 - t3)) / 2;
         let rtt = (t4 - t1) - (t3 - t2);
-        let better = best.map_or(true, |(b, _)| rtt < b);
+        let better = best.is_none_or(|(b, _)| rtt < b);
         if better {
             best = Some((rtt, estimate));
         }

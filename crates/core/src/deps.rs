@@ -80,10 +80,10 @@ pub fn last_old_arrival(
             continue;
         }
         if let Some(t_u) = schedule.get(flow.id, u) {
-            let prefix_u = flow
-                .initial
-                .prefix_delay(net, u)
-                .expect("validated old path has prefix delays") as TimeStep;
+            let prefix_u =
+                flow.initial
+                    .prefix_delay(net, u)
+                    .expect("validated old path has prefix delays") as TimeStep;
             let bound = t_u - prefix_u;
             cutoff = Some(cutoff.map_or(bound, |c| c.min(bound)));
         }
@@ -229,8 +229,12 @@ fn build_set(edges: Vec<(SwitchId, SwitchId)>, pending: &BTreeSet<SwitchId>) -> 
         .flat_map(|&(a, b)| [a, b])
         .chain(pending.iter().copied())
         .collect();
-    let idx: BTreeMap<SwitchId, usize> =
-        involved.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+    let idx: BTreeMap<SwitchId, usize> = involved
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
     let nodes: Vec<SwitchId> = involved.iter().copied().collect();
     let n = nodes.len();
     let mut parent: Vec<usize> = (0..n).collect();

@@ -189,8 +189,7 @@ pub fn greedy_schedule_with(
             if pending[fi].is_empty() {
                 continue;
             }
-            let deps: DependencySet =
-                dependency_set(instance, flow, &schedule, &pending[fi], t);
+            let deps: DependencySet = dependency_set(instance, flow, &schedule, &pending[fi], t);
             if config.fail_on_cycle {
                 if let Some(cycle) = deps.cycle.clone() {
                     return Err(ScheduleError::DependencyCycle(cycle));
@@ -219,9 +218,9 @@ pub fn greedy_schedule_with(
             let candidates: Vec<SwitchId> = candidates
                 .into_iter()
                 .filter(|&v| {
-                    failed_at.get(&(fi, v)).map_or(true, |&ft| {
-                        last_commit_t > ft || t >= ft + cooldown
-                    })
+                    failed_at
+                        .get(&(fi, v))
+                        .is_none_or(|&ft| last_commit_t > ft || t >= ft + cooldown)
                 })
                 .collect();
             // Algorithm 4 pre-filter.
@@ -289,10 +288,7 @@ pub fn greedy_schedule_with(
         } else {
             idle_steps += 1;
             if idle_steps > drain {
-                let blocked = pending
-                    .iter()
-                    .flat_map(|p| p.iter().copied())
-                    .next();
+                let blocked = pending.iter().flat_map(|p| p.iter().copied()).next();
                 return Err(ScheduleError::Infeasible {
                     blocked,
                     reason: format!(
@@ -317,9 +313,7 @@ pub fn greedy_schedule_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chronus_net::{
-        motivating_example, reversal_instance, Flow, FlowId, NetworkBuilder, Path,
-    };
+    use chronus_net::{motivating_example, reversal_instance, Flow, FlowId, NetworkBuilder, Path};
 
     fn sid(i: u32) -> SwitchId {
         SwitchId(i)
@@ -328,7 +322,9 @@ mod tests {
     fn assert_consistent(instance: &UpdateInstance, schedule: &Schedule) {
         let report = FluidSimulator::check(instance, schedule);
         assert_eq!(report.verdict(), Verdict::Consistent, "{report}");
-        schedule.validate(instance).expect("schedule covers instance");
+        schedule
+            .validate(instance)
+            .expect("schedule covers instance");
     }
 
     #[test]

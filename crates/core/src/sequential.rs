@@ -37,9 +37,7 @@ pub struct SequentialOutcome {
 /// even against a stationary data plane (then no scheduler can help —
 /// the same condition the greedy reports), or
 /// [`ScheduleError::Invalid`] for malformed instances.
-pub fn sequential_schedule(
-    instance: &UpdateInstance,
-) -> Result<SequentialOutcome, ScheduleError> {
+pub fn sequential_schedule(instance: &UpdateInstance) -> Result<SequentialOutcome, ScheduleError> {
     let problem = MutpProblem::new(instance)?;
     let sim = FluidSimulator::with_config(
         instance,

@@ -489,11 +489,10 @@ mod tests {
         // bypassing the greedy fast path via direct construction.
         let inst = motivating_example();
         let problem = MutpProblem::new(&inst).unwrap();
-        let mut searcher =
-            match Searcher::new(&inst, &problem, TreeConfig::default()) {
-                Ok(s) => s,
-                Err(_) => panic!("4 pending switches fit in the mask"),
-            };
+        let mut searcher = match Searcher::new(&inst, &problem, TreeConfig::default()) {
+            Ok(s) => s,
+            Err(_) => panic!("4 pending switches fit in the mask"),
+        };
         match searcher.solve() {
             SearchResult::Found(s) => {
                 let report = FluidSimulator::check(&inst, &s);

@@ -7,6 +7,8 @@
 use chronus_clock::Nanos;
 use chronus_net::{SwitchId, UpdateInstance};
 use chronus_timenet::Schedule;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The Chronus execution model: timed updates fired by each switch's
 /// synchronized clock (Algorithm 5 over Time4 triggers).
@@ -41,6 +43,33 @@ pub struct TpDriver {
     pub cleanup_gap: Nanos,
 }
 
+impl Default for TpDriver {
+    fn default() -> Self {
+        TpDriver {
+            latency_range: (10_000_000, 100_000_000),
+            flip_gap: 50_000_000,
+            cleanup_gap: 2_000_000_000,
+        }
+    }
+}
+
+/// The engine execution model: the update plan is not handed in but
+/// *produced* at install time by a [`chronus_engine::Engine`] walking
+/// its fallback chain under a deadline. A timed plan installs exactly
+/// like [`ChronusDriver`]; a two-phase fallback installs like
+/// [`TpDriver`] — so deadline pressure degrades the data-plane
+/// mechanism, never its consistency.
+#[derive(Clone, Debug)]
+pub struct EngineDriver {
+    /// The instance to plan (must match the instance the emulator was
+    /// built from; [`crate::Emulator::install_driver`] asserts this).
+    pub instance: Arc<UpdateInstance>,
+    /// Planning worker threads.
+    pub workers: usize,
+    /// Planning deadline for the optimizing stages.
+    pub deadline: Duration,
+}
+
 /// An update driver specification.
 #[derive(Clone, Debug)]
 pub enum UpdateDriver {
@@ -52,6 +81,8 @@ pub enum UpdateDriver {
     Or(OrDriver),
     /// Two-phase commit.
     Tp(TpDriver),
+    /// Plan-on-install via the chronus-engine fallback chain.
+    Engine(EngineDriver),
 }
 
 impl UpdateDriver {
@@ -82,10 +113,16 @@ impl UpdateDriver {
 
     /// TP driver with default gaps.
     pub fn two_phase() -> Self {
-        UpdateDriver::Tp(TpDriver {
-            latency_range: (10_000_000, 100_000_000),
-            flip_gap: 50_000_000,
-            cleanup_gap: 2_000_000_000,
+        UpdateDriver::Tp(TpDriver::default())
+    }
+
+    /// Engine driver with a generous default deadline (the optimizing
+    /// stages on emulator-scale instances finish in microseconds).
+    pub fn engine(instance: Arc<UpdateInstance>, workers: usize) -> Self {
+        UpdateDriver::Engine(EngineDriver {
+            instance,
+            workers,
+            deadline: Duration::from_secs(5),
         })
     }
 }

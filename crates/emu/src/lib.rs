@@ -49,6 +49,6 @@ pub mod switchdev;
 pub mod traffic;
 
 pub use analysis::{skew_tolerance, SkewTolerance};
-pub use controller::UpdateDriver;
+pub use controller::{EngineDriver, UpdateDriver};
 pub use emulator::{EmuConfig, Emulator};
 pub use report::EmuReport;

@@ -50,12 +50,15 @@ impl EmuReport {
         interval: Nanos,
     ) {
         let to_mbps = |bytes: u64| (bytes as f64 * 8.0) / (interval as f64 / 1e9) / 1e6;
-        self.bandwidth.entry(link).or_default().push(BandwidthSample {
-            at,
-            offered_mbps: to_mbps(w.offered),
-            delivered_mbps: to_mbps(w.delivered),
-            dropped_mbps: to_mbps(w.dropped),
-        });
+        self.bandwidth
+            .entry(link)
+            .or_default()
+            .push(BandwidthSample {
+                at,
+                offered_mbps: to_mbps(w.offered),
+                delivered_mbps: to_mbps(w.delivered),
+                dropped_mbps: to_mbps(w.dropped),
+            });
     }
 
     /// Peak offered bandwidth ever sampled on a link (0.0 if never).
@@ -103,7 +106,10 @@ mod tests {
         assert!((s.offered_mbps - 1000.0).abs() < 1e-9);
         assert!((s.delivered_mbps - 500.0).abs() < 1e-9);
         assert!((s.dropped_mbps - 500.0).abs() < 1e-9);
-        assert_eq!(r.peak_offered_mbps((SwitchId(0), SwitchId(1))), s.offered_mbps);
+        assert_eq!(
+            r.peak_offered_mbps((SwitchId(0), SwitchId(1))),
+            s.offered_mbps
+        );
         assert!(r.global_peak_offered_mbps() > 999.0);
         assert_eq!(r.peak_offered_mbps((SwitchId(5), SwitchId(6))), 0.0);
     }

@@ -2,9 +2,7 @@
 
 use chronus_clock::HardwareClock;
 use chronus_net::{LinkIdx, SwitchId};
-use chronus_openflow::{
-    Action, FlowMod, FlowModCommand, FlowTable, Packet, RuleId, TableError,
-};
+use chronus_openflow::{Action, FlowMod, FlowModCommand, FlowTable, Packet, RuleId, TableError};
 use std::collections::HashMap;
 
 /// The reserved port a host hangs off (packet delivery).

@@ -1,0 +1,352 @@
+//! The planning fallback chain: greedy → tree → two-phase.
+//!
+//! Every request walks the same three-stage chain, cheapest-best
+//! first:
+//!
+//! 1. **Greedy** (paper Algorithm 2) — the Chronus scheduler; when it
+//!    succeeds the flow migrates with no rule-space overhead.
+//! 2. **Tree** (paper Algorithm 1) — the feasibility search; slower,
+//!    but it can find witness schedules on instances where the greedy
+//!    round structure stalls, and it proves infeasibility.
+//! 3. **Two-phase** — the per-packet-consistency baseline. It ignores
+//!    the timing dimension entirely, always exists, and preserves
+//!    consistency at the cost of doubled rules; the chain's
+//!    consistency-preserving last resort.
+//!
+//! The deadline governs the *optimizing* stages only: a request whose
+//! budget runs out before greedy or tree finishes skips ahead and
+//! still leaves with a consistent two-phase plan — deadline pressure
+//! degrades plan quality, never correctness.
+
+use crate::cache::{CacheKey, TimeNetCache};
+use crate::metrics::EngineMetrics;
+use crate::request::{RequestId, UpdateRequest};
+use chronus_baselines::tp::{tp_plan, TpPlan};
+use chronus_core::greedy::greedy_schedule;
+use chronus_core::tree::{check_feasibility, Feasibility};
+use chronus_net::{TimeStep, UpdateInstance};
+use chronus_timenet::Schedule;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A stage of the fallback chain, in chain order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Stage {
+    /// The greedy scheduler (paper Algorithm 2).
+    Greedy,
+    /// The tree feasibility search (paper Algorithm 1).
+    Tree,
+    /// The two-phase commit baseline.
+    TwoPhase,
+}
+
+impl Stage {
+    /// All stages in chain order.
+    pub const CHAIN: [Stage; 3] = [Stage::Greedy, Stage::Tree, Stage::TwoPhase];
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Greedy => "greedy",
+            Stage::Tree => "tree",
+            Stage::TwoPhase => "two-phase",
+        })
+    }
+}
+
+/// How one stage of the chain ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StageOutcome {
+    /// The stage produced the winning plan.
+    Won,
+    /// The stage ran and could not plan; the payload says why.
+    Failed(String),
+    /// The stage never ran; the payload says why (deadline exhausted,
+    /// or an earlier stage already won).
+    Skipped(String),
+}
+
+/// One stage's record in a [`PlannedUpdate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StageAttempt {
+    /// Which stage.
+    pub stage: Stage,
+    /// How it ended.
+    pub outcome: StageOutcome,
+    /// Wall-clock time spent inside the stage (zero when skipped).
+    pub elapsed: Duration,
+}
+
+/// A two-phase plan for a batch member: the per-flow rule plan plus
+/// the ingress flip time the engine chose for it.
+#[derive(Clone, Debug)]
+pub struct TpBatchPlan {
+    /// The duplicate-rules + stamp-flip plan.
+    pub plan: TpPlan,
+    /// When the ingress stamp flips, in time steps: after the old
+    /// generation's in-flight packets can no longer interleave.
+    pub flip_time: TimeStep,
+}
+
+/// The plan a request leaves the chain with.
+#[derive(Clone, Debug)]
+pub enum PlanKind {
+    /// A timed per-switch schedule (greedy or tree won) — zero rule
+    /// overhead, certified consistent by construction.
+    Timed(Schedule),
+    /// The two-phase fallback — consistent, but transiently doubles
+    /// the flow's rules.
+    TwoPhase(TpBatchPlan),
+}
+
+impl PlanKind {
+    /// The timed schedule, when one was found.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match self {
+            PlanKind::Timed(s) => Some(s),
+            PlanKind::TwoPhase(_) => None,
+        }
+    }
+}
+
+/// The engine's answer to one [`UpdateRequest`].
+#[derive(Clone, Debug)]
+pub struct PlannedUpdate {
+    /// The request this answers.
+    pub id: RequestId,
+    /// The winning plan.
+    pub plan: PlanKind,
+    /// The stage that produced it.
+    pub winner: Stage,
+    /// Per-stage records, in chain order.
+    pub attempts: Vec<StageAttempt>,
+    /// Total planning wall-clock time for this request.
+    pub elapsed: Duration,
+    /// `true` when the time-extended window came from the shared cache.
+    pub cache_hit: bool,
+    /// `|V_T|` of the request's time-extended window.
+    pub te_nodes: usize,
+    /// `|E_T|` of the request's time-extended window.
+    pub te_links: usize,
+    /// `true` when the deadline expired before every optimizing stage
+    /// could run (the plan is then the two-phase fallback).
+    pub deadline_exceeded: bool,
+}
+
+impl PlannedUpdate {
+    /// The attempt record for `stage`, if the chain reached it.
+    pub fn attempt(&self, stage: Stage) -> Option<&StageAttempt> {
+        self.attempts.iter().find(|a| a.stage == stage)
+    }
+}
+
+/// The planning horizon used for the cached time-extended window: the
+/// instance's total path delay, the natural upper bound on how far
+/// into past and future a consistent migration can reach.
+pub fn planning_horizon(instance: &UpdateInstance) -> TimeStep {
+    instance.total_path_delay().max(1) as TimeStep
+}
+
+/// The ingress flip time the engine assigns to two-phase plans: one
+/// step past the initial path's total delay, so every old-generation
+/// packet in flight at the flip has drained past any shared link.
+pub fn tp_flip_time(instance: &UpdateInstance) -> TimeStep {
+    let phi_init = instance.flows[0]
+        .initial
+        .total_delay(&instance.network)
+        .unwrap_or(0);
+    (phi_init + 1) as TimeStep
+}
+
+/// Walks the fallback chain for one request against a shared cache,
+/// recording per-stage metrics. This is the worker-side entry point;
+/// it is deterministic for a fixed request whenever the deadline does
+/// not bite (every stage is itself deterministic).
+pub fn plan_with_chain(
+    req: &UpdateRequest,
+    cache: &TimeNetCache,
+    metrics: &EngineMetrics,
+) -> PlannedUpdate {
+    let started = Instant::now();
+    let instance = &req.instance;
+
+    // Memoized time-extended window: the planning context shared by
+    // identical re-plans of the same (topology, flow, horizon).
+    let key = CacheKey::for_instance(instance, planning_horizon(instance));
+    let (timenet, cache_hit) = cache.get_or_materialize(key, instance);
+
+    let mut attempts = Vec::with_capacity(Stage::CHAIN.len());
+    let mut winner: Option<(Stage, PlanKind)> = None;
+    let mut deadline_exceeded = false;
+
+    for stage in [Stage::Greedy, Stage::Tree] {
+        if winner.is_some() {
+            attempts.push(StageAttempt {
+                stage,
+                outcome: StageOutcome::Skipped("earlier stage won".into()),
+                elapsed: Duration::ZERO,
+            });
+            continue;
+        }
+        if started.elapsed() >= req.deadline {
+            deadline_exceeded = true;
+            metrics.record_skip(stage);
+            attempts.push(StageAttempt {
+                stage,
+                outcome: StageOutcome::Skipped("deadline exhausted".into()),
+                elapsed: Duration::ZERO,
+            });
+            continue;
+        }
+        let stage_start = Instant::now();
+        let outcome = match stage {
+            Stage::Greedy => match greedy_schedule(instance) {
+                Ok(out) => {
+                    winner = Some((stage, PlanKind::Timed(out.schedule)));
+                    StageOutcome::Won
+                }
+                Err(e) => StageOutcome::Failed(e.to_string()),
+            },
+            Stage::Tree => match check_feasibility(instance) {
+                Feasibility::Feasible(schedule) => {
+                    winner = Some((stage, PlanKind::Timed(schedule)));
+                    StageOutcome::Won
+                }
+                Feasibility::Infeasible { witness } => StageOutcome::Failed(match witness {
+                    Some(w) => format!("infeasible: {w:?}"),
+                    None => "infeasible".into(),
+                }),
+                Feasibility::Unknown => StageOutcome::Failed("search budget exhausted".into()),
+            },
+            Stage::TwoPhase => unreachable!("two-phase handled below"),
+        };
+        let elapsed = stage_start.elapsed();
+        metrics.record_attempt(stage, &outcome, elapsed);
+        attempts.push(StageAttempt {
+            stage,
+            outcome,
+            elapsed,
+        });
+    }
+
+    // The consistency-preserving last resort: two-phase always plans,
+    // deadline or not — it is the reason a request cannot fail.
+    let (winner_stage, plan) = match winner {
+        Some(found) => {
+            attempts.push(StageAttempt {
+                stage: Stage::TwoPhase,
+                outcome: StageOutcome::Skipped("earlier stage won".into()),
+                elapsed: Duration::ZERO,
+            });
+            found
+        }
+        None => {
+            let stage_start = Instant::now();
+            let tp = TpBatchPlan {
+                plan: tp_plan(&instance.flows[0]),
+                flip_time: tp_flip_time(instance),
+            };
+            let elapsed = stage_start.elapsed();
+            metrics.record_attempt(Stage::TwoPhase, &StageOutcome::Won, elapsed);
+            attempts.push(StageAttempt {
+                stage: Stage::TwoPhase,
+                outcome: StageOutcome::Won,
+                elapsed,
+            });
+            (Stage::TwoPhase, PlanKind::TwoPhase(tp))
+        }
+    };
+
+    let planned = PlannedUpdate {
+        id: req.id,
+        plan,
+        winner: winner_stage,
+        attempts,
+        elapsed: started.elapsed(),
+        cache_hit,
+        te_nodes: timenet.nodes.len(),
+        te_links: timenet.links.len(),
+        deadline_exceeded,
+    };
+    metrics.record_completion(&planned);
+    planned
+}
+
+/// Plans `requests` one by one on the calling thread against a fresh
+/// cache — the reference behaviour the concurrent engine must
+/// reproduce plan-for-plan (see the equivalence property test).
+pub fn plan_sequential(requests: &[UpdateRequest]) -> Vec<PlannedUpdate> {
+    let cache = TimeNetCache::new();
+    let metrics = EngineMetrics::new();
+    requests
+        .iter()
+        .map(|r| plan_with_chain(r, &cache, &metrics))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_net::motivating_example;
+    use chronus_timenet::{FluidSimulator, Verdict};
+    use std::sync::Arc;
+
+    fn req(deadline: Duration) -> UpdateRequest {
+        UpdateRequest::new(0, Arc::new(motivating_example()), deadline)
+    }
+
+    #[test]
+    fn greedy_wins_the_motivating_example() {
+        let cache = TimeNetCache::new();
+        let metrics = EngineMetrics::new();
+        let planned = plan_with_chain(&req(Duration::from_secs(30)), &cache, &metrics);
+        assert_eq!(planned.winner, Stage::Greedy);
+        assert!(!planned.deadline_exceeded);
+        let schedule = planned.plan.schedule().expect("timed plan");
+        let inst = motivating_example();
+        let report = FluidSimulator::check(&inst, schedule);
+        assert_eq!(report.verdict(), Verdict::Consistent);
+        // Later stages are recorded as skipped, in chain order.
+        assert_eq!(planned.attempts.len(), 3);
+        assert!(matches!(
+            planned.attempt(Stage::Tree).unwrap().outcome,
+            StageOutcome::Skipped(_)
+        ));
+        assert!(matches!(
+            planned.attempt(Stage::TwoPhase).unwrap().outcome,
+            StageOutcome::Skipped(_)
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_two_phase() {
+        let cache = TimeNetCache::new();
+        let metrics = EngineMetrics::new();
+        let planned = plan_with_chain(&req(Duration::ZERO), &cache, &metrics);
+        assert_eq!(planned.winner, Stage::TwoPhase);
+        assert!(planned.deadline_exceeded);
+        assert!(matches!(planned.plan, PlanKind::TwoPhase(_)));
+        for stage in [Stage::Greedy, Stage::Tree] {
+            assert_eq!(
+                planned.attempt(stage).unwrap().outcome,
+                StageOutcome::Skipped("deadline exhausted".into())
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_planning_is_deterministic() {
+        let requests: Vec<UpdateRequest> = (0..3)
+            .map(|i| UpdateRequest::new(i, Arc::new(motivating_example()), Duration::from_secs(30)))
+            .collect();
+        let a = plan_sequential(&requests);
+        let b = plan_sequential(&requests);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.winner, y.winner);
+            assert_eq!(x.plan.schedule(), y.plan.schedule());
+        }
+    }
+}

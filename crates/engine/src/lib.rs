@@ -1,0 +1,49 @@
+//! # chronus-engine — a concurrent batched update-planning engine
+//!
+//! The paper's algorithms plan one flow migration at a time; a timed
+//! SDN controller faces a *stream* of them. This crate turns the
+//! workspace's planners into a long-lived service:
+//!
+//! - [`Engine`]: a crossbeam-channel worker pool accepting batches of
+//!   [`UpdateRequest`]s, answering each in submission order;
+//! - the **fallback chain** ([`plan_with_chain`]): greedy scheduler →
+//!   tree feasibility search → two-phase baseline, so every request
+//!   leaves with a consistency-preserving plan — deadline pressure
+//!   degrades plan *quality* (rule overhead), never correctness;
+//! - [`TimeNetCache`]: shared memoization of materialized
+//!   time-extended windows, keyed by `(topology hash, flow, horizon)`;
+//! - [`PlanReport`]: per-stage latencies and win counts, cache hit
+//!   rates, queue depths and deadline casualties.
+//!
+//! Concurrency is observationally pure: every chain stage is
+//! deterministic, so a batch planned on N workers yields exactly the
+//! plans of [`plan_sequential`] whenever deadlines do not bite — a
+//! property pinned by this crate's tests.
+//!
+//! ```
+//! use chronus_engine::{Engine, EngineConfig, Stage};
+//! use chronus_net::motivating_example;
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(EngineConfig::with_workers(2));
+//! let plans = engine.plan_instances(vec![Arc::new(motivating_example()); 4]);
+//! assert!(plans.iter().all(|p| p.winner == Stage::Greedy));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod fallback;
+mod metrics;
+mod pool;
+mod request;
+
+pub use cache::{flow_signature, topology_hash, CacheKey, TimeNetCache};
+pub use fallback::{
+    plan_sequential, plan_with_chain, planning_horizon, tp_flip_time, PlanKind, PlannedUpdate,
+    Stage, StageAttempt, StageOutcome, TpBatchPlan,
+};
+pub use metrics::{EngineMetrics, PlanReport, StageStats};
+pub use pool::{Engine, EngineConfig};
+pub use request::{RequestId, UpdateRequest};

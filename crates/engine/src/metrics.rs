@@ -1,0 +1,261 @@
+//! Engine-level planning metrics.
+//!
+//! Workers record into lock-free atomic counters; [`PlanReport`] is a
+//! point-in-time snapshot with derived rates and mean latencies,
+//! printable as the engine's operational summary.
+
+use crate::cache::TimeNetCache;
+use crate::fallback::{PlannedUpdate, Stage, StageOutcome};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-stage atomic counters.
+#[derive(Default, Debug)]
+struct StageCounters {
+    attempts: AtomicU64,
+    wins: AtomicU64,
+    failures: AtomicU64,
+    skips: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// Shared counters every worker records into.
+#[derive(Default, Debug)]
+pub struct EngineMetrics {
+    greedy: StageCounters,
+    tree: StageCounters,
+    tp: StageCounters,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    timeouts: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        EngineMetrics::default()
+    }
+
+    fn stage(&self, stage: Stage) -> &StageCounters {
+        match stage {
+            Stage::Greedy => &self.greedy,
+            Stage::Tree => &self.tree,
+            Stage::TwoPhase => &self.tp,
+        }
+    }
+
+    /// Records a stage that ran to an outcome.
+    pub fn record_attempt(&self, stage: Stage, outcome: &StageOutcome, elapsed: Duration) {
+        let c = self.stage(stage);
+        c.attempts.fetch_add(1, Ordering::Relaxed);
+        c.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        match outcome {
+            StageOutcome::Won => c.wins.fetch_add(1, Ordering::Relaxed),
+            StageOutcome::Failed(_) => c.failures.fetch_add(1, Ordering::Relaxed),
+            StageOutcome::Skipped(_) => c.skips.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Records a stage skipped by deadline pressure.
+    pub fn record_skip(&self, stage: Stage) {
+        self.stage(stage).skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished request.
+    pub fn record_completion(&self, planned: &PlannedUpdate) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if planned.deadline_exceeded {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a request entering the queue; returns nothing but keeps
+    /// the running and peak depth.
+    pub fn record_enqueue(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a worker picking a request off the queue.
+    pub fn record_dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots everything into a [`PlanReport`], folding in the
+    /// shared cache's counters.
+    pub fn report(&self, cache: &TimeNetCache) -> PlanReport {
+        let snap = |c: &StageCounters| StageStats {
+            attempts: c.attempts.load(Ordering::Relaxed),
+            wins: c.wins.load(Ordering::Relaxed),
+            failures: c.failures.load(Ordering::Relaxed),
+            skips: c.skips.load(Ordering::Relaxed),
+            total: Duration::from_nanos(c.nanos.load(Ordering::Relaxed)),
+        };
+        PlanReport {
+            greedy: snap(&self.greedy),
+            tree: snap(&self.tree),
+            two_phase: snap(&self.tp),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_entries: cache.len() as u64,
+            cache_bytes: cache.approx_bytes() as u64,
+        }
+    }
+}
+
+/// Snapshot of one stage's counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StageStats {
+    /// Times the stage ran.
+    pub attempts: u64,
+    /// Times it produced the winning plan.
+    pub wins: u64,
+    /// Times it ran and could not plan.
+    pub failures: u64,
+    /// Times it was skipped (deadline or earlier winner).
+    pub skips: u64,
+    /// Total wall-clock time spent inside the stage.
+    pub total: Duration,
+}
+
+impl StageStats {
+    /// Mean latency per attempt, zero when the stage never ran.
+    pub fn mean_latency(&self) -> Duration {
+        if self.attempts == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.attempts as u32
+        }
+    }
+}
+
+/// Point-in-time engine report: per-stage latencies and win counts,
+/// cache effectiveness, queue pressure and deadline casualties.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlanReport {
+    /// Greedy-stage counters.
+    pub greedy: StageStats,
+    /// Tree-stage counters.
+    pub tree: StageStats,
+    /// Two-phase-stage counters.
+    pub two_phase: StageStats,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests fully planned.
+    pub completed: u64,
+    /// Requests whose deadline expired before every optimizing stage
+    /// could run.
+    pub timeouts: u64,
+    /// Requests currently queued.
+    pub queue_depth: u64,
+    /// Largest queue depth observed.
+    pub queue_peak: u64,
+    /// Time-extended-window cache hits.
+    pub cache_hits: u64,
+    /// Time-extended-window cache misses (materializations).
+    pub cache_misses: u64,
+    /// Distinct memoized windows.
+    pub cache_entries: u64,
+    /// Approximate bytes held by the cache.
+    pub cache_bytes: u64,
+}
+
+impl PlanReport {
+    /// Cache hit rate in `[0, 1]`; zero before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of completed requests that fell through to the
+    /// two-phase fallback.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.two_phase.wins as f64 / self.completed as f64
+        }
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {}/{} planned, {} deadline-degraded, queue {} (peak {})",
+            self.completed, self.submitted, self.timeouts, self.queue_depth, self.queue_peak
+        )?;
+        for (name, s) in [
+            ("greedy", &self.greedy),
+            ("tree", &self.tree),
+            ("two-phase", &self.two_phase),
+        ] {
+            writeln!(
+                f,
+                "  {name:<9} {} attempts, {} wins, {} failures, {} skips, mean {:?}",
+                s.attempts,
+                s.wins,
+                s.failures,
+                s.skips,
+                s.mean_latency()
+            )?;
+        }
+        write!(
+            f,
+            "  timenet cache: {} hits / {} misses ({:.0}% hit), {} windows, ~{} B",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.cache_entries,
+            self.cache_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_bookkeeping_and_rates() {
+        let m = EngineMetrics::new();
+        let cache = TimeNetCache::new();
+        m.record_attempt(Stage::Greedy, &StageOutcome::Won, Duration::from_micros(10));
+        m.record_attempt(
+            Stage::Greedy,
+            &StageOutcome::Failed("x".into()),
+            Duration::from_micros(30),
+        );
+        m.record_skip(Stage::Tree);
+        m.record_enqueue();
+        m.record_enqueue();
+        m.record_dequeue();
+        let r = m.report(&cache);
+        assert_eq!(r.greedy.attempts, 2);
+        assert_eq!(r.greedy.wins, 1);
+        assert_eq!(r.greedy.failures, 1);
+        assert_eq!(r.tree.skips, 1);
+        assert_eq!(r.greedy.mean_latency(), Duration::from_micros(20));
+        assert_eq!(r.submitted, 2);
+        assert_eq!(r.queue_depth, 1);
+        assert_eq!(r.queue_peak, 2);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+        let text = r.to_string();
+        assert!(text.contains("greedy"), "{text}");
+        assert!(text.contains("timenet cache"), "{text}");
+    }
+}

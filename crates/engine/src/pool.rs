@@ -1,0 +1,231 @@
+//! The engine proper: a long-lived worker pool planning request
+//! batches over crossbeam channels.
+
+use crate::cache::TimeNetCache;
+use crate::fallback::{plan_with_chain, PlannedUpdate};
+use crate::metrics::{EngineMetrics, PlanReport};
+use crate::request::UpdateRequest;
+use chronus_net::UpdateInstance;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads planning concurrently.
+    pub workers: usize,
+    /// Deadline given to requests submitted without one.
+    pub default_deadline: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            default_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `workers` threads and the default deadline.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// One queued unit of work: the request plus its position in the
+/// submitting batch and the reply channel to land the answer on.
+struct Job {
+    seq: usize,
+    request: UpdateRequest,
+    reply: Sender<(usize, PlannedUpdate)>,
+}
+
+/// A concurrent batched update-planning engine.
+///
+/// Workers are spawned once and live until the engine is dropped;
+/// batches stream through a shared MPMC queue. All workers share one
+/// time-extended-network cache and one metrics sink.
+///
+/// ```
+/// use chronus_engine::{Engine, EngineConfig};
+/// use chronus_net::motivating_example;
+/// use std::sync::Arc;
+///
+/// let engine = Engine::new(EngineConfig::with_workers(2));
+/// let plans = engine.plan_instances(vec![Arc::new(motivating_example())]);
+/// assert_eq!(plans.len(), 1);
+/// println!("{}", engine.report());
+/// ```
+pub struct Engine {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<TimeNetCache>,
+    metrics: Arc<EngineMetrics>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Spawns the worker pool.
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.workers > 0, "engine needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let cache = Arc::new(TimeNetCache::new());
+        let metrics = Arc::new(EngineMetrics::new());
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx: Receiver<Job> = rx.clone();
+                let cache = cache.clone();
+                let metrics = metrics.clone();
+                thread::Builder::new()
+                    .name(format!("chronus-engine-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            metrics.record_dequeue();
+                            let planned = plan_with_chain(&job.request, &cache, &metrics);
+                            // A dead reply channel means the batch was
+                            // abandoned; planning the rest of the queue
+                            // is still correct, so just keep going.
+                            let _ = job.reply.send((job.seq, planned));
+                        }
+                    })
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            tx: Some(tx),
+            workers,
+            cache,
+            metrics,
+            config,
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Plans a batch, blocking until every request is answered.
+    /// Results come back in submission order regardless of which
+    /// worker finished first.
+    pub fn plan_batch(&self, requests: Vec<UpdateRequest>) -> Vec<PlannedUpdate> {
+        let n = requests.len();
+        let (reply_tx, reply_rx) = unbounded();
+        let tx = self.tx.as_ref().expect("engine running");
+        for (seq, request) in requests.into_iter().enumerate() {
+            self.metrics.record_enqueue();
+            tx.send(Job {
+                seq,
+                request,
+                reply: reply_tx.clone(),
+            })
+            .expect("workers alive while engine is alive");
+        }
+        drop(reply_tx);
+        let mut answers: Vec<(usize, PlannedUpdate)> = reply_rx.iter().collect();
+        debug_assert_eq!(answers.len(), n);
+        answers.sort_by_key(|(seq, _)| *seq);
+        answers.into_iter().map(|(_, planned)| planned).collect()
+    }
+
+    /// Convenience wrapper: one request per instance, ids by batch
+    /// position, all with the default deadline.
+    pub fn plan_instances(&self, instances: Vec<Arc<UpdateInstance>>) -> Vec<PlannedUpdate> {
+        let deadline = self.config.default_deadline;
+        let requests = instances
+            .into_iter()
+            .enumerate()
+            .map(|(i, inst)| UpdateRequest::new(i as u64, inst, deadline))
+            .collect();
+        self.plan_batch(requests)
+    }
+
+    /// Plans a single request.
+    pub fn plan_one(&self, request: UpdateRequest) -> PlannedUpdate {
+        self.plan_batch(vec![request])
+            .pop()
+            .expect("one answer for one request")
+    }
+
+    /// Snapshot of the engine's planning metrics and cache state.
+    pub fn report(&self) -> PlanReport {
+        self.metrics.report(&self.cache)
+    }
+
+    /// The shared time-extended-network cache (for inspection).
+    pub fn cache(&self) -> &TimeNetCache {
+        &self.cache
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the job channel is the shutdown signal; workers
+        // drain what is queued and exit on disconnect.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fallback::Stage;
+    use chronus_net::motivating_example;
+    use chronus_timenet::{FluidSimulator, Verdict};
+
+    #[test]
+    fn plans_a_batch_in_submission_order() {
+        let engine = Engine::new(EngineConfig::with_workers(3));
+        let inst = Arc::new(motivating_example());
+        let plans = engine.plan_instances(vec![inst.clone(); 8]);
+        assert_eq!(plans.len(), 8);
+        for (i, p) in plans.iter().enumerate() {
+            assert_eq!(p.id.0, i as u64, "submission order preserved");
+            assert_eq!(p.winner, Stage::Greedy);
+            let report = FluidSimulator::check(&inst, p.plan.schedule().unwrap());
+            assert_eq!(report.verdict(), Verdict::Consistent);
+        }
+        let report = engine.report();
+        assert_eq!(report.completed, 8);
+        // All requests share one cache key; only workers racing on the
+        // cold key materialize more than once.
+        assert_eq!(report.cache_entries, 1);
+        assert_eq!(report.cache_hits + report.cache_misses, 8);
+        assert!(
+            (1..=3).contains(&report.cache_misses),
+            "misses {}",
+            report.cache_misses
+        );
+        assert!(report.queue_peak >= 1);
+    }
+
+    #[test]
+    fn engine_survives_multiple_batches() {
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        let inst = Arc::new(motivating_example());
+        for round in 1..=3 {
+            let plans = engine.plan_instances(vec![inst.clone(); 4]);
+            assert_eq!(plans.len(), 4);
+            assert_eq!(engine.report().completed, round * 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        let _ = Engine::new(EngineConfig::with_workers(0));
+    }
+}

@@ -1,0 +1,45 @@
+//! Update requests: the unit of work the engine plans.
+
+use chronus_net::UpdateInstance;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine-assigned identifier of one planning request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// One flow-migration planning request.
+///
+/// The instance is `Arc`-shared so that batches over the same topology
+/// do not clone the network per request, and so workers can hold it
+/// without lifetimes.
+#[derive(Clone, Debug)]
+pub struct UpdateRequest {
+    /// Request identifier (echoed in the [`crate::PlannedUpdate`]).
+    pub id: RequestId,
+    /// The single-flow instance to plan.
+    pub instance: Arc<UpdateInstance>,
+    /// Wall-clock budget for the *optimizing* stages. When the budget
+    /// is exhausted, remaining optimizing stages are skipped and the
+    /// chain falls through to the always-available two-phase plan —
+    /// a request never fails for lack of time, it degrades.
+    pub deadline: Duration,
+}
+
+impl UpdateRequest {
+    /// Creates a request with an explicit deadline.
+    pub fn new(id: u64, instance: Arc<UpdateInstance>, deadline: Duration) -> Self {
+        UpdateRequest {
+            id: RequestId(id),
+            instance,
+            deadline,
+        }
+    }
+}

@@ -52,7 +52,13 @@ pub fn instance_to_dot(instance: &UpdateInstance) -> String {
                 shape = "doubleoctagon";
             }
         }
-        let _ = writeln!(out, "  {} [label=\"{}\", shape={}];", s.index(), name, shape);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape={}];",
+            s.index(),
+            name,
+            shape
+        );
     }
 
     for l in net.links() {

@@ -29,12 +29,7 @@ impl Flow {
     /// # Errors
     /// [`NetError::ZeroDemand`], [`NetError::PathTooShort`],
     /// [`NetError::PathNotSimple`] or [`NetError::EndpointMismatch`].
-    pub fn new(
-        id: FlowId,
-        demand: Capacity,
-        initial: Path,
-        fin: Path,
-    ) -> Result<Self, NetError> {
+    pub fn new(id: FlowId, demand: Capacity, initial: Path, fin: Path) -> Result<Self, NetError> {
         if demand == 0 {
             return Err(NetError::ZeroDemand);
         }
@@ -71,9 +66,7 @@ impl Flow {
         self.initial.validate(net)?;
         self.fin.validate(net)?;
         for (u, v) in self.initial.edges().chain(self.fin.edges()) {
-            let cap = net
-                .capacity(u, v)
-                .ok_or(NetError::MissingLink(u, v))?;
+            let cap = net.capacity(u, v).ok_or(NetError::MissingLink(u, v))?;
             if cap < self.demand {
                 return Err(NetError::DemandExceedsCapacity { src: u, dst: v });
             }

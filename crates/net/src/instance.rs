@@ -141,9 +141,7 @@ impl InstanceGenerator {
                     self.cfg.delay_range,
                     &mut rng,
                 ) {
-                    if let Ok(flow) =
-                        Flow::new(FlowId(0), self.cfg.demand, initial.clone(), fin)
-                    {
+                    if let Ok(flow) = Flow::new(FlowId(0), self.cfg.demand, initial.clone(), fin) {
                         if flow.validate(&net2).is_ok() {
                             return UpdateInstance::single(net2, flow).ok();
                         }
@@ -290,11 +288,14 @@ pub fn reversal_instance(n: usize, capacity: Capacity, demand: Capacity) -> Upda
         b.add_link(s(i), s(i + 1), capacity, 1).expect("chain");
     }
     // New path: 0 -> n-2 -> n-3 -> ... -> 1 -> n-1.
-    b.add_link(s(0), s(n - 2), capacity, 1).expect("entry shortcut");
+    b.add_link(s(0), s(n - 2), capacity, 1)
+        .expect("entry shortcut");
     for i in (2..n - 1).rev() {
-        b.add_link(s(i), s(i - 1), capacity, 1).expect("reverse edges");
+        b.add_link(s(i), s(i - 1), capacity, 1)
+            .expect("reverse edges");
     }
-    b.add_link(s(1), s(n - 1), capacity, 1).expect("exit shortcut");
+    b.add_link(s(1), s(n - 1), capacity, 1)
+        .expect("exit shortcut");
     let net = b.build();
     let initial = Path::new((0..n).map(s).collect());
     let mut fin_hops = vec![s(0)];
@@ -341,7 +342,10 @@ mod tests {
     #[test]
     fn paper_config_straddles_the_contention_threshold() {
         let cfg = InstanceGeneratorConfig::paper(10, 0);
-        assert!(cfg.capacity_range.0 < 2 * cfg.demand, "some links contended");
+        assert!(
+            cfg.capacity_range.0 < 2 * cfg.demand,
+            "some links contended"
+        );
         assert!(cfg.capacity_range.1 >= 2 * cfg.demand, "some links safe");
     }
 

@@ -58,7 +58,9 @@ impl Network {
 
     /// Looks up the link `⟨u, v⟩`, if present.
     pub fn link_between(&self, u: SwitchId, v: SwitchId) -> Option<&Link> {
-        self.by_endpoints.get(&(u, v)).map(|i| &self.links[i.index()])
+        self.by_endpoints
+            .get(&(u, v))
+            .map(|i| &self.links[i.index()])
     }
 
     /// Looks up the arena index of link `⟨u, v⟩`, if present.

@@ -97,9 +97,7 @@ impl Path {
     /// The switch following `v` on this path, if `v` is a non-terminal
     /// hop. This is the forwarding rule the path induces at `v`.
     pub fn next_hop(&self, v: SwitchId) -> Option<SwitchId> {
-        self.position(v)
-            .and_then(|i| self.hops.get(i + 1))
-            .copied()
+        self.position(v).and_then(|i| self.hops.get(i + 1)).copied()
     }
 
     /// The switch preceding `v` on this path, if `v` is not the source.
@@ -239,7 +237,10 @@ mod tests {
 
     #[test]
     fn rejects_short_and_looping_paths() {
-        assert_eq!(Path::try_new(ids(&[0])).unwrap_err(), NetError::PathTooShort);
+        assert_eq!(
+            Path::try_new(ids(&[0])).unwrap_err(),
+            NetError::PathTooShort
+        );
         assert_eq!(
             Path::try_new(ids(&[0, 1, 0])).unwrap_err(),
             NetError::PathNotSimple(SwitchId(0))
@@ -283,7 +284,10 @@ mod tests {
     fn edges_and_display() {
         let p = Path::new(ids(&[0, 1, 2]));
         let es: Vec<_> = p.edges().collect();
-        assert_eq!(es, vec![(SwitchId(0), SwitchId(1)), (SwitchId(1), SwitchId(2))]);
+        assert_eq!(
+            es,
+            vec![(SwitchId(0), SwitchId(1)), (SwitchId(1), SwitchId(2))]
+        );
         assert_eq!(p.to_string(), "s0 -> s1 -> s2");
         assert_eq!(p.as_ref().len(), 3);
         let q: Path = ids(&[0, 1, 2]).into();

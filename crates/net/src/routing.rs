@@ -90,12 +90,7 @@ fn reconstruct(prev: &[Option<SwitchId>], src: SwitchId, dst: SwitchId) -> Optio
 /// Yen's algorithm: the `k` delay-shortest *simple* paths from `src` to
 /// `dst`, in non-decreasing delay order. Returns fewer than `k` paths
 /// if the graph does not contain that many.
-pub fn k_shortest_paths(
-    net: &Network,
-    src: SwitchId,
-    dst: SwitchId,
-    k: usize,
-) -> Vec<Path> {
+pub fn k_shortest_paths(net: &Network, src: SwitchId, dst: SwitchId, k: usize) -> Vec<Path> {
     let Some(first) = shortest_path_delay(net, src, dst) else {
         return Vec::new();
     };
@@ -126,9 +121,7 @@ pub fn k_shortest_paths(
                 let total = Path::new(hops);
                 if total.validate(net).is_ok() {
                     let d = total.total_delay(net).expect("validated path has delay");
-                    if !result.contains(&total)
-                        && !candidates.iter().any(|(_, p)| p == &total)
-                    {
+                    if !result.contains(&total) && !candidates.iter().any(|(_, p)| p == &total) {
                         candidates.push((d, total));
                     }
                 }
@@ -350,10 +343,10 @@ mod tests {
         let net = topology::random_connected(topology::TopologyConfig::simulation(20, 3), 15);
         let (g, nodes) = topology::to_petgraph(&net);
         let dist = petgraph::algo::dijkstra(&g, nodes[0], None, |e| *e.weight());
-        for target in 1..20usize {
+        for (target, node) in nodes.iter().enumerate().skip(1) {
             let ours = shortest_path_delay(&net, SwitchId(0), SwitchId(target as u32))
                 .and_then(|p| p.total_delay(&net));
-            let theirs = dist.get(&nodes[target]).copied();
+            let theirs = dist.get(node).copied();
             assert_eq!(ours, theirs, "distance mismatch to node {target}");
         }
     }

@@ -59,8 +59,13 @@ pub fn line(n: usize, p: LinkParams) -> Network {
     assert!(n >= 2, "line topology needs at least two switches");
     let mut b = NetworkBuilder::with_switches(n);
     for i in 0..n - 1 {
-        b.add_duplex_link(SwitchId(i as u32), SwitchId(i as u32 + 1), p.capacity, p.delay)
-            .expect("line links are unique");
+        b.add_duplex_link(
+            SwitchId(i as u32),
+            SwitchId(i as u32 + 1),
+            p.capacity,
+            p.delay,
+        )
+        .expect("line links are unique");
     }
     b.build()
 }
@@ -129,8 +134,13 @@ pub fn binary_tree(n: usize, p: LinkParams) -> Network {
     for i in 0..n {
         for child in [2 * i + 1, 2 * i + 2] {
             if child < n {
-                b.add_duplex_link(SwitchId(i as u32), SwitchId(child as u32), p.capacity, p.delay)
-                    .expect("tree links are unique");
+                b.add_duplex_link(
+                    SwitchId(i as u32),
+                    SwitchId(child as u32),
+                    p.capacity,
+                    p.delay,
+                )
+                .expect("tree links are unique");
             }
         }
     }
@@ -160,15 +170,22 @@ pub fn full_mesh(n: usize, p: LinkParams) -> Network {
 /// # Panics
 /// Panics if `k` is odd or `k < 2`.
 pub fn fat_tree(k: usize, p: LinkParams) -> Network {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let half = k / 2;
     let cores = half * half;
     let aggs = k * half;
     let edges = k * half;
     let mut b = NetworkBuilder::new();
-    let core_ids: Vec<_> = (0..cores).map(|i| b.add_switch(format!("core{i}"))).collect();
+    let core_ids: Vec<_> = (0..cores)
+        .map(|i| b.add_switch(format!("core{i}")))
+        .collect();
     let agg_ids: Vec<_> = (0..aggs).map(|i| b.add_switch(format!("agg{i}"))).collect();
-    let edge_ids: Vec<_> = (0..edges).map(|i| b.add_switch(format!("edge{i}"))).collect();
+    let edge_ids: Vec<_> = (0..edges)
+        .map(|i| b.add_switch(format!("edge{i}")))
+        .collect();
 
     for pod in 0..k {
         for a in 0..half {
@@ -226,7 +243,10 @@ impl TopologyConfig {
 /// # Panics
 /// Panics if `cfg.switches < 2` or the delay range is empty.
 pub fn random_connected(cfg: TopologyConfig, extra_links: usize) -> Network {
-    assert!(cfg.switches >= 2, "random topology needs at least two switches");
+    assert!(
+        cfg.switches >= 2,
+        "random topology needs at least two switches"
+    );
     assert!(
         cfg.delay_range.0 >= 1 && cfg.delay_range.0 <= cfg.delay_range.1,
         "delay range must be non-empty and positive"
@@ -235,8 +255,7 @@ pub fn random_connected(cfg: TopologyConfig, extra_links: usize) -> Network {
     let n = cfg.switches;
     let mut b = NetworkBuilder::with_switches(n);
     let delay = |rng: &mut StdRng| rng.gen_range(cfg.delay_range.0..=cfg.delay_range.1);
-    let capacity =
-        |rng: &mut StdRng| rng.gen_range(cfg.capacity_range.0..=cfg.capacity_range.1);
+    let capacity = |rng: &mut StdRng| rng.gen_range(cfg.capacity_range.0..=cfg.capacity_range.1);
 
     // Random spanning tree: attach each node to a random earlier node.
     for i in 1..n {
@@ -278,18 +297,22 @@ pub fn random_connected(cfg: TopologyConfig, extra_links: usize) -> Network {
 /// Panics if `cfg.switches < 2`, the delay range is empty, or
 /// `alpha`/`beta` are outside `(0, 1]`.
 pub fn waxman(cfg: TopologyConfig, alpha: f64, beta: f64) -> Network {
-    assert!(cfg.switches >= 2, "waxman topology needs at least two switches");
+    assert!(
+        cfg.switches >= 2,
+        "waxman topology needs at least two switches"
+    );
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
     assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n = cfg.switches;
-    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let l = std::f64::consts::SQRT_2;
 
     let mut b = NetworkBuilder::with_switches(n);
     let delay = |rng: &mut StdRng| rng.gen_range(cfg.delay_range.0..=cfg.delay_range.1);
-    let capacity =
-        |rng: &mut StdRng| rng.gen_range(cfg.capacity_range.0..=cfg.capacity_range.1);
+    let capacity = |rng: &mut StdRng| rng.gen_range(cfg.capacity_range.0..=cfg.capacity_range.1);
     // Connectivity backbone.
     for i in 1..n {
         let j = rng.gen_range(0..i);
@@ -304,8 +327,7 @@ pub fn waxman(cfg: TopologyConfig, alpha: f64, beta: f64) -> Network {
             if b.has_link(su, sv) {
                 continue;
             }
-            let dist =
-                ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+            let dist = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
             let prob = alpha * (-dist / (beta * l)).exp();
             if rng.gen::<f64>() < prob {
                 let d = delay(&mut rng);

@@ -139,7 +139,11 @@ impl fmt::Display for OfMessage {
             OfMessage::BarrierRequest(x) => write!(f, "BarrierRequest[xid={x}]"),
             OfMessage::BarrierReply(x) => write!(f, "BarrierReply[xid={x}]"),
             OfMessage::StatsRequest(x) => write!(f, "StatsRequest[xid={x}]"),
-            OfMessage::StatsReply { xid, packets, bytes } => {
+            OfMessage::StatsReply {
+                xid,
+                packets,
+                bytes,
+            } => {
                 write!(f, "StatsReply[xid={xid} pkts={packets} bytes={bytes}]")
             }
             OfMessage::PacketIn { xid, bytes } => write!(f, "PacketIn[xid={xid} bytes={bytes}]"),

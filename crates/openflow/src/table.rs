@@ -230,7 +230,6 @@ impl FlowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::Ipv4Prefix;
 
     fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
         u32::from_be_bytes([a, b, c, d])
@@ -243,8 +242,12 @@ mod tests {
     #[test]
     fn add_lookup_and_counters() {
         let mut t = FlowTable::new();
-        let r1 = t.add(10, dst("10.0.1.0/24"), vec![Action::Output(1)]).unwrap();
-        let _r2 = t.add(10, dst("10.0.0.0/8"), vec![Action::Output(2)]).unwrap();
+        let r1 = t
+            .add(10, dst("10.0.1.0/24"), vec![Action::Output(1)])
+            .unwrap();
+        let _r2 = t
+            .add(10, dst("10.0.0.0/8"), vec![Action::Output(2)])
+            .unwrap();
         let pkt = Packet::new(3, ip(10, 1, 0, 1), ip(10, 0, 1, 5));
         // LPM: /24 wins over /8 at equal priority.
         assert_eq!(t.lookup(&pkt).unwrap().id, r1);
@@ -258,8 +261,12 @@ mod tests {
     #[test]
     fn priority_beats_prefix_length() {
         let mut t = FlowTable::new();
-        let _long = t.add(1, dst("10.0.1.0/30"), vec![Action::Output(1)]).unwrap();
-        let high = t.add(9, dst("10.0.0.0/8"), vec![Action::Output(2)]).unwrap();
+        let _long = t
+            .add(1, dst("10.0.1.0/30"), vec![Action::Output(1)])
+            .unwrap();
+        let high = t
+            .add(9, dst("10.0.0.0/8"), vec![Action::Output(2)])
+            .unwrap();
         let pkt = Packet::new(0, 0, ip(10, 0, 1, 1));
         assert_eq!(t.lookup(&pkt).unwrap().id, high);
     }
@@ -267,7 +274,8 @@ mod tests {
     #[test]
     fn table_miss_returns_empty() {
         let mut t = FlowTable::new();
-        t.add(5, dst("10.0.1.0/24"), vec![Action::Output(1)]).unwrap();
+        t.add(5, dst("10.0.1.0/24"), vec![Action::Output(1)])
+            .unwrap();
         let pkt = Packet::new(0, 0, ip(192, 168, 0, 1));
         assert!(t.lookup(&pkt).is_none());
         assert!(t.process(&pkt).is_empty());
@@ -286,7 +294,9 @@ mod tests {
     #[test]
     fn modify_actions_in_place() {
         let mut t = FlowTable::with_capacity_limit(1);
-        let id = t.add(5, dst("10.0.2.0/24"), vec![Action::Output(1)]).unwrap();
+        let id = t
+            .add(5, dst("10.0.2.0/24"), vec![Action::Output(1)])
+            .unwrap();
         // The Chronus primitive: rewrite the action with the table full.
         t.modify_actions(id, vec![Action::Output(7)]).unwrap();
         assert_eq!(t.len(), 1);
@@ -301,8 +311,12 @@ mod tests {
     #[test]
     fn remove_and_remove_where() {
         let mut t = FlowTable::new();
-        let a = t.add(1, dst("10.0.1.0/24"), vec![Action::Output(1)]).unwrap();
-        let _b = t.add(2, dst("10.0.2.0/24"), vec![Action::Output(2)]).unwrap();
+        let a = t
+            .add(1, dst("10.0.1.0/24"), vec![Action::Output(1)])
+            .unwrap();
+        let _b = t
+            .add(2, dst("10.0.2.0/24"), vec![Action::Output(2)])
+            .unwrap();
         let removed = t.remove(a).unwrap();
         assert_eq!(removed.id, a);
         assert_eq!(t.len(), 1);
@@ -315,11 +329,17 @@ mod tests {
     #[test]
     fn deterministic_tie_break_prefers_older_rule() {
         let mut t = FlowTable::new();
-        let first = t.add(5, dst("10.0.0.0/8"), vec![Action::Output(1)]).unwrap();
-        let _second = t.add(5, dst("10.1.0.0/8"), vec![Action::Output(2)]).unwrap();
+        let first = t
+            .add(5, dst("10.0.0.0/8"), vec![Action::Output(1)])
+            .unwrap();
+        let _second = t
+            .add(5, dst("10.1.0.0/8"), vec![Action::Output(2)])
+            .unwrap();
         // Both /8, same priority; only the first matches this packet
         // anyway, but craft an overlap to check the id tie-break:
-        let _third = t.add(5, dst("10.0.0.0/8"), vec![Action::Output(3)]).unwrap();
+        let _third = t
+            .add(5, dst("10.0.0.0/8"), vec![Action::Output(3)])
+            .unwrap();
         let pkt = Packet::new(0, 0, ip(10, 0, 0, 1));
         assert_eq!(t.lookup(&pkt).unwrap().id, first);
     }

@@ -47,7 +47,9 @@ impl Ipv4Prefix {
         }
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits (a /0 is `is_any`, not "empty" — there is
+    /// deliberately no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -170,7 +170,13 @@ pub fn solve_binary(model: &IlpModel, budget: Duration) -> SolveResult {
         // Bound against the incumbent (objective coefficients are
         // non-negative in our models).
         let committed_obj: i64 = (0..i)
-            .map(|vi| if assignment[vi] { model.objective[vi] } else { 0 })
+            .map(|vi| {
+                if assignment[vi] {
+                    model.objective[vi]
+                } else {
+                    0
+                }
+            })
             .sum();
         if let Some((incumbent, _)) = best {
             if committed_obj >= *incumbent {
@@ -180,7 +186,7 @@ pub fn solve_binary(model: &IlpModel, budget: Duration) -> SolveResult {
         if i == model.variables.len() {
             if model.is_feasible(assignment) {
                 let val = model.objective_value(assignment);
-                let better = best.as_ref().map_or(true, |(b, _)| val < *b);
+                let better = best.as_ref().is_none_or(|(b, _)| val < *b);
                 if better {
                     *best = Some((val, assignment.clone()));
                 }
@@ -302,9 +308,8 @@ pub fn build_mutp_ilp(
             .iter()
             .position(|&(a, b)| vi >= a && vi < b)
             .expect("variable belongs to a flow range");
-        let single =
-            UpdateInstance::single(instance.network.clone(), instance.flows[fi].clone())
-                .expect("validated");
+        let single = UpdateInstance::single(instance.network.clone(), instance.flows[fi].clone())
+            .expect("validated");
         let report = FluidSimulator::with_config(&single, SimulatorConfig::default()).run(s);
         for (&(u, v), series) in &report.link_loads {
             for (&t, &load) in series {
@@ -419,8 +424,7 @@ mod tests {
     fn ilp_agrees_with_search_on_motivating_example() {
         let inst = motivating_example();
         let search = optimal_schedule(&inst).unwrap();
-        let (schedule, makespan) =
-            ilp_optimal(&inst, 4, Duration::from_secs(60)).unwrap();
+        let (schedule, makespan) = ilp_optimal(&inst, 4, Duration::from_secs(60)).unwrap();
         assert_eq!(makespan, search.makespan);
         let report = FluidSimulator::check(&inst, &schedule);
         assert_eq!(report.verdict(), Verdict::Consistent, "{report}");

@@ -199,6 +199,10 @@ enum Outcome {
     TimedOut,
 }
 
+/// Memo key: (next step, remaining-switch bitset, time-shifted recent
+/// assignments) — see [`Searcher::memo_key`].
+type MemoKey = (TimeStep, u64, Vec<(usize, TimeStep)>);
+
 struct Searcher<'a> {
     instance: &'a UpdateInstance,
     sim: &'a FluidSimulator<'a>,
@@ -206,7 +210,7 @@ struct Searcher<'a> {
     makespan: TimeStep,
     drain: TimeStep,
     deadline: Instant,
-    memo: HashSet<(TimeStep, u64, Vec<(usize, TimeStep)>)>,
+    memo: HashSet<MemoKey>,
     stats: &'a mut Stats,
 }
 
@@ -218,12 +222,7 @@ impl<'a> Searcher<'a> {
     /// fully drained, and which rules are new is captured by
     /// `remaining`. Two states agreeing on this key have identical
     /// futures, so memoizing their exhaustion is sound.
-    fn memo_key(
-        &self,
-        t: TimeStep,
-        remaining: u64,
-        schedule: &Schedule,
-    ) -> (TimeStep, u64, Vec<(usize, TimeStep)>) {
+    fn memo_key(&self, t: TimeStep, remaining: u64, schedule: &Schedule) -> MemoKey {
         let window_start = t - self.drain;
         let mut recent: Vec<(usize, TimeStep)> = self
             .items

@@ -175,9 +175,30 @@ impl<'a> TimeExtendedNetwork<'a> {
     /// Materializes every node in the window (mainly for tests and
     /// small-scale rendering — prefer the on-demand accessors).
     pub fn nodes(&self) -> impl Iterator<Item = TeNode> + '_ {
-        (self.t_min..=self.t_max).flat_map(move |t| {
-            self.base.switches().map(move |s| TeNode::new(s, t))
-        })
+        (self.t_min..=self.t_max)
+            .flat_map(move |t| self.base.switches().map(move |s| TeNode::new(s, t)))
+    }
+
+    /// Materializes the whole window into an owned snapshot — the
+    /// representation shared across planning threads by the engine's
+    /// time-extended-network cache, where the borrow of the base
+    /// [`Network`] cannot be held.
+    pub fn materialize(&self) -> MaterializedTimeNet {
+        let nodes = self.nodes().collect();
+        let mut links = Vec::with_capacity(self.link_count());
+        for t in self.t_min..=self.t_max {
+            for l in self.base.links() {
+                if let Some(tl) = self.link_at(l.src, l.dst, t) {
+                    links.push(tl);
+                }
+            }
+        }
+        MaterializedTimeNet {
+            t_min: self.t_min,
+            t_max: self.t_max,
+            nodes,
+            links,
+        }
     }
 
     /// Renders an ASCII sketch of the window: one line per time step
@@ -194,6 +215,67 @@ impl<'a> TimeExtendedNetwork<'a> {
             out.push('\n');
         }
         out
+    }
+}
+
+/// An owned snapshot of a [`TimeExtendedNetwork`] window: every node
+/// and link materialized into vectors.
+///
+/// Unlike the virtual view, this carries no borrow of the base
+/// [`Network`], so it can live inside `Arc`-shared caches and cross
+/// thread boundaries — the engine memoizes one per
+/// `(topology, flow, horizon)` key. Nodes are ordered by time step
+/// then switch id; links by departure step in base-link order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaterializedTimeNet {
+    t_min: TimeStep,
+    t_max: TimeStep,
+    /// Every `v(t)` in the window.
+    pub nodes: Vec<TeNode>,
+    /// Every `u(t) → v(t + σ)` whose endpoints both fall in the window.
+    pub links: Vec<TeLink>,
+}
+
+impl MaterializedTimeNet {
+    /// Start of the time window (inclusive).
+    pub fn t_min(&self) -> TimeStep {
+        self.t_min
+    }
+
+    /// End of the time window (inclusive).
+    pub fn t_max(&self) -> TimeStep {
+        self.t_max
+    }
+
+    /// Number of time steps in the window (`|T|`).
+    pub fn step_count(&self) -> usize {
+        (self.t_max - self.t_min + 1) as usize
+    }
+
+    /// Outgoing links of `u(t)` (linear scan; the snapshot is meant
+    /// for reuse, not asymptotics).
+    pub fn out_links(&self, node: TeNode) -> impl Iterator<Item = &TeLink> + '_ {
+        self.links.iter().filter(move |l| l.from == node)
+    }
+
+    /// Approximate heap footprint in bytes, used by the engine's cache
+    /// accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<TeNode>()
+            + self.links.len() * std::mem::size_of::<TeLink>()
+    }
+}
+
+impl fmt::Display for MaterializedTimeNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "G_T[{}..={}]: {} nodes, {} links",
+            self.t_min,
+            self.t_max,
+            self.nodes.len(),
+            self.links.len()
+        )
     }
 }
 
@@ -278,6 +360,36 @@ mod tests {
     #[test]
     fn node_display() {
         assert_eq!(TeNode::new(sid(2), -1).to_string(), "s2(t-1)");
+    }
+
+    #[test]
+    fn materialize_matches_virtual_view() {
+        let net = topology::ring(4, LinkParams::default());
+        let te = TimeExtendedNetwork::new(&net, -2, 3);
+        let mat = te.materialize();
+        assert_eq!(mat.t_min(), te.t_min());
+        assert_eq!(mat.t_max(), te.t_max());
+        assert_eq!(mat.step_count(), te.step_count());
+        assert_eq!(mat.nodes.len(), te.node_count());
+        assert_eq!(mat.links.len(), te.link_count());
+        // Every materialized link is reproducible on demand, and
+        // per-node adjacency agrees.
+        for l in &mat.links {
+            assert_eq!(
+                te.link_at(l.from.switch, l.to.switch, l.from.time),
+                Some(*l)
+            );
+        }
+        for &n in &mat.nodes {
+            let mut virt = te.out_links(n);
+            let mat_out: Vec<TeLink> = mat.out_links(n).copied().collect();
+            virt.sort_by_key(|l| (l.to.switch, l.to.time));
+            let mut mat_sorted = mat_out;
+            mat_sorted.sort_by_key(|l| (l.to.switch, l.to.time));
+            assert_eq!(virt, mat_sorted);
+        }
+        assert!(mat.approx_bytes() > 0);
+        assert!(mat.to_string().contains("nodes"));
     }
 
     #[test]

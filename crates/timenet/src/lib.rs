@@ -29,7 +29,7 @@ mod report;
 mod schedule;
 mod simulate;
 
-pub use extended::{TeLink, TeNode, TimeExtendedNetwork};
+pub use extended::{MaterializedTimeNet, TeLink, TeNode, TimeExtendedNetwork};
 pub use occupancy::render_occupancy;
 pub use report::{BlackholeEvent, CongestionEvent, LoopEvent, SimulationReport, Verdict};
 pub use schedule::Schedule;

@@ -123,9 +123,6 @@ mod tests {
             [(chronus_net::SwitchId(0), 0), (chronus_net::SwitchId(1), 0)],
         );
         let text = render_occupancy(&inst, &bad, 0, 8);
-        assert!(
-            text.contains("2/1!"),
-            "expected an overload cell:\n{text}"
-        );
+        assert!(text.contains("2/1!"), "expected an overload cell:\n{text}");
     }
 }

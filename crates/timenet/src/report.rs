@@ -244,7 +244,10 @@ mod tests {
             .extend([(0, 1), (1, 2)]);
         assert_eq!(r.peak_load(SwitchId(0), SwitchId(1)), 2);
         assert_eq!(r.peak_load(SwitchId(1), SwitchId(0)), 0);
-        assert_eq!(r.load_series(SwitchId(0), SwitchId(1)), vec![(0, 1), (1, 2)]);
+        assert_eq!(
+            r.load_series(SwitchId(0), SwitchId(1)),
+            vec![(0, 1), (1, 2)]
+        );
     }
 
     #[test]

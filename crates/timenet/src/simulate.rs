@@ -94,8 +94,7 @@ impl<'a> FluidSimulator<'a> {
     /// deliberately broken schedule is how blackholes are studied); use
     /// [`Schedule::validate`] first if completeness matters.
     pub fn run(&self, schedule: &Schedule) -> SimulationReport {
-        let mut loads: HashMap<(SwitchId, SwitchId), HashMap<TimeStep, Capacity>> =
-            HashMap::new();
+        let mut loads: HashMap<(SwitchId, SwitchId), HashMap<TimeStep, Capacity>> = HashMap::new();
         let mut report = SimulationReport::default();
         let makespan = schedule.makespan().unwrap_or(0).max(0);
 
@@ -198,11 +197,7 @@ impl<'a> FluidSimulator<'a> {
                     });
                     break;
                 };
-                let cell = loads
-                    .entry((at, next))
-                    .or_default()
-                    .entry(now)
-                    .or_insert(0);
+                let cell = loads.entry((at, next)).or_default().entry(now).or_insert(0);
                 *cell += flow.demand;
                 if self.config.fail_fast && now >= 0 && *cell > link.capacity {
                     report.congestion.push(CongestionEvent {
@@ -231,7 +226,7 @@ impl<'a> FluidSimulator<'a> {
                 && report
                     .blackholes
                     .last()
-                    .map_or(true, |b| b.flow != flow.id || b.emitted_at != tau)
+                    .is_none_or(|b| b.flow != flow.id || b.emitted_at != tau)
             {
                 report.undelivered.push((flow.id, tau));
             }

@@ -42,11 +42,11 @@ fn main() {
         if (l.src, l.dst) == (fa, fb) || (l.src, l.dst) == (fb, fa) {
             continue;
         }
-        b.add_link(l.src, l.dst, l.capacity, l.delay).expect("copied links");
+        b.add_link(l.src, l.dst, l.capacity, l.delay)
+            .expect("copied links");
     }
     let degraded = b.build();
-    let failover =
-        shortest_path_delay(&degraded, src, dst).expect("grid survives one link down");
+    let failover = shortest_path_delay(&degraded, src, dst).expect("grid survives one link down");
     println!("failover   : {failover}\n");
 
     // The evacuation runs on the live fabric (the link is still up

@@ -23,7 +23,10 @@ fn main() {
     println!("topology : 6 switches, unit capacity, unit delay");
     println!("initial  : {}", flow.initial);
     println!("final    : {}", flow.fin);
-    println!("demand   : {} (links cannot hold old + new flow at once)\n", flow.demand);
+    println!(
+        "demand   : {} (links cannot hold old + new flow at once)\n",
+        flow.demand
+    );
 
     // 1. Does any consistent timed sequence exist? (Algorithm 1)
     match check_feasibility(&instance) {
@@ -38,11 +41,19 @@ fn main() {
     let outcome = greedy_schedule(&instance).expect("the example is feasible");
     let report = FluidSimulator::check(&instance, &outcome.schedule);
     assert_eq!(report.verdict(), Verdict::Consistent);
-    println!("\ngreedy schedule (|T| = {} steps):\n{}", outcome.makespan + 1, outcome.schedule);
+    println!(
+        "\ngreedy schedule (|T| = {} steps):\n{}",
+        outcome.makespan + 1,
+        outcome.schedule
+    );
 
     // 3. How close to optimal?
     let opt = optimal_schedule(&instance).expect("small instance solves exactly");
-    println!("optimal |T| = {} steps (greedy {})", opt.makespan + 1, outcome.makespan + 1);
+    println!(
+        "optimal |T| = {} steps (greedy {})",
+        opt.makespan + 1,
+        outcome.makespan + 1
+    );
 
     // 4. The controller-side plan (Algorithm 5).
     println!("\nexecution plan:");

@@ -24,7 +24,9 @@ fn main() {
     println!("final   : {}\n", flow.fin);
 
     let schedule = greedy_schedule(&instance).expect("feasible").schedule;
-    let rounds = or_rounds(&instance, OrConfig::default()).expect("OR plan").rounds;
+    let rounds = or_rounds(&instance, OrConfig::default())
+        .expect("OR plan")
+        .rounds;
 
     let drivers = vec![
         ("Chronus", UpdateDriver::chronus(schedule, &instance)),

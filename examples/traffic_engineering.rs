@@ -39,7 +39,8 @@ fn main() {
         (3, 4, 1),
         (4, 2, 1),
     ] {
-        b.add_duplex_link(v(x), v(y), 500, delay).expect("unique links");
+        b.add_duplex_link(v(x), v(y), 500, delay)
+            .expect("unique links");
     }
     let net = b.build();
 
@@ -82,7 +83,10 @@ fn main() {
     // network is congested until the second one follows. The greedy
     // therefore (correctly, by its own contract) reports infeasible…
     let greedy = greedy_schedule(&instance);
-    println!("greedy (prefix-safe plans only): {:?}", greedy.err().map(|e| e.to_string()));
+    println!(
+        "greedy (prefix-safe plans only): {:?}",
+        greedy.err().map(|e| e.to_string())
+    );
 
     // …while the exact solver explores transiently-committed states
     // and finds the tightly-coupled schedule.

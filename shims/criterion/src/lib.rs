@@ -1,0 +1,292 @@
+//! Minimal offline shim of the `criterion` crate (0.5 API subset).
+//!
+//! A plain wall-clock timing harness: each benchmark is warmed up,
+//! then measured over a time-boxed batch of iterations, and the mean
+//! ns/iter is printed (plus elements/sec when a [`Throughput`] is
+//! set on the group). No statistics, plots or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `"<name>/<parameter>"`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Work-per-iteration hint used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<Measurement>,
+    measurement_time: Duration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warm-up, then a time-boxed batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (compulsory — it may also be the
+        // only call for very slow routines).
+        black_box(routine());
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 10_000 {
+                break;
+            }
+        }
+        self.measured = Some(Measurement {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+}
+
+/// The harness entry point. One instance runs every registered bench.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measurement_time = self.measurement_time;
+        run_one(None, &id.into(), None, measurement_time, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    _criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput hint (reported as a rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the group's measurement budget.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Kept for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benches a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            Some(&self.name),
+            &id.into(),
+            self.throughput,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Benches a function with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            Some(&self.name),
+            &id.into(),
+            self.throughput,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut bencher = Bencher {
+        measured: None,
+        measurement_time,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some(m) if m.iters > 0 => {
+            let per_iter_ns = m.total.as_nanos() as f64 / m.iters as f64;
+            let rate = throughput.map(|tp| {
+                let (unit, count) = match tp {
+                    Throughput::Elements(n) => ("elem/s", n),
+                    Throughput::Bytes(n) => ("B/s", n),
+                };
+                let per_sec = count as f64 * m.iters as f64 / m.total.as_secs_f64();
+                format!("  {per_sec:.1} {unit}")
+            });
+            println!(
+                "bench {label:<40} {per_iter_ns:>14.0} ns/iter ({} iters){}",
+                m.iters,
+                rate.unwrap_or_default()
+            );
+        }
+        _ => println!("bench {label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Registers a group-running function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 1, "routine ran: {calls}");
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,319 @@
+//! Minimal offline shim of the `petgraph` crate (0.6 API subset):
+//! a directed adjacency-list graph plus the two algorithms the
+//! workspace uses (`dijkstra`, `kosaraju_scc`).
+
+#![forbid(unsafe_code)]
+
+/// Graph data structures.
+pub mod graph {
+    /// Index of a node in a [`DiGraph`].
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+    pub struct NodeIndex(usize);
+
+    impl NodeIndex {
+        /// Creates an index from a raw `usize`.
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i)
+        }
+
+        /// The raw index.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Index of an edge in a [`DiGraph`].
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    pub struct EdgeIndex(usize);
+
+    impl EdgeIndex {
+        /// The raw index.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    pub(crate) struct Edge<E> {
+        pub(crate) source: usize,
+        pub(crate) target: usize,
+        pub(crate) weight: E,
+    }
+
+    /// A directed graph with node weights `N` and edge weights `E`.
+    #[derive(Default)]
+    pub struct DiGraph<N, E> {
+        pub(crate) nodes: Vec<N>,
+        pub(crate) edges: Vec<Edge<E>>,
+        // Outgoing edge ids per node, in insertion order.
+        pub(crate) out: Vec<Vec<usize>>,
+    }
+
+    /// Borrowed view of one edge, as yielded to algorithm callbacks.
+    #[derive(Debug)]
+    pub struct EdgeReference<'a, E> {
+        pub(crate) id: usize,
+        pub(crate) source: usize,
+        pub(crate) target: usize,
+        pub(crate) weight: &'a E,
+    }
+
+    // Manual impls: the derive would add an unwanted `E: Clone/Copy`
+    // bound even though only a reference to `E` is held.
+    impl<E> Clone for EdgeReference<'_, E> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<E> Copy for EdgeReference<'_, E> {}
+
+    impl<'a, E> EdgeReference<'a, E> {
+        /// The edge's weight.
+        pub fn weight(&self) -> &'a E {
+            self.weight
+        }
+
+        /// The edge's tail node.
+        pub fn source(&self) -> NodeIndex {
+            NodeIndex(self.source)
+        }
+
+        /// The edge's head node.
+        pub fn target(&self) -> NodeIndex {
+            NodeIndex(self.target)
+        }
+
+        /// The edge's id.
+        pub fn id(&self) -> EdgeIndex {
+            EdgeIndex(self.id)
+        }
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// An empty graph.
+        pub fn new() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                out: Vec::new(),
+            }
+        }
+
+        /// Adds a node and returns its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            self.out.push(Vec::new());
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds a directed edge `a → b`.
+        ///
+        /// # Panics
+        /// Panics if either endpoint is out of bounds.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
+            self.edges.push(Edge {
+                source: a.0,
+                target: b.0,
+                weight,
+            });
+            let id = self.edges.len() - 1;
+            self.out[a.0].push(id);
+            EdgeIndex(id)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// The weight of `node`.
+        pub fn node_weight(&self, node: NodeIndex) -> Option<&N> {
+            self.nodes.get(node.0)
+        }
+
+        /// Outgoing edges of `node`, in insertion order.
+        pub fn edges(&self, node: NodeIndex) -> impl Iterator<Item = EdgeReference<'_, E>> {
+            self.out[node.0].iter().map(move |&id| {
+                let e = &self.edges[id];
+                EdgeReference {
+                    id,
+                    source: e.source,
+                    target: e.target,
+                    weight: &e.weight,
+                }
+            })
+        }
+    }
+}
+
+/// Graph algorithms.
+pub mod algo {
+    use super::graph::{DiGraph, EdgeReference, NodeIndex};
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+    use std::ops::Add;
+
+    /// Single-source shortest path lengths by Dijkstra's algorithm.
+    ///
+    /// `edge_cost` maps each edge to a non-negative cost; returns the
+    /// distance map of every node reachable from `start`. Stops early
+    /// once `goal` (if given) is settled.
+    pub fn dijkstra<N, E, K, F>(
+        graph: &DiGraph<N, E>,
+        start: NodeIndex,
+        goal: Option<NodeIndex>,
+        mut edge_cost: F,
+    ) -> HashMap<NodeIndex, K>
+    where
+        K: Copy + Ord + Add<Output = K> + Default,
+        F: FnMut(EdgeReference<'_, E>) -> K,
+    {
+        let mut dist: HashMap<NodeIndex, K> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
+        dist.insert(start, K::default());
+        heap.push(Reverse((K::default(), start.index())));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let u_ix = NodeIndex::new(u);
+            if dist.get(&u_ix).is_none_or(|&best| d > best) {
+                continue; // stale entry
+            }
+            if goal == Some(u_ix) {
+                break;
+            }
+            for e in graph.edges(u_ix) {
+                let next = d + edge_cost(e);
+                let v = e.target();
+                if dist.get(&v).is_none_or(|&best| next < best) {
+                    dist.insert(v, next);
+                    heap.push(Reverse((next, v.index())));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Strongly connected components by Kosaraju's algorithm, in
+    /// reverse topological order of the condensation.
+    pub fn kosaraju_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeIndex>> {
+        let n = graph.node_count();
+        // Pass 1: iterative DFS on G, recording finish order.
+        let mut finish: Vec<usize> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for root in 0..n {
+            if seen[root] {
+                continue;
+            }
+            // Stack of (node, next out-edge position).
+            let mut stack = vec![(root, 0usize)];
+            seen[root] = true;
+            while let Some(&(u, pos)) = stack.last() {
+                match graph.edges(NodeIndex::new(u)).nth(pos) {
+                    Some(e) => {
+                        stack.last_mut().expect("non-empty").1 = pos + 1;
+                        let v = e.target().index();
+                        if !seen[v] {
+                            seen[v] = true;
+                            stack.push((v, 0));
+                        }
+                    }
+                    None => {
+                        finish.push(u);
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        // Transposed adjacency.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for e in graph.edges(NodeIndex::new(u)) {
+                rev[e.target().index()].push(u);
+            }
+        }
+        // Pass 2: DFS on Gᵀ in reverse finish order.
+        let mut comp = vec![usize::MAX; n];
+        let mut sccs: Vec<Vec<NodeIndex>> = Vec::new();
+        for &root in finish.iter().rev() {
+            if comp[root] != usize::MAX {
+                continue;
+            }
+            let id = sccs.len();
+            let mut members = Vec::new();
+            let mut stack = vec![root];
+            comp[root] = id;
+            while let Some(u) = stack.pop() {
+                members.push(NodeIndex::new(u));
+                for &v in &rev[u] {
+                    if comp[v] == usize::MAX {
+                        comp[v] = id;
+                        stack.push(v);
+                    }
+                }
+            }
+            sccs.push(members);
+        }
+        sccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::algo::{dijkstra, kosaraju_scc};
+    use super::graph::DiGraph;
+
+    #[test]
+    fn dijkstra_shortest_distances() {
+        let mut g: DiGraph<(), u64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(a, c, 5);
+        g.add_edge(c, d, 2);
+        let dist = dijkstra(&g, a, None, |e| *e.weight());
+        assert_eq!(dist[&a], 0);
+        assert_eq!(dist[&b], 1);
+        assert_eq!(dist[&c], 2);
+        assert_eq!(dist[&d], 4);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_absent() {
+        let mut g: DiGraph<(), u64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let dist = dijkstra(&g, a, None, |e| *e.weight());
+        assert!(dist.contains_key(&a));
+        assert!(!dist.contains_key(&b));
+    }
+
+    #[test]
+    fn scc_counts() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(b, c, ());
+        let sccs = kosaraju_scc(&g);
+        assert_eq!(sccs.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = sccs.iter().map(Vec::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2]);
+        // Fully connected: one component.
+        g.add_edge(c, a, ());
+        assert_eq!(kosaraju_scc(&g).len(), 1);
+    }
+}

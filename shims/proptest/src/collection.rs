@@ -1,0 +1,69 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Acceptable length specifications for [`vec`].
+pub trait SizeRange {
+    /// Draws a length.
+    fn draw(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn draw(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.len.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing vectors whose elements come from `element`
+/// and whose length comes from `len`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn vec_respects_length_spec() {
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let v = vec(0u8..4, 1..24).generate(&mut rng);
+            assert!((1..24).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+            let fixed = vec((0u32..20, 0i64..50), 5usize).generate(&mut rng);
+            assert_eq!(fixed.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::strategy::{any, Any, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Alias module matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}

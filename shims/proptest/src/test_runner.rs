@@ -1,0 +1,76 @@
+//! Deterministic case runner support.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the shim keeps suites fast.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case (carried out of the case closure by the
+/// `prop_assert*` macros).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic seed of `case` within the test named `path`
+/// (FNV-1a over the path, mixed with the case index).
+pub fn case_seed(path: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Builds the generator for one case.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_case_and_path() {
+        assert_ne!(case_seed("a::b", 0), case_seed("a::b", 1));
+        assert_ne!(case_seed("a::b", 0), case_seed("a::c", 0));
+        assert_eq!(case_seed("a::b", 3), case_seed("a::b", 3));
+    }
+}

@@ -18,7 +18,10 @@
 //!   comparison schemes;
 //! - [`openflow`] — the OpenFlow-style data-plane substrate;
 //! - [`clock`] — the Time4-style synchronized-clock substrate;
-//! - [`emu`] — the discrete-event emulator standing in for Mininet.
+//! - [`emu`] — the discrete-event emulator standing in for Mininet;
+//! - [`engine`] — the concurrent batched update-planning engine:
+//!   worker-pool planning with per-request deadlines and the
+//!   greedy → tree → two-phase fallback chain.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +37,20 @@
 //! println!("update in {} steps:\n{}", outcome.makespan + 1, outcome.schedule);
 //! ```
 //!
+//! To plan a whole batch concurrently, hand the instances to the
+//! engine instead of calling the scheduler per flow:
+//!
+//! ```
+//! use chronus::engine::{Engine, EngineConfig};
+//! use chronus::net::motivating_example;
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(EngineConfig::with_workers(2));
+//! let plans = engine.plan_instances(vec![Arc::new(motivating_example()); 8]);
+//! assert!(plans.iter().all(|p| p.plan.schedule().is_some()));
+//! println!("{}", engine.report());
+//! ```
+//!
 //! Run `cargo run -p chronus-bench --release --bin walkthrough` for the
 //! paper's worked example, and the `fig6`…`fig11`/`table2` binaries to
 //! regenerate every figure and table of the evaluation (see
@@ -46,6 +63,7 @@ pub use chronus_baselines as baselines;
 pub use chronus_clock as clock;
 pub use chronus_core as core;
 pub use chronus_emu as emu;
+pub use chronus_engine as engine;
 pub use chronus_net as net;
 pub use chronus_openflow as openflow;
 pub use chronus_opt as opt;

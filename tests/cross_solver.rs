@@ -51,7 +51,10 @@ fn search_and_oracle_agree_on_optimal_makespan() {
             _ => {}
         }
     }
-    assert!(compared >= 2, "need a few solvable instances, got {compared}");
+    assert!(
+        compared >= 2,
+        "need a few solvable instances, got {compared}"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn ilp_route_matches_search_route() {
             _ => {}
         }
     }
-    assert!(compared >= 2, "need a few comparable instances, got {compared}");
+    assert!(
+        compared >= 2,
+        "need a few comparable instances, got {compared}"
+    );
 }
 
 #[test]
@@ -97,10 +103,7 @@ fn ilp_model_structure_is_well_formed() {
                 assert!(coeff > 0);
             }
         }
-        assert!(model
-            .constraints
-            .iter()
-            .any(|c| c.label.contains("(3b)")));
+        assert!(model.constraints.iter().any(|c| c.label.contains("(3b)")));
         let lp = model.to_lp_string();
         assert!(lp.contains("Minimize") && lp.contains("End"));
     }

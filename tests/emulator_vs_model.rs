@@ -42,7 +42,9 @@ fn certified_random_instances_replay_cleanly() {
     let mut gen = InstanceGenerator::new(InstanceGeneratorConfig::paper(12, 555));
     let mut replayed = 0;
     for inst in gen.generate_batch(8) {
-        let Ok(out) = greedy_schedule(&inst) else { continue };
+        let Ok(out) = greedy_schedule(&inst) else {
+            continue;
+        };
         let mut emu = Emulator::new(&inst, quick_config(), 1000 + replayed);
         emu.install_driver(UpdateDriver::chronus(out.schedule, &inst));
         let report = emu.run();
@@ -50,7 +52,10 @@ fn certified_random_instances_replay_cleanly() {
         assert_eq!(report.table_misses, 0);
         replayed += 1;
     }
-    assert!(replayed >= 3, "need a few feasible instances, got {replayed}");
+    assert!(
+        replayed >= 3,
+        "need a few feasible instances, got {replayed}"
+    );
 }
 
 #[test]
@@ -102,7 +107,7 @@ fn gross_clock_skew_breaks_schedules() {
     let mut broken = 0;
     for seed in 0..8 {
         let cfg = EmuConfig {
-            clock_error_ns: 300_000_000,  // three steps of skew
+            clock_error_ns: 300_000_000, // three steps of skew
             stats_interval: 200_000_000, // windows fine enough to see it
             ..quick_config()
         };
