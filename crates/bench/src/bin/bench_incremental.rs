@@ -1,0 +1,146 @@
+//! Incremental-vs-full exact-gate benchmark, machine readable.
+//!
+//! Times `greedy_schedule` with the gate backed by the incremental
+//! link×time ledger against the same run re-simulating from scratch at
+//! every check, on fig10-scale single-flow instances. Two metrics per
+//! size:
+//!
+//! - `gate_ns_per_op`: wall-clock time spent *inside* the exact gate
+//!   (backend construction plus every check), measured by the gate
+//!   itself — this isolates the optimization from the greedy loop's
+//!   own dependency/loop work, which the gate backend cannot change;
+//! - `cells_touched` vs `full_equivalent_cells`: ledger link-time
+//!   cells the incremental path visited vs what full re-simulation
+//!   would have visited for the same checks.
+//!
+//! Writes `BENCH_incremental.json`; CI runs this as a smoke job and
+//! DESIGN.md §9 quotes the committed numbers.
+
+use chronus_bench::fig10::scale_instance;
+use chronus_core::greedy::{greedy_schedule_in, GreedyConfig, GreedyOutcome};
+use chronus_core::ScheduleError;
+use chronus_net::UpdateInstance;
+use chronus_timenet::SimWorkspace;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Sample {
+    name: String,
+    ns_per_op: f64,
+    gate_ns_per_op: f64,
+    simulator_calls: u64,
+    cells_touched: u64,
+    full_equivalent_cells: u64,
+}
+
+/// Repeats one configuration until 400 ms or 20 reps, whichever first
+/// (always at least once — the larger sizes may need a single slow
+/// rep).
+fn time_backend(
+    inst: &UpdateInstance,
+    incremental: bool,
+) -> (f64, f64, Result<GreedyOutcome, ScheduleError>) {
+    let cfg = GreedyConfig {
+        incremental_gate: incremental,
+        ..Default::default()
+    };
+    let mut ws = SimWorkspace::default();
+    let mut reps = 0u32;
+    let mut total = Duration::ZERO;
+    let mut gate_total = 0u64;
+    let mut last = None;
+    while reps == 0 || (total < Duration::from_millis(400) && reps < 20) {
+        let t0 = Instant::now();
+        let out = greedy_schedule_in(inst, cfg, &mut ws);
+        total += t0.elapsed();
+        reps += 1;
+        if let Ok(o) = &out {
+            gate_total += o.gate_nanos;
+        }
+        last = Some(out);
+    }
+    (
+        total.as_nanos() as f64 / f64::from(reps),
+        gate_total as f64 / f64::from(reps),
+        last.expect("at least one rep"),
+    )
+}
+
+fn main() {
+    // 2048 is the acceptance-scale point: a ≥512-switch fig10-scale
+    // instance where the gate dominates the full-simulation cost.
+    let sizes: &[usize] = &[8, 64, 512, 2048];
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut summaries = String::new();
+
+    for &n in sizes {
+        // A handful of seeds: the random-walk generator occasionally
+        // fails to produce a route at small n.
+        let inst = (0..8)
+            .find_map(|s| scale_instance(n, 20170605 + 977 + s))
+            .unwrap_or_else(|| panic!("no fig10-scale instance at n={n}"));
+
+        let mut per_backend = Vec::new();
+        for (name, incremental) in [("incremental", true), ("full", false)] {
+            let (ns, gate_ns, out) = time_backend(&inst, incremental);
+            let (calls, cells, full_cells) = match &out {
+                Ok(o) => (
+                    o.simulator_calls as u64,
+                    o.gate.cells_touched,
+                    o.gate.full_equivalent_cells,
+                ),
+                Err(e) => panic!("greedy failed on bench instance n={n}: {e}"),
+            };
+            println!(
+                "greedy_exact_gate/{name}/{n}: {ns:.0} ns/op ({gate_ns:.0} ns in gate), \
+                 {calls} simulator calls, {cells} cells touched, {full_cells} full-equivalent"
+            );
+            per_backend.push((ns, gate_ns, cells, full_cells));
+            samples.push(Sample {
+                name: format!("greedy_exact_gate/{name}/{n}"),
+                ns_per_op: ns,
+                gate_ns_per_op: gate_ns,
+                simulator_calls: calls,
+                cells_touched: cells,
+                full_equivalent_cells: full_cells,
+            });
+        }
+        let (inc, full) = (&per_backend[0], &per_backend[1]);
+        let speedup = full.0 / inc.0;
+        let gate_speedup = full.1 / inc.1;
+        let cell_ratio = inc.3 as f64 / inc.2.max(1) as f64;
+        println!(
+            "  -> n={n}: gate speedup {gate_speedup:.1}x, \
+             link visits saved {cell_ratio:.1}x, end-to-end {speedup:.1}x"
+        );
+        let _ = write!(
+            summaries,
+            ",\n  \"summary/{n}\": {{\"speedup\": {speedup:.2}, \
+             \"gate_speedup\": {gate_speedup:.2}, \"cell_ratio\": {cell_ratio:.2}}}"
+        );
+    }
+
+    let mut json = String::from("{");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n  \"{}\": {{\"ns_per_op\": {:.1}, \"gate_ns_per_op\": {:.1}, \
+             \"simulator_calls\": {}, \"cells_touched\": {}, \"full_equivalent_cells\": {}}}",
+            s.name,
+            s.ns_per_op,
+            s.gate_ns_per_op,
+            s.simulator_calls,
+            s.cells_touched,
+            s.full_equivalent_cells
+        );
+    }
+    json.push_str(&summaries);
+    json.push_str("\n}\n");
+
+    let path = "BENCH_incremental.json";
+    std::fs::write(path, &json).expect("write BENCH_incremental.json");
+    println!("(json: {path})");
+}

@@ -56,6 +56,24 @@ fn main() {
         "{}",
         text_table(&["switches", "Chronus", "OR", "OPT"], &rows)
     );
+    println!("Chronus exact-gate counters (summed over runs):");
+    for p in &points {
+        let g = &p.chronus_gate;
+        let saved = g.full_equivalent_cells.saturating_sub(g.cells_touched);
+        println!(
+            "  n={:<5} {} gate calls ({} incremental / {} full), \
+             {} applies, {} undos, {} cells touched vs {} full-sim equivalent ({} saved)",
+            p.switches,
+            p.chronus_gate_calls,
+            g.incremental_checks,
+            g.full_checks,
+            g.ledger_applies,
+            g.ledger_undos,
+            g.cells_touched,
+            g.full_equivalent_cells,
+            saved
+        );
+    }
     let path = sink.finish();
     println!("(csv: {})", path.display());
 }

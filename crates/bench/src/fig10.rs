@@ -14,6 +14,7 @@ use chronus_net::routing::{random_simple_path, seeded_rng};
 use chronus_net::topology::{self, TopologyConfig};
 use chronus_net::{segment_reversal_at, Flow, FlowId, SwitchId, UpdateInstance};
 use chronus_opt::{optimal_schedule_with, OptConfig};
+use chronus_timenet::GateStats;
 use rand::Rng;
 use std::time::Instant;
 
@@ -75,6 +76,10 @@ pub struct RuntimePoint {
     pub or: Timing,
     /// OPT exact search.
     pub opt: Timing,
+    /// Exact simulator-gate calls across the greedy runs.
+    pub chronus_gate_calls: u64,
+    /// The greedy gate's ledger counters, summed over the runs.
+    pub chronus_gate: GateStats,
 }
 
 /// Runs the timing experiment over `sizes` (paper: 1K–6K).
@@ -86,6 +91,8 @@ pub fn run(opts: &RunOptions, sizes: &[usize]) -> Vec<RuntimePoint> {
         let mut opt_ms = 0.0;
         let mut or_done = true;
         let mut opt_done = true;
+        let mut gate_calls = 0u64;
+        let mut gate = GateStats::default();
         let samples = opts.runs.max(1);
         for run in 0..samples {
             let Some(inst) = scale_instance(n, opts.seed + 977 + run as u64) else {
@@ -93,7 +100,10 @@ pub fn run(opts: &RunOptions, sizes: &[usize]) -> Vec<RuntimePoint> {
             };
 
             let t0 = Instant::now();
-            let _ = greedy_schedule(&inst);
+            if let Ok(out) = greedy_schedule(&inst) {
+                gate_calls += out.simulator_calls as u64;
+                gate.absorb(&out.gate);
+            }
             chronus_ms += t0.elapsed().as_secs_f64() * 1e3;
 
             let t0 = Instant::now();
@@ -113,7 +123,7 @@ pub fn run(opts: &RunOptions, sizes: &[usize]) -> Vec<RuntimePoint> {
                 &inst,
                 OptConfig {
                     budget: opts.budget,
-                    max_makespan: None,
+                    ..Default::default()
                 },
             ) {
                 Ok(_) => {}
@@ -140,6 +150,8 @@ pub fn run(opts: &RunOptions, sizes: &[usize]) -> Vec<RuntimePoint> {
                 ms: opt_ms / k,
                 completed: opt_done,
             },
+            chronus_gate_calls: gate_calls,
+            chronus_gate: gate,
         });
     }
     out

@@ -69,7 +69,7 @@ pub fn run(opts: &RunOptions, switches: usize) -> UpdateTimes {
                 &inst,
                 OptConfig {
                     budget: opts.budget,
-                    max_makespan: None,
+                    ..Default::default()
                 },
             ) {
                 times.opt.push(opt.makespan + 1);

@@ -94,7 +94,7 @@ pub fn run_sweep(opts: &RunOptions, sizes: &[usize]) -> Vec<SweepPoint> {
                         &inst,
                         OptConfig {
                             budget: opts.budget,
-                            max_makespan: None,
+                            ..Default::default()
                         },
                     );
                     if opt.is_ok() {

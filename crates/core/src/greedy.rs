@@ -49,8 +49,12 @@ use crate::deps::{dependency_set, DependencySet};
 use crate::loopcheck::creates_forwarding_loop;
 use crate::{MutpProblem, ScheduleError};
 use chronus_net::{FlowId, SwitchId, TimeStep, UpdateInstance};
-use chronus_timenet::{FluidSimulator, Schedule, SimulatorConfig, Verdict};
+use chronus_timenet::{
+    FluidSimulator, GateStats, IncrementalSimulator, Schedule, SimWorkspace, SimulatorConfig,
+    Verdict,
+};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Tuning knobs for [`greedy_schedule_with`]; the defaults reproduce
 /// the paper's Algorithm 2 plus the exactness gate.
@@ -69,6 +73,11 @@ pub struct GreedyConfig {
     /// violate consistency in corner cases — the ablation bench
     /// measures how often.
     pub exact_gate: bool,
+    /// Back the exact gate with the O(Δ) [`IncrementalSimulator`]
+    /// (default true) instead of a fresh full simulation per check.
+    /// Both backends return identical verdicts — this knob exists for
+    /// the differential benches and as an escape hatch.
+    pub incremental_gate: bool,
     /// Fail immediately when Algorithm 3 reports a dependency cycle
     /// (the paper's Algorithm 2 lines 7–8). Default false: cycles are
     /// often transient (they dissolve as old flow drains), so the
@@ -82,8 +91,148 @@ impl Default for GreedyConfig {
             loop_precheck: true,
             heads_only: true,
             exact_gate: true,
+            incremental_gate: true,
             fail_on_cycle: false,
         }
+    }
+}
+
+/// The two interchangeable exactness-gate backends.
+enum GateBackend<'a> {
+    /// Fresh full simulation per check (the pre-optimization path).
+    Full {
+        sim: FluidSimulator<'a>,
+        ws: SimWorkspace,
+    },
+    /// Persistent incremental state, updated in O(affected cohorts).
+    Incremental(Box<IncrementalSimulator>),
+}
+
+/// The exactness gate: owns whichever backend the config selected and
+/// keeps the two behaviourally identical (same accept/reject answers,
+/// same schedule side effects on rejection).
+struct ExactGate<'a> {
+    backend: GateBackend<'a>,
+    calls: usize,
+    stats: GateStats,
+    /// Wall-clock nanoseconds spent inside the gate (construction,
+    /// mirroring, checks) — the "exact-gate planning time" that the
+    /// incremental backend exists to shrink.
+    nanos: u64,
+}
+
+impl<'a> ExactGate<'a> {
+    fn new(instance: &'a UpdateInstance, incremental: bool, ws: SimWorkspace) -> Self {
+        let t0 = Instant::now();
+        let backend = if incremental {
+            GateBackend::Incremental(Box::new(IncrementalSimulator::with_workspace(instance, ws)))
+        } else {
+            let sim_cfg = SimulatorConfig {
+                record_loads: false,
+                fail_fast: true,
+                ..SimulatorConfig::default()
+            };
+            GateBackend::Full {
+                sim: FluidSimulator::with_config(instance, sim_cfg),
+                ws,
+            }
+        };
+        ExactGate {
+            backend,
+            calls: 0,
+            stats: GateStats::default(),
+            nanos: t0.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Mirrors an unconditional schedule entry (the fresh pre-pass)
+    /// into the incremental state without a verdict check.
+    fn mirror_set(&mut self, flow: FlowId, switch: SwitchId, t: TimeStep) {
+        if let GateBackend::Incremental(inc) = &mut self.backend {
+            let t0 = Instant::now();
+            let _ = inc.apply(flow, switch, t); // committed: delta never undone
+            self.nanos += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// One gate check of the current schedule as-is.
+    fn check_current(&mut self, schedule: &Schedule) -> bool {
+        let t0 = Instant::now();
+        self.calls += 1;
+        let ok = match &mut self.backend {
+            GateBackend::Full { sim, .. } => {
+                self.stats.full_checks += 1;
+                sim.run(schedule).verdict() == Verdict::Consistent
+            }
+            GateBackend::Incremental(inc) => {
+                self.stats.incremental_checks += 1;
+                self.stats.full_equivalent_cells += inc.live_cells();
+                inc.verdict() == Verdict::Consistent
+            }
+        };
+        self.nanos += t0.elapsed().as_nanos() as u64;
+        ok
+    }
+
+    /// Tentatively extends the schedule by `switches @ t` for `flow`
+    /// and gate-checks it. On rejection every side effect is rolled
+    /// back (schedule entries unset, incremental deltas undone); on
+    /// acceptance the extension stays committed.
+    fn try_extend(
+        &mut self,
+        schedule: &mut Schedule,
+        flow: FlowId,
+        switches: &[SwitchId],
+        t: TimeStep,
+    ) -> bool {
+        let t0 = Instant::now();
+        self.calls += 1;
+        for &v in switches {
+            schedule.set(flow, v, t);
+        }
+        let ok = match &mut self.backend {
+            GateBackend::Full { sim, .. } => {
+                self.stats.full_checks += 1;
+                sim.run(schedule).verdict() == Verdict::Consistent
+            }
+            GateBackend::Incremental(inc) => {
+                self.stats.incremental_checks += 1;
+                self.stats.full_equivalent_cells += inc.live_cells();
+                let mut deltas = Vec::with_capacity(switches.len());
+                for &v in switches {
+                    deltas.push(inc.apply(flow, v, t));
+                }
+                let ok = inc.verdict() == Verdict::Consistent;
+                if !ok {
+                    while let Some(d) = deltas.pop() {
+                        inc.undo(d);
+                    }
+                }
+                ok
+            }
+        };
+        if !ok {
+            for &v in switches {
+                schedule.unset(flow, v);
+            }
+        }
+        self.nanos += t0.elapsed().as_nanos() as u64;
+        ok
+    }
+
+    /// Tears the gate down into its instrumentation plus the reusable
+    /// workspace buffers.
+    fn into_parts(mut self) -> (usize, GateStats, u64, SimWorkspace) {
+        let ws = match self.backend {
+            GateBackend::Full { ws, .. } => ws,
+            GateBackend::Incremental(inc) => {
+                self.stats.ledger_applies += inc.applies();
+                self.stats.ledger_undos += inc.undos();
+                self.stats.cells_touched += inc.cell_visits();
+                inc.into_workspace()
+            }
+        };
+        (self.calls, self.stats, self.nanos, ws)
     }
 }
 
@@ -109,6 +258,12 @@ pub struct GreedyOutcome {
     pub rounds: Vec<RoundTrace>,
     /// Number of exact simulator calls spent (instrumentation).
     pub simulator_calls: usize,
+    /// Gate-backend counters: incremental vs full checks, ledger
+    /// apply/undo volume, and the cell-visit savings.
+    pub gate: GateStats,
+    /// Wall-clock nanoseconds spent inside the exact gate (backend
+    /// construction plus every check). Zero when the gate is disabled.
+    pub gate_nanos: u64,
 }
 
 /// Runs Algorithm 2 with default configuration.
@@ -129,17 +284,65 @@ pub fn greedy_schedule_with(
     instance: &UpdateInstance,
     config: GreedyConfig,
 ) -> Result<GreedyOutcome, ScheduleError> {
-    let problem = MutpProblem::new(instance)?;
-    let sim_cfg = SimulatorConfig {
-        record_loads: false,
-        fail_fast: true,
-        ..SimulatorConfig::default()
+    let mut ws = SimWorkspace::default();
+    greedy_schedule_in(instance, config, &mut ws)
+}
+
+/// Runs Algorithm 2 reusing caller-owned simulation buffers.
+///
+/// Long-lived callers (the engine's worker threads, the benches) pass
+/// the same [`SimWorkspace`] to every run so the gate's load ledger,
+/// visit stamps and hop buffers are allocated once, not per plan. The
+/// workspace is returned to `workspace` on every exit path, including
+/// errors.
+///
+/// # Errors
+/// See [`greedy_schedule`].
+pub fn greedy_schedule_in(
+    instance: &UpdateInstance,
+    config: GreedyConfig,
+    workspace: &mut SimWorkspace,
+) -> Result<GreedyOutcome, ScheduleError> {
+    let mut gate = if config.exact_gate {
+        Some(ExactGate::new(
+            instance,
+            config.incremental_gate,
+            std::mem::take(workspace),
+        ))
+    } else {
+        None
     };
-    let sim = FluidSimulator::with_config(instance, sim_cfg);
+    let result = greedy_loop(instance, config, &mut gate);
+    let (simulator_calls, gate_stats, gate_nanos) = match gate {
+        Some(g) => {
+            let (calls, stats, nanos, ws) = g.into_parts();
+            *workspace = ws;
+            (calls, stats, nanos)
+        }
+        None => (0, GateStats::default(), 0),
+    };
+    let (schedule, rounds) = result?;
+    let makespan = schedule.makespan().unwrap_or(0);
+    Ok(GreedyOutcome {
+        schedule,
+        makespan,
+        rounds,
+        simulator_calls,
+        gate: gate_stats,
+        gate_nanos,
+    })
+}
+
+/// The Algorithm 2 main loop, generic over the gate backend.
+fn greedy_loop(
+    instance: &UpdateInstance,
+    config: GreedyConfig,
+    gate: &mut Option<ExactGate<'_>>,
+) -> Result<(Schedule, Vec<RoundTrace>), ScheduleError> {
+    let problem = MutpProblem::new(instance)?;
 
     let mut schedule = Schedule::new();
     let mut rounds = Vec::new();
-    let mut simulator_calls = 0usize;
 
     // Per-flow pending sets.
     let mut pending: Vec<BTreeSet<SwitchId>> = (0..instance.flows.len())
@@ -152,14 +355,16 @@ pub fn greedy_schedule_with(
     for (fi, flow) in instance.flows.iter().enumerate() {
         for v in problem.fresh_switches(fi) {
             schedule.set(flow.id, v, 0);
+            if let Some(g) = gate.as_mut() {
+                g.mirror_set(flow.id, v, 0);
+            }
             pending[fi].remove(&v);
         }
     }
     // The fresh pre-pass must itself be clean (it is, since fresh
     // switches see no traffic yet), but verify once under the gate.
-    if config.exact_gate && !schedule.is_empty() {
-        simulator_calls += 1;
-        if sim.run(&schedule).verdict() != Verdict::Consistent {
+    if let Some(g) = gate.as_mut() {
+        if !schedule.is_empty() && !g.check_current(&schedule) {
             return Err(ScheduleError::Infeasible {
                 blocked: None,
                 reason: "activating fresh final-path switches failed".into(),
@@ -197,41 +402,43 @@ pub fn greedy_schedule_with(
             }
             trace.chains.extend(deps.chains.iter().cloned());
 
-            let candidates: Vec<SwitchId> = if config.heads_only {
-                let mut heads = deps.heads();
+            // Single-pass candidate build: cooldown and Algorithm 4
+            // filters are applied as each candidate is drawn, and the
+            // idle-step widening dedups through a set instead of
+            // linear `Vec::contains` scans.
+            let admissible = |v: SwitchId, schedule: &Schedule| {
+                pending[fi].contains(&v)
+                    && failed_at
+                        .get(&(fi, v))
+                        .is_none_or(|&ft| last_commit_t > ft || t >= ft + cooldown)
+                    && !(config.loop_precheck
+                        && creates_forwarding_loop(instance, flow, schedule, v, t))
+            };
+            let mut candidates: Vec<SwitchId> = Vec::new();
+            if config.heads_only {
+                let mut seen: BTreeSet<SwitchId> = BTreeSet::new();
+                for v in deps.heads() {
+                    if seen.insert(v) && admissible(v, &schedule) {
+                        candidates.push(v);
+                    }
+                }
                 // If the heads alone make no progress for a while, the
                 // robust mode widens to all pending switches so the
                 // exact gate gets the final say.
                 if idle_steps > 0 {
                     for &v in pending[fi].iter() {
-                        if !heads.contains(&v) {
-                            heads.push(v);
+                        if seen.insert(v) && admissible(v, &schedule) {
+                            candidates.push(v);
                         }
                     }
                 }
-                heads
             } else {
-                pending[fi].iter().copied().collect()
-            };
-            // Drop candidates still cooling down from a recent gate
-            // failure (retried once time passed or a commit happened).
-            let candidates: Vec<SwitchId> = candidates
-                .into_iter()
-                .filter(|&v| {
-                    failed_at
-                        .get(&(fi, v))
-                        .is_none_or(|&ft| last_commit_t > ft || t >= ft + cooldown)
-                })
-                .collect();
-            // Algorithm 4 pre-filter.
-            let candidates: Vec<SwitchId> = candidates
-                .into_iter()
-                .filter(|&v| {
-                    pending[fi].contains(&v)
-                        && !(config.loop_precheck
-                            && creates_forwarding_loop(instance, flow, &schedule, v, t))
-                })
-                .collect();
+                for &v in pending[fi].iter() {
+                    if admissible(v, &schedule) {
+                        candidates.push(v);
+                    }
+                }
+            }
             if candidates.is_empty() {
                 continue;
             }
@@ -239,21 +446,16 @@ pub fn greedy_schedule_with(
             // Fast path: commit the whole candidate batch at once —
             // "update as many switches as possible" (§IV) — and fall
             // back to one-by-one only if the joint commit fails.
-            if config.exact_gate && candidates.len() > 1 {
-                for &v in &candidates {
-                    schedule.set(flow.id, v, t);
-                }
-                simulator_calls += 1;
-                if sim.run(&schedule).verdict() == Verdict::Consistent {
-                    for &v in &candidates {
-                        pending[fi].remove(&v);
-                        trace.committed.push((flow.id, v));
+            if candidates.len() > 1 {
+                if let Some(g) = gate.as_mut() {
+                    if g.try_extend(&mut schedule, flow.id, &candidates, t) {
+                        for &v in &candidates {
+                            pending[fi].remove(&v);
+                            trace.committed.push((flow.id, v));
+                        }
+                        last_commit_t = t;
+                        continue;
                     }
-                    last_commit_t = t;
-                    continue;
-                }
-                for &v in &candidates {
-                    schedule.unset(flow.id, v);
                 }
             }
 
@@ -263,19 +465,18 @@ pub fn greedy_schedule_with(
                 }
                 // Exact gate: commit only if the extended partial
                 // schedule simulates clean.
-                schedule.set(flow.id, v, t);
-                let ok = if config.exact_gate {
-                    simulator_calls += 1;
-                    sim.run(&schedule).verdict() == Verdict::Consistent
-                } else {
-                    true
+                let ok = match gate.as_mut() {
+                    Some(g) => g.try_extend(&mut schedule, flow.id, std::slice::from_ref(&v), t),
+                    None => {
+                        schedule.set(flow.id, v, t);
+                        true
+                    }
                 };
                 if ok {
                     pending[fi].remove(&v);
                     trace.committed.push((flow.id, v));
                     last_commit_t = t;
                 } else {
-                    schedule.unset(flow.id, v);
                     failed_at.insert((fi, v), t);
                 }
             }
@@ -301,13 +502,7 @@ pub fn greedy_schedule_with(
         t += 1;
     }
 
-    let makespan = schedule.makespan().unwrap_or(0);
-    Ok(GreedyOutcome {
-        schedule,
-        makespan,
-        rounds,
-        simulator_calls,
-    })
+    Ok((schedule, rounds))
 }
 
 #[cfg(test)]

@@ -1,0 +1,80 @@
+//! The incremental and full exact-gate backends must be *schedule*-
+//! equivalent, not merely verdict-equivalent: greedy with the gate
+//! swapped full↔incremental must walk the identical commit sequence
+//! and emit the identical schedule on every instance.
+
+use chronus_core::greedy::{greedy_schedule_with, GreedyConfig, GreedyOutcome};
+use chronus_core::ScheduleError;
+use chronus_net::{
+    motivating_example, reversal_instance, InstanceGenerator, InstanceGeneratorConfig,
+    UpdateInstance,
+};
+use proptest::prelude::*;
+
+fn run_both(
+    inst: &UpdateInstance,
+) -> (
+    Result<GreedyOutcome, ScheduleError>,
+    Result<GreedyOutcome, ScheduleError>,
+) {
+    let full = greedy_schedule_with(
+        inst,
+        GreedyConfig {
+            incremental_gate: false,
+            ..Default::default()
+        },
+    );
+    let inc = greedy_schedule_with(inst, GreedyConfig::default());
+    (full, inc)
+}
+
+fn assert_equivalent(inst: &UpdateInstance) {
+    let (full, inc) = run_both(inst);
+    match (full, inc) {
+        (Ok(f), Ok(i)) => {
+            assert_eq!(f.schedule, i.schedule, "schedules diverged");
+            assert_eq!(f.makespan, i.makespan, "makespans diverged");
+            assert_eq!(
+                f.simulator_calls, i.simulator_calls,
+                "gate call counts diverged"
+            );
+            let f_commits: Vec<_> = f.rounds.iter().map(|r| r.committed.clone()).collect();
+            let i_commits: Vec<_> = i.rounds.iter().map(|r| r.committed.clone()).collect();
+            assert_eq!(f_commits, i_commits, "commit traces diverged");
+            assert_eq!(f.gate.incremental_checks, 0);
+            assert_eq!(i.gate.full_checks, 0);
+            assert_eq!(i.gate.incremental_checks as usize, i.simulator_calls);
+        }
+        (Err(_), Err(_)) => {}
+        (f, i) => panic!("feasibility diverged: full={f:?} incremental={i:?}"),
+    }
+}
+
+#[test]
+fn motivating_example_equivalent() {
+    assert_equivalent(&motivating_example());
+}
+
+#[test]
+fn reversal_instances_equivalent() {
+    for n in 4..9 {
+        assert_equivalent(&reversal_instance(n, 2, 1));
+        // Capacity 1 with demand 1 is the congestion-tight variant.
+        assert_equivalent(&reversal_instance(n, 1, 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_paper_instances_equivalent(
+        switches in 6usize..24,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = InstanceGeneratorConfig::paper(switches, seed);
+        if let Some(inst) = InstanceGenerator::new(cfg).generate() {
+            assert_equivalent(&inst);
+        }
+    }
+}

@@ -22,10 +22,10 @@ use crate::cache::{CacheKey, TimeNetCache};
 use crate::metrics::EngineMetrics;
 use crate::request::{RequestId, UpdateRequest};
 use chronus_baselines::tp::{tp_plan, TpPlan};
-use chronus_core::greedy::greedy_schedule;
+use chronus_core::greedy::{greedy_schedule_in, GreedyConfig};
 use chronus_core::tree::{check_feasibility, Feasibility};
 use chronus_net::{TimeStep, UpdateInstance};
-use chronus_timenet::Schedule;
+use chronus_timenet::{Schedule, SimWorkspace};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -168,6 +168,20 @@ pub fn plan_with_chain(
     cache: &TimeNetCache,
     metrics: &EngineMetrics,
 ) -> PlannedUpdate {
+    let mut ws = SimWorkspace::default();
+    plan_with_chain_in(req, cache, metrics, &mut ws)
+}
+
+/// Like [`plan_with_chain`], but reuses caller-owned simulation
+/// buffers for the greedy stage's exact gate. Each engine worker keeps
+/// one [`SimWorkspace`] for its whole life, so steady-state planning
+/// does not re-allocate the load ledger per request.
+pub fn plan_with_chain_in(
+    req: &UpdateRequest,
+    cache: &TimeNetCache,
+    metrics: &EngineMetrics,
+    ws: &mut SimWorkspace,
+) -> PlannedUpdate {
     let started = Instant::now();
     let instance = &req.instance;
 
@@ -201,8 +215,9 @@ pub fn plan_with_chain(
         }
         let stage_start = Instant::now();
         let outcome = match stage {
-            Stage::Greedy => match greedy_schedule(instance) {
+            Stage::Greedy => match greedy_schedule_in(instance, GreedyConfig::default(), ws) {
                 Ok(out) => {
+                    metrics.record_gate(&out.gate);
                     winner = Some((stage, PlanKind::Timed(out.schedule)));
                     StageOutcome::Won
                 }
@@ -279,9 +294,10 @@ pub fn plan_with_chain(
 pub fn plan_sequential(requests: &[UpdateRequest]) -> Vec<PlannedUpdate> {
     let cache = TimeNetCache::new();
     let metrics = EngineMetrics::new();
+    let mut ws = SimWorkspace::default();
     requests
         .iter()
-        .map(|r| plan_with_chain(r, &cache, &metrics))
+        .map(|r| plan_with_chain_in(r, &cache, &metrics, &mut ws))
         .collect()
 }
 

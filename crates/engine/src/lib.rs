@@ -41,8 +41,8 @@ mod request;
 
 pub use cache::{flow_signature, topology_hash, CacheKey, TimeNetCache};
 pub use fallback::{
-    plan_sequential, plan_with_chain, planning_horizon, tp_flip_time, PlanKind, PlannedUpdate,
-    Stage, StageAttempt, StageOutcome, TpBatchPlan,
+    plan_sequential, plan_with_chain, plan_with_chain_in, planning_horizon, tp_flip_time, PlanKind,
+    PlannedUpdate, Stage, StageAttempt, StageOutcome, TpBatchPlan,
 };
 pub use metrics::{EngineMetrics, PlanReport, StageStats};
 pub use pool::{Engine, EngineConfig};

@@ -6,6 +6,7 @@
 
 use crate::cache::TimeNetCache;
 use crate::fallback::{PlannedUpdate, Stage, StageOutcome};
+use chronus_timenet::GateStats;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -20,12 +21,24 @@ struct StageCounters {
     nanos: AtomicU64,
 }
 
+/// Exact-gate counters, mirroring [`GateStats`] atomically.
+#[derive(Default, Debug)]
+struct GateCounters {
+    incremental_checks: AtomicU64,
+    full_checks: AtomicU64,
+    ledger_applies: AtomicU64,
+    ledger_undos: AtomicU64,
+    cells_touched: AtomicU64,
+    full_equivalent_cells: AtomicU64,
+}
+
 /// Shared counters every worker records into.
 #[derive(Default, Debug)]
 pub struct EngineMetrics {
     greedy: StageCounters,
     tree: StageCounters,
     tp: StageCounters,
+    gate: GateCounters,
     submitted: AtomicU64,
     completed: AtomicU64,
     timeouts: AtomicU64,
@@ -65,6 +78,24 @@ impl EngineMetrics {
         self.stage(stage).skips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds one planning run's exact-gate counters into the engine
+    /// totals.
+    pub fn record_gate(&self, stats: &GateStats) {
+        let g = &self.gate;
+        g.incremental_checks
+            .fetch_add(stats.incremental_checks, Ordering::Relaxed);
+        g.full_checks
+            .fetch_add(stats.full_checks, Ordering::Relaxed);
+        g.ledger_applies
+            .fetch_add(stats.ledger_applies, Ordering::Relaxed);
+        g.ledger_undos
+            .fetch_add(stats.ledger_undos, Ordering::Relaxed);
+        g.cells_touched
+            .fetch_add(stats.cells_touched, Ordering::Relaxed);
+        g.full_equivalent_cells
+            .fetch_add(stats.full_equivalent_cells, Ordering::Relaxed);
+    }
+
     /// Records a finished request.
     pub fn record_completion(&self, planned: &PlannedUpdate) {
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -100,6 +131,14 @@ impl EngineMetrics {
             greedy: snap(&self.greedy),
             tree: snap(&self.tree),
             two_phase: snap(&self.tp),
+            gate: GateStats {
+                incremental_checks: self.gate.incremental_checks.load(Ordering::Relaxed),
+                full_checks: self.gate.full_checks.load(Ordering::Relaxed),
+                ledger_applies: self.gate.ledger_applies.load(Ordering::Relaxed),
+                ledger_undos: self.gate.ledger_undos.load(Ordering::Relaxed),
+                cells_touched: self.gate.cells_touched.load(Ordering::Relaxed),
+                full_equivalent_cells: self.gate.full_equivalent_cells.load(Ordering::Relaxed),
+            },
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
@@ -149,6 +188,10 @@ pub struct PlanReport {
     pub tree: StageStats,
     /// Two-phase-stage counters.
     pub two_phase: StageStats,
+    /// Aggregated exact-gate counters across all greedy-stage runs:
+    /// incremental vs full checks, ledger traffic, and the cell-visit
+    /// volume a full re-simulation would have cost instead.
+    pub gate: GateStats,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests fully planned.
@@ -214,6 +257,17 @@ impl fmt::Display for PlanReport {
                 s.mean_latency()
             )?;
         }
+        writeln!(
+            f,
+            "  exact gate: {} incremental / {} full checks, \
+             {} applies, {} undos, {} cells touched (full-sim equivalent {})",
+            self.gate.incremental_checks,
+            self.gate.full_checks,
+            self.gate.ledger_applies,
+            self.gate.ledger_undos,
+            self.gate.cells_touched,
+            self.gate.full_equivalent_cells
+        )?;
         write!(
             f,
             "  timenet cache: {} hits / {} misses ({:.0}% hit), {} windows, ~{} B",

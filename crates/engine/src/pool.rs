@@ -2,10 +2,11 @@
 //! batches over crossbeam channels.
 
 use crate::cache::TimeNetCache;
-use crate::fallback::{plan_with_chain, PlannedUpdate};
+use crate::fallback::{plan_with_chain_in, PlannedUpdate};
 use crate::metrics::{EngineMetrics, PlanReport};
 use crate::request::UpdateRequest;
 use chronus_net::UpdateInstance;
+use chronus_timenet::SimWorkspace;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -89,9 +90,15 @@ impl Engine {
                 thread::Builder::new()
                     .name(format!("chronus-engine-{i}"))
                     .spawn(move || {
+                        // One simulation workspace per worker thread:
+                        // the greedy gate's ledger and trace buffers
+                        // are recycled across every request this
+                        // worker ever plans.
+                        let mut ws = SimWorkspace::default();
                         while let Ok(job) = rx.recv() {
                             metrics.record_dequeue();
-                            let planned = plan_with_chain(&job.request, &cache, &metrics);
+                            let planned =
+                                plan_with_chain_in(&job.request, &cache, &metrics, &mut ws);
                             // A dead reply channel means the batch was
                             // abandoned; planning the rest of the queue
                             // is still correct, so just keep going.

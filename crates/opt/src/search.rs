@@ -15,7 +15,10 @@
 use chronus_core::greedy::greedy_schedule;
 use chronus_core::{MutpProblem, ScheduleError};
 use chronus_net::{SwitchId, TimeStep, UpdateInstance};
-use chronus_timenet::{FluidSimulator, Schedule, SimulationReport, SimulatorConfig, Verdict};
+use chronus_timenet::{
+    Delta, FluidSimulator, IncrementalSimulator, Schedule, SimulationReport, SimulatorConfig,
+    Verdict,
+};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -28,6 +31,11 @@ pub struct OptConfig {
     /// makespan (OPT can never need more) or the instance's search
     /// horizon when the greedy fails.
     pub max_makespan: Option<TimeStep>,
+    /// Answer the per-node consistency and frozen-prefix checks from a
+    /// persistent [`IncrementalSimulator`] updated in O(Δ) alongside
+    /// the branch walk (default true) instead of re-simulating the
+    /// whole schedule at every node. Identical verdicts either way.
+    pub incremental_gate: bool,
 }
 
 impl Default for OptConfig {
@@ -35,6 +43,7 @@ impl Default for OptConfig {
         OptConfig {
             budget: Duration::from_secs(600),
             max_makespan: None,
+            incremental_gate: true,
         }
     }
 }
@@ -134,6 +143,19 @@ pub fn optimal_schedule_with(
         });
     }
 
+    // One incremental simulator for the whole deepening loop: every
+    // exhausted search tree unwinds its deltas completely, so the
+    // state is back at `base` when the next bound starts.
+    let mut inc_state = if cfg.incremental_gate {
+        let mut inc = IncrementalSimulator::new(instance);
+        for (flow, v, t) in base.iter() {
+            let _ = inc.apply(flow, v, t); // base is permanent: deltas dropped
+        }
+        Some(inc)
+    } else {
+        None
+    };
+
     for m in 0..=ub {
         if Instant::now() > deadline {
             return Err(ScheduleError::TimedOut {
@@ -143,12 +165,15 @@ pub fn optimal_schedule_with(
         let mut searcher = Searcher {
             instance,
             sim: &sim,
+            inc: inc_state.as_mut(),
             items: &items,
             makespan: m,
             drain,
             deadline,
             memo: HashSet::new(),
             stats: &mut stats,
+            assigned: vec![None; items.len()],
+            deltas: Vec::new(),
         };
         let full = (1u64 << items.len()) - 1;
         let mut schedule = base.clone();
@@ -206,15 +231,46 @@ type MemoKey = (TimeStep, u64, Vec<(usize, TimeStep)>);
 struct Searcher<'a> {
     instance: &'a UpdateInstance,
     sim: &'a FluidSimulator<'a>,
+    /// When set, answers consistency/frozen-prefix queries in O(Δ).
+    inc: Option<&'a mut IncrementalSimulator>,
     items: &'a [(usize, SwitchId)],
     makespan: TimeStep,
     drain: TimeStep,
     deadline: Instant,
     memo: HashSet<MemoKey>,
     stats: &'a mut Stats,
+    /// Current assignment per item index — the search's own mirror of
+    /// the schedule, kept so `memo_key` reads it in one pre-sorted
+    /// pass instead of per-item `BTreeMap` lookups.
+    assigned: Vec<Option<TimeStep>>,
+    /// LIFO stack of incremental deltas, one per live assignment.
+    deltas: Vec<Delta>,
 }
 
 impl<'a> Searcher<'a> {
+    /// Records `items[i] @ t` in the schedule, the assignment mirror
+    /// and (when enabled) the incremental simulator.
+    fn assign(&mut self, i: usize, t: TimeStep, schedule: &mut Schedule) {
+        let (fi, v) = self.items[i];
+        let flow_id = self.instance.flows[fi].id;
+        schedule.set(flow_id, v, t);
+        self.assigned[i] = Some(t);
+        if let Some(inc) = self.inc.as_deref_mut() {
+            self.deltas.push(inc.apply(flow_id, v, t));
+        }
+    }
+
+    /// Reverts the most recent [`Searcher::assign`] of `items[i]`.
+    fn retract(&mut self, i: usize, schedule: &mut Schedule) {
+        let (fi, v) = self.items[i];
+        let flow_id = self.instance.flows[fi].id;
+        schedule.unset(flow_id, v);
+        self.assigned[i] = None;
+        if let Some(inc) = self.inc.as_deref_mut() {
+            inc.undo(self.deltas.pop().expect("assign/retract imbalance"));
+        }
+    }
+
     /// Memo key for the state reached after closing step `t − 1`:
     /// besides `(t, remaining)`, only the assignments within the last
     /// drain period still influence the future — all events up to the
@@ -222,32 +278,46 @@ impl<'a> Searcher<'a> {
     /// fully drained, and which rules are new is captured by
     /// `remaining`. Two states agreeing on this key have identical
     /// futures, so memoizing their exhaustion is sound.
-    fn memo_key(&self, t: TimeStep, remaining: u64, schedule: &Schedule) -> MemoKey {
+    fn memo_key(&self, t: TimeStep, remaining: u64) -> MemoKey {
         let window_start = t - self.drain;
-        let mut recent: Vec<(usize, TimeStep)> = self
-            .items
+        // `assigned` is indexed by item, so the pairs come out already
+        // sorted by `i` (each `i` appears at most once).
+        let recent: Vec<(usize, TimeStep)> = self
+            .assigned
             .iter()
             .enumerate()
-            .filter_map(|(i, &(fi, v))| {
-                let flow_id = self.instance.flows[fi].id;
-                schedule
-                    .get(flow_id, v)
-                    .filter(|&tv| tv > window_start)
-                    .map(|tv| (i, tv - t)) // time-shift-invariant offset
+            .filter_map(|(i, tv)| {
+                tv.filter(|&tv| tv > window_start).map(|tv| (i, tv - t)) // time-shift-invariant offset
             })
             .collect();
-        recent.sort_unstable();
         // Absolute `t` stays in the key: the remaining makespan budget
         // `M − t` is part of the state even when the data plane looks
         // identical.
         (t, remaining, recent)
     }
 
+    /// Full-schedule consistency of the current node.
+    fn node_consistent(&mut self, schedule: &Schedule) -> bool {
+        self.stats.sims += 1;
+        match self.inc.as_deref() {
+            Some(inc) => inc.verdict() == Verdict::Consistent,
+            None => self.sim.run(schedule).verdict() == Verdict::Consistent,
+        }
+    }
+
+    /// Frozen-prefix violation test at the close of step `t`.
+    fn node_frozen_violation(&mut self, t: TimeStep, schedule: &Schedule) -> bool {
+        self.stats.sims += 1;
+        match self.inc.as_deref() {
+            Some(inc) => inc.has_violation_at_or_before(t),
+            None => has_frozen_violation(&self.sim.run(schedule), t),
+        }
+    }
+
     /// Decides the update set of step `t` and recurses to `t + 1`.
     fn step(&mut self, t: TimeStep, remaining: u64, schedule: &mut Schedule) -> Outcome {
         if remaining == 0 {
-            self.stats.sims += 1;
-            return if self.sim.run(schedule).verdict() == Verdict::Consistent {
+            return if self.node_consistent(schedule) {
                 Outcome::Found
             } else {
                 Outcome::Exhausted
@@ -256,7 +326,7 @@ impl<'a> Searcher<'a> {
         if t > self.makespan {
             return Outcome::Exhausted;
         }
-        let key = self.memo_key(t, remaining, schedule);
+        let key = self.memo_key(t, remaining);
         if !self.memo.insert(key) {
             return Outcome::Exhausted;
         }
@@ -281,9 +351,7 @@ impl<'a> Searcher<'a> {
         if undecided == 0 {
             // Step t closed: events at times ≤ t are frozen; prune on
             // any frozen violation.
-            self.stats.sims += 1;
-            let report = self.sim.run(schedule);
-            if has_frozen_violation(&report, t) {
+            if self.node_frozen_violation(t, schedule) {
                 return Outcome::Exhausted;
             }
             return self.step(t + 1, remaining & !chosen, schedule);
@@ -293,14 +361,12 @@ impl<'a> Searcher<'a> {
         let rest = undecided & !bit;
 
         // Branch 1: update item i at step t.
-        let (fi, v) = self.items[i];
-        let flow_id = self.instance.flows[fi].id;
-        schedule.set(flow_id, v, t);
+        self.assign(i, t, schedule);
         match self.choose(t, remaining, chosen | bit, rest, schedule) {
             Outcome::Exhausted => {}
             other => return other,
         }
-        schedule.unset(flow_id, v);
+        self.retract(i, schedule);
 
         // Branch 2: defer item i past step t — only possible if steps
         // remain.
@@ -392,7 +458,7 @@ mod tests {
         let inst = motivating_example();
         let cfg = OptConfig {
             budget: Duration::from_nanos(1),
-            max_makespan: None,
+            ..Default::default()
         };
         let err = optimal_schedule_with(&inst, cfg).unwrap_err();
         assert!(matches!(err, ScheduleError::TimedOut { .. }));
@@ -404,6 +470,7 @@ mod tests {
         let cfg = OptConfig {
             budget: Duration::from_secs(60),
             max_makespan: Some(1), // optimum is 2
+            ..Default::default()
         };
         let err = optimal_schedule_with(&inst, cfg).unwrap_err();
         assert!(matches!(err, ScheduleError::Infeasible { .. }), "{err}");
@@ -434,7 +501,7 @@ mod tests {
                 &inst,
                 OptConfig {
                     budget: Duration::from_secs(10),
-                    max_makespan: None,
+                    ..Default::default()
                 },
             );
             match (greedy, opt) {

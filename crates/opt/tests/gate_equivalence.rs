@@ -1,0 +1,67 @@
+//! The branch-and-bound must explore the *same tree* whichever gate
+//! backend answers its node queries: identical schedules, makespans,
+//! simulator-call counts and expanded-state counts.
+
+use chronus_net::{
+    motivating_example, reversal_instance, InstanceGenerator, InstanceGeneratorConfig,
+    UpdateInstance,
+};
+use chronus_opt::{optimal_schedule_with, OptConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn assert_equivalent(inst: &UpdateInstance) {
+    let base_cfg = OptConfig {
+        budget: Duration::from_secs(20),
+        ..Default::default()
+    };
+    let full = optimal_schedule_with(
+        inst,
+        OptConfig {
+            incremental_gate: false,
+            ..base_cfg
+        },
+    );
+    let inc = optimal_schedule_with(inst, base_cfg);
+    match (full, inc) {
+        (Ok(f), Ok(i)) => {
+            assert_eq!(f.schedule, i.schedule, "schedules diverged");
+            assert_eq!(f.makespan, i.makespan, "makespans diverged");
+            assert_eq!(
+                f.simulator_calls, i.simulator_calls,
+                "check counts diverged"
+            );
+            assert_eq!(f.states, i.states, "expanded states diverged");
+        }
+        (Err(_), Err(_)) => {}
+        (f, i) => panic!("feasibility diverged: full={f:?} incremental={i:?}"),
+    }
+}
+
+#[test]
+fn motivating_example_equivalent() {
+    assert_equivalent(&motivating_example());
+}
+
+#[test]
+fn reversal_instances_equivalent() {
+    for n in 4..8 {
+        assert_equivalent(&reversal_instance(n, 2, 1));
+        assert_equivalent(&reversal_instance(n, 1, 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_paper_instances_equivalent(
+        switches in 6usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = InstanceGeneratorConfig::paper(switches, seed);
+        if let Some(inst) = InstanceGenerator::new(cfg).generate() {
+            assert_equivalent(&inst);
+        }
+    }
+}

@@ -24,12 +24,16 @@
 #![warn(missing_docs)]
 
 mod extended;
+mod incremental;
+mod ledger;
 pub mod occupancy;
 mod report;
 mod schedule;
 mod simulate;
 
 pub use extended::{MaterializedTimeNet, TeLink, TeNode, TimeExtendedNetwork};
+pub use incremental::{Delta, GateStats, IncrementalSimulator, SimWorkspace};
+pub use ledger::{InternedLink, LinkInterner, LoadLedger};
 pub use occupancy::render_occupancy;
 pub use report::{BlackholeEvent, CongestionEvent, LoopEvent, SimulationReport, Verdict};
 pub use schedule::Schedule;

@@ -1,9 +1,10 @@
 //! The exact dynamic-flow simulator: ground truth for every scheduler.
 
+use crate::incremental::{trace_cohort, FlowTable, TraceEnd, VisitStamps};
+use crate::ledger::{LinkInterner, LoadLedger};
 use crate::report::{BlackholeEvent, CongestionEvent, LoopEvent, SimulationReport};
 use crate::Schedule;
-use chronus_net::{Capacity, Flow, SwitchId, TimeStep, UpdateInstance};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use chronus_net::{TimeStep, UpdateInstance};
 
 /// Configuration knobs for [`FluidSimulator`].
 #[derive(Clone, Copy, Debug)]
@@ -94,48 +95,93 @@ impl<'a> FluidSimulator<'a> {
     /// deliberately broken schedule is how blackholes are studied); use
     /// [`Schedule::validate`] first if completeness matters.
     pub fn run(&self, schedule: &Schedule) -> SimulationReport {
-        let mut loads: HashMap<(SwitchId, SwitchId), HashMap<TimeStep, Capacity>> = HashMap::new();
+        let net = &self.instance.network;
+        let interner = LinkInterner::for_instance(self.instance);
+        let t_lo = self
+            .instance
+            .flows
+            .iter()
+            .map(|f| -(f.initial.total_delay(net).unwrap_or(0) as TimeStep))
+            .min()
+            .unwrap_or(0);
+        let mut ledger = LoadLedger::new(&interner, t_lo);
+        let mut stamps = VisitStamps::new(net.switch_count());
+        let mut hops = Vec::new();
         let mut report = SimulationReport::default();
         let makespan = schedule.makespan().unwrap_or(0).max(0);
+        // A simple walk visits at most |V| switches before it must
+        // revisit one (pigeonhole); the bound is a defensive backstop.
+        let max_hops = net.switch_count() + 2;
+        let slack = self.config.horizon_slack as TimeStep;
 
         for flow in &self.instance.flows {
-            let violated = self.trace_flow(flow, schedule, makespan, &mut loads, &mut report);
-            if self.config.fail_fast && violated {
-                return report;
-            }
-        }
-
-        // Congestion: any link whose load at a step ≥ 0 exceeds its
-        // capacity. Steps < 0 are the pre-update steady state, feasible
-        // by instance validation. (In fail-fast mode the inline check
-        // inside `trace_flow` already recorded the first overload.)
-        if !self.config.fail_fast {
-            for (&(u, v), series) in &loads {
-                let capacity = self
-                    .instance
-                    .network
-                    .capacity(u, v)
-                    .expect("loads only accumulate on real links");
-                for (&t, &load) in series {
-                    if t >= 0 && load > capacity {
+            let mut table = FlowTable::build(self.instance, &interner, flow);
+            table.load_schedule(schedule);
+            let first_emit = -table.phi_init;
+            let last_emit = makespan + table.phi_fin + slack;
+            for tau in first_emit..=last_emit {
+                match trace_cohort(
+                    &table,
+                    tau,
+                    max_hops,
+                    &mut ledger,
+                    &mut stamps,
+                    &mut hops,
+                    self.config.fail_fast,
+                ) {
+                    TraceEnd::Delivered => {}
+                    TraceEnd::Looped { switch, time } => report.loops.push(LoopEvent {
+                        flow: flow.id,
+                        emitted_at: tau,
+                        switch,
+                        time,
+                    }),
+                    TraceEnd::Blackholed { switch, time } => {
+                        report.blackholes.push(BlackholeEvent {
+                            flow: flow.id,
+                            emitted_at: tau,
+                            switch,
+                            time,
+                        })
+                    }
+                    TraceEnd::Undelivered => report.undelivered.push((flow.id, tau)),
+                    TraceEnd::CongestionAbort {
+                        src,
+                        dst,
+                        time,
+                        load,
+                        capacity,
+                    } => {
                         report.congestion.push(CongestionEvent {
-                            src: u,
-                            dst: v,
-                            time: t,
+                            src,
+                            dst,
+                            time,
                             load,
                             capacity,
                         });
+                        return report;
                     }
+                }
+                if self.config.fail_fast
+                    && (!report.loops.is_empty()
+                        || !report.blackholes.is_empty()
+                        || !report.undelivered.is_empty())
+                {
+                    return report;
                 }
             }
         }
-        report.congestion.sort_by_key(|c| (c.time, c.src, c.dst));
+
+        // Congestion: any cell at a step ≥ 0 above capacity. Steps < 0
+        // are the pre-update steady state, feasible by instance
+        // validation. (In fail-fast mode the inline check inside
+        // `trace_cohort` already recorded the first overload.)
+        if !self.config.fail_fast {
+            report.congestion = ledger.congestion_events(&interner);
+        }
 
         if self.config.record_loads {
-            report.link_loads = loads
-                .into_iter()
-                .map(|(k, m)| (k, m.into_iter().collect::<BTreeMap<_, _>>()))
-                .collect();
+            report.link_loads = ledger.link_loads(&interner);
         }
         report
     }
@@ -144,125 +190,13 @@ impl<'a> FluidSimulator<'a> {
     pub fn check(instance: &UpdateInstance, schedule: &Schedule) -> SimulationReport {
         FluidSimulator::new(instance).run(schedule)
     }
-
-    /// Traces every cohort of one flow; returns `true` if a violation
-    /// was recorded (used by fail-fast mode to bail out early).
-    fn trace_flow(
-        &self,
-        flow: &Flow,
-        schedule: &Schedule,
-        makespan: TimeStep,
-        loads: &mut HashMap<(SwitchId, SwitchId), HashMap<TimeStep, Capacity>>,
-        report: &mut SimulationReport,
-    ) -> bool {
-        let net = &self.instance.network;
-        let phi_init = flow.initial.total_delay(net).unwrap_or(0) as TimeStep;
-        let phi_fin = flow.fin.total_delay(net).unwrap_or(0) as TimeStep;
-        let first_emit = -phi_init;
-        let last_emit = makespan + phi_fin + self.config.horizon_slack as TimeStep;
-        // A simple walk visits at most |V| switches before it must
-        // revisit one (pigeonhole); the bound is a defensive backstop.
-        let max_hops = net.switch_count() + 2;
-
-        for tau in first_emit..=last_emit {
-            let mut at = flow.source();
-            let mut now = tau;
-            let mut visited: HashSet<SwitchId> = HashSet::new();
-            let mut delivered = false;
-
-            for _ in 0..max_hops {
-                if at == flow.destination() {
-                    delivered = true;
-                    break;
-                }
-                visited.insert(at);
-                let next = self.effective_rule(flow, schedule, at, now);
-                let Some(next) = next else {
-                    report.blackholes.push(BlackholeEvent {
-                        flow: flow.id,
-                        emitted_at: tau,
-                        switch: at,
-                        time: now,
-                    });
-                    break;
-                };
-                let Some(link) = net.link_between(at, next) else {
-                    // A rule pointing at a non-existent link is treated
-                    // as a blackhole (cannot happen for validated flows).
-                    report.blackholes.push(BlackholeEvent {
-                        flow: flow.id,
-                        emitted_at: tau,
-                        switch: at,
-                        time: now,
-                    });
-                    break;
-                };
-                let cell = loads.entry((at, next)).or_default().entry(now).or_insert(0);
-                *cell += flow.demand;
-                if self.config.fail_fast && now >= 0 && *cell > link.capacity {
-                    report.congestion.push(CongestionEvent {
-                        src: at,
-                        dst: next,
-                        time: now,
-                        load: *cell,
-                        capacity: link.capacity,
-                    });
-                    return true;
-                }
-                if visited.contains(&next) {
-                    report.loops.push(LoopEvent {
-                        flow: flow.id,
-                        emitted_at: tau,
-                        switch: next,
-                        time: now + link.delay as TimeStep,
-                    });
-                    delivered = true; // loop recorded; not an undelivered case
-                    break;
-                }
-                now += link.delay as TimeStep;
-                at = next;
-            }
-            if !delivered
-                && report
-                    .blackholes
-                    .last()
-                    .is_none_or(|b| b.flow != flow.id || b.emitted_at != tau)
-            {
-                report.undelivered.push((flow.id, tau));
-            }
-            if self.config.fail_fast
-                && (!report.loops.is_empty()
-                    || !report.blackholes.is_empty()
-                    || !report.undelivered.is_empty())
-            {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// The rule switch `v` applies to `flow` at step `t`: the new
-    /// next-hop once the scheduled update time has passed (and the
-    /// switch actually has a new rule), the old next-hop otherwise.
-    fn effective_rule(
-        &self,
-        flow: &Flow,
-        schedule: &Schedule,
-        v: SwitchId,
-        t: TimeStep,
-    ) -> Option<SwitchId> {
-        match (schedule.get(flow.id, v), flow.new_rule(v)) {
-            (Some(t_v), Some(new)) if t >= t_v => Some(new),
-            _ => flow.old_rule(v),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Verdict;
-    use chronus_net::{motivating_example, Flow, FlowId, NetworkBuilder, Path};
+    use chronus_net::{motivating_example, Flow, FlowId, NetworkBuilder, Path, SwitchId};
 
     fn sid(i: u32) -> SwitchId {
         SwitchId(i)

@@ -1,0 +1,233 @@
+//! Differential testing: the incremental simulator must be
+//! indistinguishable from a fresh full simulation after *arbitrary*
+//! apply/undo interleavings — same verdict, same event counts, same
+//! frozen-prefix answers, and a byte-identical load surface.
+
+use chronus_net::{
+    motivating_example, reversal_instance, Flow, FlowId, InstanceGenerator,
+    InstanceGeneratorConfig, NetworkBuilder, Path, SwitchId, TimeStep, UpdateInstance,
+};
+use chronus_timenet::{Delta, FluidSimulator, IncrementalSimulator, Schedule};
+use proptest::prelude::*;
+
+fn sid(i: u32) -> SwitchId {
+    SwitchId(i)
+}
+
+/// One apply step's bookkeeping for the mirrored plain schedule.
+struct MirrorOp {
+    flow: FlowId,
+    switch: SwitchId,
+    prev: Option<TimeStep>,
+    delta: Delta,
+}
+
+/// Asserts the incremental state equals a fresh full simulation of
+/// `schedule` in every observable dimension.
+fn assert_matches_full(inst: &UpdateInstance, inc: &IncrementalSimulator, schedule: &Schedule) {
+    let report = FluidSimulator::new(inst).run(schedule);
+    assert_eq!(inc.verdict(), report.verdict(), "verdict diverged");
+    let (loops, blackholes, undelivered) = inc.event_counts();
+    assert_eq!(loops, report.loops.len(), "loop count diverged");
+    assert_eq!(
+        blackholes,
+        report.blackholes.len(),
+        "blackhole count diverged"
+    );
+    assert_eq!(
+        undelivered,
+        report.undelivered.len(),
+        "undelivered diverged"
+    );
+    assert_eq!(inc.link_loads(), report.link_loads, "load surface diverged");
+    assert_eq!(inc.makespan(), schedule.makespan().unwrap_or(0).max(0));
+    for t in [-2, -1, 0, 1, 2, 3, 5, 8, 13, 30] {
+        let frozen_full = report.congestion.iter().any(|c| c.time <= t)
+            || report.loops.iter().any(|l| l.time <= t)
+            || report.blackholes.iter().any(|b| b.time <= t);
+        assert_eq!(
+            inc.has_violation_at_or_before(t),
+            frozen_full,
+            "frozen-prefix query diverged at t={t}"
+        );
+    }
+}
+
+/// Drives a random op sequence against one instance, checking the
+/// differential invariant after every single operation.
+fn drive(inst: &UpdateInstance, ops: &[(u8, u8, i8)]) {
+    let pool: Vec<(FlowId, SwitchId)> = inst
+        .flows
+        .iter()
+        .flat_map(|f| f.touched_switches().into_iter().map(move |v| (f.id, v)))
+        .collect();
+    if pool.is_empty() {
+        return;
+    }
+    let mut inc = IncrementalSimulator::new(inst);
+    let mut schedule = Schedule::new();
+    let mut stack: Vec<MirrorOp> = Vec::new();
+
+    assert_matches_full(inst, &inc, &schedule);
+    for &(kind, pick, t_raw) in ops {
+        if kind % 3 == 0 && !stack.is_empty() {
+            let op = stack.pop().unwrap();
+            inc.undo(op.delta);
+            match op.prev {
+                Some(p) => schedule.set(op.flow, op.switch, p),
+                None => {
+                    schedule.unset(op.flow, op.switch);
+                }
+            }
+        } else {
+            let (flow, switch) = pool[pick as usize % pool.len()];
+            let t = t_raw as TimeStep; // −128..=127 stresses window moves
+            let prev = schedule.get(flow, switch);
+            let delta = inc.apply(flow, switch, t);
+            schedule.set(flow, switch, t);
+            stack.push(MirrorOp {
+                flow,
+                switch,
+                prev,
+                delta,
+            });
+        }
+        assert_matches_full(inst, &inc, &schedule);
+    }
+    // Unwind completely: the state must return to the empty schedule.
+    while let Some(op) = stack.pop() {
+        inc.undo(op.delta);
+        match op.prev {
+            Some(p) => schedule.set(op.flow, op.switch, p),
+            None => {
+                schedule.unset(op.flow, op.switch);
+            }
+        }
+    }
+    assert_matches_full(inst, &inc, &Schedule::new());
+}
+
+/// Two flows whose new paths share a tail link — exercises the
+/// multi-flow window coupling (one flow's makespan moves every flow's
+/// horizon).
+fn two_flow_instance() -> UpdateInstance {
+    let mut b = NetworkBuilder::with_switches(5);
+    b.add_link(sid(0), sid(1), 1, 1).unwrap();
+    b.add_link(sid(2), sid(1), 1, 1).unwrap();
+    b.add_link(sid(0), sid(3), 2, 1).unwrap();
+    b.add_link(sid(2), sid(3), 2, 2).unwrap();
+    b.add_link(sid(3), sid(1), 1, 1).unwrap();
+    let f0 = Flow::new(
+        FlowId(0),
+        1,
+        Path::new(vec![sid(0), sid(1)]),
+        Path::new(vec![sid(0), sid(3), sid(1)]),
+    )
+    .unwrap();
+    let f1 = Flow::new(
+        FlowId(1),
+        1,
+        Path::new(vec![sid(2), sid(1)]),
+        Path::new(vec![sid(2), sid(3), sid(1)]),
+    )
+    .unwrap();
+    UpdateInstance::new(b.build(), vec![f0, f1]).unwrap()
+}
+
+#[test]
+fn motivating_example_step_by_step() {
+    let inst = motivating_example();
+    // The staged consistent schedule, applied one update at a time,
+    // then fully unwound — with a re-assignment thrown in.
+    let ops: Vec<(FlowId, SwitchId, TimeStep)> = vec![
+        (FlowId(0), sid(1), 0),
+        (FlowId(0), sid(2), 1),
+        (FlowId(0), sid(0), 2),
+        (FlowId(0), sid(3), 2),
+        (FlowId(0), sid(3), 9), // re-assign: makespan jumps
+    ];
+    let mut inc = IncrementalSimulator::new(&inst);
+    let mut schedule = Schedule::new();
+    let mut stack = Vec::new();
+    for (f, v, t) in ops {
+        let prev = schedule.get(f, v);
+        stack.push((f, v, prev, inc.apply(f, v, t)));
+        schedule.set(f, v, t);
+        assert_matches_full(&inst, &inc, &schedule);
+    }
+    while let Some((f, v, prev, delta)) = stack.pop() {
+        inc.undo(delta);
+        match prev {
+            Some(p) => schedule.set(f, v, p),
+            None => {
+                schedule.unset(f, v);
+            }
+        }
+        assert_matches_full(&inst, &inc, &schedule);
+    }
+}
+
+#[test]
+fn reversal_instance_full_walk() {
+    for n in [4, 6, 8] {
+        let inst = reversal_instance(n, 2, 1);
+        let flow = inst.flow().clone();
+        let mut inc = IncrementalSimulator::new(&inst);
+        let mut schedule = Schedule::new();
+        let mut deltas = Vec::new();
+        // Serialize every required update at consecutive steps.
+        for (i, v) in flow.switches_to_update().into_iter().enumerate() {
+            deltas.push(inc.apply(flow.id, v, i as TimeStep));
+            schedule.set(flow.id, v, i as TimeStep);
+            assert_matches_full(&inst, &inc, &schedule);
+        }
+        while let Some(d) = deltas.pop() {
+            inc.undo(d);
+        }
+        assert_matches_full(&inst, &inc, &Schedule::new());
+    }
+}
+
+#[test]
+fn two_flow_window_coupling() {
+    let inst = two_flow_instance();
+    let ops: &[(u8, u8, i8)] = &[
+        (1, 0, 0),
+        (1, 3, 4),
+        (2, 5, 1),
+        (0, 0, 0), // undo
+        (1, 2, 7),
+        (1, 6, 2),
+        (0, 0, 0), // undo
+        (0, 0, 0), // undo
+        (1, 1, 3),
+    ];
+    drive(&inst, ops);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random paper-style instances, random apply/undo interleavings:
+    /// every intermediate state must be byte-identical to a fresh full
+    /// simulation of the mirrored schedule.
+    #[test]
+    fn incremental_equals_full_on_random_instances(
+        switches in 6usize..20,
+        seed in 0u64..10_000,
+        ops in prop::collection::vec((0u8..4, 0u8..32, -3i8..14), 0..24),
+    ) {
+        let cfg = InstanceGeneratorConfig::paper(switches, seed);
+        let Some(inst) = InstanceGenerator::new(cfg).generate() else { return Ok(()); };
+        drive(&inst, &ops);
+    }
+
+    /// Same property on the multi-flow instance (global makespan
+    /// coupling between flows).
+    #[test]
+    fn incremental_equals_full_on_two_flows(
+        ops in prop::collection::vec((0u8..4, 0u8..32, -3i8..14), 0..24),
+    ) {
+        drive(&two_flow_instance(), &ops);
+    }
+}

@@ -43,7 +43,7 @@ proptest! {
         let Ok(greedy) = greedy_schedule(&inst) else { return Ok(()); };
         let opt = optimal_schedule_with(&inst, OptConfig {
             budget: Duration::from_millis(500),
-            max_makespan: None,
+            ..Default::default()
         });
         if let Ok(opt) = opt {
             prop_assert!(opt.makespan <= greedy.makespan,
