@@ -15,6 +15,8 @@
 //! changeover can still congest shared links when the new path
 //! delivers the stamped packets to a shared link sooner than the old
 //! path drains it.
+// `expect` unwraps the two-generation invariant `tp_plan` creates.
+#![allow(clippy::expect_used)]
 
 use chronus_net::{Capacity, Flow, SwitchId, TimeStep, UpdateInstance};
 use chronus_timenet::{CongestionEvent, SimulationReport};
@@ -161,6 +163,20 @@ pub fn tp_flip_report(instance: &UpdateInstance, flip_time: TimeStep) -> Simulat
     report
 }
 
+/// Certifies the two-phase changeover at `flip_time` with the
+/// independent static certifier: either a machine-checkable
+/// [`chronus_verify::Certificate`] of congestion-freedom over the
+/// overlap window, or the [`chronus_verify::Violation`] naming the
+/// congested link and interval. Mirrors exactly the cohort windows of
+/// [`tp_flip_report`] (pinned by a differential test), with zero
+/// shared code.
+pub fn tp_certificate(
+    instance: &UpdateInstance,
+    flip_time: TimeStep,
+) -> Result<chronus_verify::Certificate, chronus_verify::Violation> {
+    chronus_verify::certify_two_phase(instance, flip_time)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +259,68 @@ mod tests {
         let inst = UpdateInstance::single(b.build(), flow).unwrap();
         let report = tp_flip_report(&inst, 2);
         assert!(report.congestion_free(), "{report}");
+    }
+
+    #[test]
+    fn tp_certificate_matches_flip_report_exactly() {
+        // Differential pin: the independent certifier's two-phase
+        // analysis must reproduce tp_flip_report's verdict, congestion
+        // events and load surface on randomized instances and flips.
+        use chronus_net::{InstanceGenerator, InstanceGeneratorConfig};
+        let mut agreed = 0;
+        for seed in 0..120u64 {
+            let n = 5 + (seed % 7) as usize;
+            let Some(inst) =
+                InstanceGenerator::new(InstanceGeneratorConfig::paper(n, seed)).generate()
+            else {
+                continue;
+            };
+            let flip = (seed % 9) as TimeStep;
+            let report = tp_flip_report(&inst, flip);
+            match tp_certificate(&inst, flip) {
+                Ok(cert) => {
+                    assert!(
+                        report.congestion_free(),
+                        "seed {seed} flip {flip}: certifier passed, report congests"
+                    );
+                    assert_eq!(cert.check(&inst), Ok(()));
+                    // Load surfaces agree peak-for-peak on every link.
+                    for b in &cert.link_bounds {
+                        let sim_peak = report
+                            .link_loads
+                            .get(&(b.src, b.dst))
+                            .map(|m| {
+                                m.iter()
+                                    .filter(|(&t, _)| t >= 0)
+                                    .map(|(_, &l)| l)
+                                    .max()
+                                    .unwrap_or(0)
+                            })
+                            .unwrap_or(0);
+                        assert_eq!(b.peak, sim_peak, "seed {seed} link {}->{}", b.src, b.dst);
+                    }
+                }
+                Err(v) => {
+                    assert!(
+                        !report.congestion_free(),
+                        "seed {seed} flip {flip}: certifier rejected ({v}), report clean"
+                    );
+                    // The named link and first instant match the
+                    // report's earliest congestion event.
+                    if let chronus_verify::Violation::Congestion {
+                        src, dst, start, ..
+                    } = v
+                    {
+                        let first = &report.congestion[0];
+                        assert_eq!((src, dst, start), (first.src, first.dst, first.time));
+                    } else {
+                        panic!("two-phase can only congest, got {v}");
+                    }
+                }
+            }
+            agreed += 1;
+        }
+        assert!(agreed >= 40, "need real coverage, got {agreed}");
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! CI gate over `BENCH_incremental.json`: turns the bench-smoke job
+//! from "print the numbers" into an assertion.
+//!
+//! Usage: `bench_check <baseline.json> <fresh.json>`
+//!
+//! Two checks, exit code 1 on any failure:
+//!
+//! 1. **Speedup floor** — the fresh run's `gate_speedup` must be ≥ 1.0
+//!    at every size where the incremental ledger is supposed to win
+//!    (n ∈ {64, 512, 2048}). The n=8 point is deliberately excluded:
+//!    at toy scale the ledger's construction cost dominates the
+//!    handful of checks it accelerates (the committed baseline records
+//!    0.47× there), and gating on it would only pin noise.
+//! 2. **Makespan pin** — each size's greedy `makespan` must equal the
+//!    committed baseline's. Timing numbers drift with hardware;
+//!    schedule *quality* must not. A makespan change means the greedy
+//!    scheduler's behaviour changed, which a perf-smoke job must not
+//!    let slide through silently.
+//!
+//! The JSON is the bench's own flat hand-written format, so parsing is
+//! a hand-rolled field scan — no serde in the workspace.
+
+use std::process::ExitCode;
+
+/// Sizes whose gate speedup must clear 1.0 (see module docs for why
+/// n=8 is excluded).
+const GATED_SIZES: &[usize] = &[64, 512, 2048];
+
+/// All sizes the bench emits; makespans are pinned at every one.
+const ALL_SIZES: &[usize] = &[8, 64, 512, 2048];
+
+/// Extracts `field` from the flat JSON object that follows `"key":`.
+/// Returns `None` when the key or field is missing — the caller
+/// decides whether that is fatal (fresh file) or tolerable (an older
+/// committed baseline without the field).
+fn lookup(json: &str, key: &str, field: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{key}\""))?;
+    let obj = &json[start..];
+    let open = obj.find('{')?;
+    let close = obj[open..].find('}')? + open;
+    let body = &obj[open..=close];
+    let fstart = body.find(&format!("\"{field}\""))?;
+    let after = &body[fstart..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, fresh_path) = match args.as_slice() {
+        [_, b, f] => (b.clone(), f.clone()),
+        _ => {
+            eprintln!("usage: bench_check <baseline.json> <fresh.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (read(&baseline_path), read(&fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failures = 0u32;
+
+    for &n in GATED_SIZES {
+        let key = format!("summary/{n}");
+        match lookup(&fresh, &key, "gate_speedup") {
+            Some(s) if s >= 1.0 => println!("ok: {key} gate_speedup {s:.2} >= 1.0"),
+            Some(s) => {
+                eprintln!("FAIL: {key} gate_speedup {s:.2} < 1.0 — incremental gate regressed");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL: {key} gate_speedup missing from {fresh_path}");
+                failures += 1;
+            }
+        }
+    }
+
+    for &n in ALL_SIZES {
+        let key = format!("summary/{n}");
+        let (base_m, fresh_m) = (
+            lookup(&baseline, &key, "makespan"),
+            lookup(&fresh, &key, "makespan"),
+        );
+        match (base_m, fresh_m) {
+            (Some(b), Some(f)) if b == f => println!("ok: {key} makespan {f} unchanged"),
+            (Some(b), Some(f)) => {
+                eprintln!("FAIL: {key} makespan changed: baseline {b}, fresh {f}");
+                failures += 1;
+            }
+            (None, _) => {
+                eprintln!("FAIL: {key} makespan missing from baseline {baseline_path}");
+                failures += 1;
+            }
+            (_, None) => {
+                eprintln!("FAIL: {key} makespan missing from {fresh_path}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_check: {failures} assertion(s) failed");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all gates passed");
+        ExitCode::SUCCESS
+    }
+}

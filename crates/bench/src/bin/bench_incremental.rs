@@ -40,8 +40,11 @@ fn time_backend(
     inst: &UpdateInstance,
     incremental: bool,
 ) -> (f64, f64, Result<GreedyOutcome, ScheduleError>) {
+    // Certification off: this benchmark isolates the exact gate, and
+    // the independent certifier's cost is the same for both backends.
     let cfg = GreedyConfig {
         incremental_gate: incremental,
+        verify: chronus_verify::VerifyConfig::disabled(),
         ..Default::default()
     };
     let mut ws = SimWorkspace::default();
@@ -81,14 +84,18 @@ fn main() {
             .unwrap_or_else(|| panic!("no fig10-scale instance at n={n}"));
 
         let mut per_backend = Vec::new();
+        let mut makespans = Vec::new();
         for (name, incremental) in [("incremental", true), ("full", false)] {
             let (ns, gate_ns, out) = time_backend(&inst, incremental);
             let (calls, cells, full_cells) = match &out {
-                Ok(o) => (
-                    o.simulator_calls as u64,
-                    o.gate.cells_touched,
-                    o.gate.full_equivalent_cells,
-                ),
+                Ok(o) => {
+                    makespans.push(o.makespan);
+                    (
+                        o.simulator_calls as u64,
+                        o.gate.cells_touched,
+                        o.gate.full_equivalent_cells,
+                    )
+                }
                 Err(e) => panic!("greedy failed on bench instance n={n}: {e}"),
             };
             println!(
@@ -106,17 +113,24 @@ fn main() {
             });
         }
         let (inc, full) = (&per_backend[0], &per_backend[1]);
+        assert_eq!(
+            makespans[0], makespans[1],
+            "incremental and full gates must schedule identically at n={n}"
+        );
+        let makespan = makespans[0];
         let speedup = full.0 / inc.0;
         let gate_speedup = full.1 / inc.1;
         let cell_ratio = inc.3 as f64 / inc.2.max(1) as f64;
         println!(
             "  -> n={n}: gate speedup {gate_speedup:.1}x, \
-             link visits saved {cell_ratio:.1}x, end-to-end {speedup:.1}x"
+             link visits saved {cell_ratio:.1}x, end-to-end {speedup:.1}x, \
+             makespan {makespan}"
         );
         let _ = write!(
             summaries,
             ",\n  \"summary/{n}\": {{\"speedup\": {speedup:.2}, \
-             \"gate_speedup\": {gate_speedup:.2}, \"cell_ratio\": {cell_ratio:.2}}}"
+             \"gate_speedup\": {gate_speedup:.2}, \"cell_ratio\": {cell_ratio:.2}, \
+             \"makespan\": {makespan}}}"
         );
     }
 

@@ -5,6 +5,8 @@
 //! near optimal performance compared to OPT" (§V-B). Update time is
 //! `|T|`, the number of time steps the schedule spans (the MUTP
 //! objective).
+// Harness code: panicking on a malformed experiment is intended.
+#![allow(clippy::indexing_slicing, clippy::expect_used, clippy::unwrap_used)]
 
 use crate::util::RunOptions;
 use chronus_core::greedy::greedy_schedule;

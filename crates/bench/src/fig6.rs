@@ -7,6 +7,8 @@
 //! relatively stable" (§V-A). The testbed is the emulator
 //! (`chronus-emu`), standing in for the paper's Mininet deployment:
 //! a 10-switch topology, 500 Mbps links, 1 s statistics sampling.
+// Harness code: panicking on a malformed experiment is intended.
+#![allow(clippy::indexing_slicing, clippy::expect_used, clippy::unwrap_used)]
 
 use chronus_baselines::or::{or_rounds, OrConfig};
 use chronus_core::greedy::greedy_schedule;

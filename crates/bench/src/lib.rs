@@ -23,6 +23,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod fig10;
 pub mod fig11;
@@ -51,6 +55,8 @@ pub fn best_effort_schedule(instance: &UpdateInstance) -> Schedule {
     }
     // Force-complete: reverse final-path order, one update per drain
     // period — loop-safe ordering, congestion where unavoidable.
+    // Harness-only path: panicking on a malformed instance is intended.
+    #[allow(clippy::expect_used)]
     let problem = MutpProblem::new(instance).expect("generated instances are valid");
     let drain = problem.drain_bound();
     let mut schedule = Schedule::new();

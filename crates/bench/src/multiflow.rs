@@ -12,6 +12,8 @@
 //! sometimes it is merely lucky. The experiment counts both, and the
 //! interesting cell is the gap: instances where the glued schedules
 //! collide but the joint gate finds (and proves) a clean plan.
+// Harness code: panicking on a malformed experiment is intended.
+#![allow(clippy::indexing_slicing, clippy::expect_used, clippy::unwrap_used)]
 
 use crate::util::RunOptions;
 use chronus_core::greedy::greedy_schedule;

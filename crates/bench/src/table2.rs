@@ -4,6 +4,8 @@
 //! floods ARP; Table II lists the source switch R1 and destination
 //! switch R12 rules. This module installs the same rule structure
 //! into real `chronus-openflow` tables and renders them.
+// Harness code: panicking on a malformed experiment is intended.
+#![allow(clippy::indexing_slicing, clippy::expect_used, clippy::unwrap_used)]
 
 use chronus_openflow::render::render_table;
 use chronus_openflow::{Action, FlowTable, Ipv4Prefix, Match};

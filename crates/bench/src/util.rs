@@ -1,5 +1,7 @@
 //! Harness utilities: CLI scaling options, CSV output, box-plot
 //! statistics and simple text tables.
+// Bench tables index fixed-size series they sized themselves.
+#![allow(clippy::indexing_slicing, clippy::expect_used, clippy::unwrap_used)]
 
 use std::fmt::Write as _;
 use std::fs;

@@ -86,6 +86,8 @@ pub fn two_way_sync(
             best = Some((rtt, estimate));
         }
     }
+    // `cfg.rounds` is validated non-zero above, so a best exists.
+    #[allow(clippy::expect_used)]
     let (best_rtt, estimate) = best.expect("rounds > 0");
     clock.correct_offset(estimate);
     let after = start + cfg.rounds as Nanos * cfg.round_spacing;

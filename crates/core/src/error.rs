@@ -27,6 +27,15 @@ pub enum ScheduleError {
         /// The budget that was exhausted, in milliseconds.
         budget_ms: u64,
     },
+    /// The independent static certifier (`chronus-verify`) rejected a
+    /// schedule a solver emitted as consistent. The solvers gate every
+    /// commit on the exact simulator, so this indicates a bug in the
+    /// solver, the simulator, or the certifier — the exact class of
+    /// shared-implementation failures the certifier exists to expose.
+    CertificationFailed {
+        /// The certifier's minimal counterexample.
+        violation: Box<chronus_verify::Violation>,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -47,6 +56,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::TimedOut { budget_ms } => {
                 write!(f, "solver exceeded its {budget_ms} ms budget")
             }
+            ScheduleError::CertificationFailed { violation } => {
+                write!(f, "post-hoc certification failed: {violation}")
+            }
         }
     }
 }
@@ -55,6 +67,7 @@ impl std::error::Error for ScheduleError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScheduleError::Invalid(e) => Some(e),
+            ScheduleError::CertificationFailed { violation } => Some(violation.as_ref()),
             _ => None,
         }
     }

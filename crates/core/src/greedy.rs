@@ -44,6 +44,8 @@
 //! and the data-plane state is stationary — if no pending update is
 //! safe then, it never will be, and the scheduler soundly reports
 //! [`ScheduleError::Infeasible`].
+// Round state is dense-indexed by item ids the scheduler minted.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::deps::{dependency_set, DependencySet};
 use crate::loopcheck::creates_forwarding_loop;
@@ -83,6 +85,13 @@ pub struct GreedyConfig {
     /// often transient (they dissolve as old flow drains), so the
     /// default keeps stepping and relies on the drain-bound horizon.
     pub fail_on_cycle: bool,
+    /// Post-hoc certification by the independent static certifier
+    /// (`chronus-verify`). Enabled by default: every emitted schedule
+    /// is re-proved consistent by interval arithmetic, with zero
+    /// shared code with the simulator gate, and the proof is attached
+    /// to the outcome as a [`chronus_verify::Certificate`]. Disable
+    /// for hot benchmark loops.
+    pub verify: chronus_verify::VerifyConfig,
 }
 
 impl Default for GreedyConfig {
@@ -93,6 +102,7 @@ impl Default for GreedyConfig {
             exact_gate: true,
             incremental_gate: true,
             fail_on_cycle: false,
+            verify: chronus_verify::VerifyConfig::default(),
         }
     }
 }
@@ -264,6 +274,9 @@ pub struct GreedyOutcome {
     /// Wall-clock nanoseconds spent inside the exact gate (backend
     /// construction plus every check). Zero when the gate is disabled.
     pub gate_nanos: u64,
+    /// The independent certifier's proof of consistency, when
+    /// certification was enabled (see [`GreedyConfig::verify`]).
+    pub certificate: Option<chronus_verify::Certificate>,
 }
 
 /// Runs Algorithm 2 with default configuration.
@@ -323,6 +336,7 @@ pub fn greedy_schedule_in(
     };
     let (schedule, rounds) = result?;
     let makespan = schedule.makespan().unwrap_or(0);
+    let certificate = crate::certify_outcome(instance, &schedule, &config.verify)?;
     Ok(GreedyOutcome {
         schedule,
         makespan,
@@ -330,6 +344,7 @@ pub fn greedy_schedule_in(
         simulator_calls,
         gate: gate_stats,
         gate_nanos,
+        certificate,
     })
 }
 

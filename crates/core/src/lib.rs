@@ -18,7 +18,11 @@
 //! Every schedule produced here is certified against the exact
 //! dynamic-flow simulator of `chronus-timenet` before it is returned —
 //! the crate never hands out a schedule that violates Definition 2
-//! (loop-freedom) or Definition 3 (congestion-freedom).
+//! (loop-freedom) or Definition 3 (congestion-freedom). On top of
+//! that gate, every solver re-proves its result with the *independent*
+//! static certifier of `chronus-verify` (interval arithmetic, zero
+//! shared code with the simulator) and attaches the resulting
+//! [`chronus_verify::Certificate`] to its outcome.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod deps;
 mod error;
@@ -47,3 +55,24 @@ pub mod tree;
 
 pub use error::ScheduleError;
 pub use problem::MutpProblem;
+
+/// Shared post-hoc certification tail of every solver in this crate:
+/// runs the independent static certifier over the finished schedule
+/// and either returns its [`chronus_verify::Certificate`] (or `None`
+/// when certification is disabled) or surfaces the counterexample as
+/// [`ScheduleError::CertificationFailed`].
+pub(crate) fn certify_outcome(
+    instance: &chronus_net::UpdateInstance,
+    schedule: &chronus_timenet::Schedule,
+    config: &chronus_verify::VerifyConfig,
+) -> Result<Option<chronus_verify::Certificate>, ScheduleError> {
+    if !config.enabled {
+        return Ok(None);
+    }
+    match chronus_verify::certify_with(instance, schedule, config) {
+        Ok(cert) => Ok(Some(cert)),
+        Err(violation) => Err(ScheduleError::CertificationFailed {
+            violation: Box::new(violation),
+        }),
+    }
+}

@@ -19,6 +19,9 @@
 //! where the *second* or later hop of the new route lies on the
 //! cohort's history — are caught by the exact simulator gate in
 //! [`crate::greedy`].
+// `expect` unwraps the topological-order invariant the checker
+// itself maintains.
+#![allow(clippy::expect_used)]
 
 use chronus_net::{Flow, SwitchId, TimeStep, UpdateInstance};
 use chronus_timenet::Schedule;

@@ -10,6 +10,8 @@
 //! greedy's parallelism (and OPT) can be measured — the
 //! `ablation_benches` bench and the EXPERIMENTS.md ablation table do
 //! exactly that.
+// Per-item slots are indexed by the instance's own item ids.
+#![allow(clippy::indexing_slicing)]
 
 use crate::loopcheck::creates_forwarding_loop;
 use crate::{MutpProblem, ScheduleError};
@@ -26,6 +28,9 @@ pub struct SequentialOutcome {
     pub makespan: TimeStep,
     /// Simulator calls spent.
     pub simulator_calls: usize,
+    /// The independent certifier's proof of consistency (the
+    /// sequential baseline always certifies — it has no hot path).
+    pub certificate: Option<chronus_verify::Certificate>,
 }
 
 /// Schedules one switch per drain period, each commit verified by the
@@ -96,10 +101,16 @@ pub fn sequential_schedule(instance: &UpdateInstance) -> Result<SequentialOutcom
     }
 
     let makespan = schedule.makespan().unwrap_or(0);
+    let certificate = crate::certify_outcome(
+        instance,
+        &schedule,
+        &chronus_verify::VerifyConfig::default(),
+    )?;
     Ok(SequentialOutcome {
         schedule,
         makespan,
         simulator_calls,
+        certificate,
     })
 }
 

@@ -31,8 +31,12 @@
 //!   memoized depth-first search over update orders (each candidate
 //!   verified by the exact simulator, waiting up to one full drain
 //!   period) settles the instances the greedy's myopia misses.
+// The search operates on per-switch order vectors whose indices come
+// from the instance's update items; `expect` unwraps search-stack
+// invariants (a popped frame always has a live parent).
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
-use crate::greedy::{greedy_schedule, GreedyOutcome};
+use crate::greedy::{greedy_schedule_with, GreedyConfig, GreedyOutcome};
 use crate::MutpProblem;
 use chronus_net::{Capacity, Delay, Flow, SwitchId, TimeStep, UpdateInstance};
 use chronus_timenet::{FluidSimulator, Schedule, SimulatorConfig, Verdict};
@@ -183,8 +187,14 @@ pub fn quick_infeasible(instance: &UpdateInstance) -> Option<Crossing> {
 /// Outcome of [`check_feasibility`].
 #[derive(Clone, Debug)]
 pub enum Feasibility {
-    /// A consistent schedule exists; the witness is attached.
-    Feasible(Schedule),
+    /// A consistent schedule exists; the witness is attached together
+    /// with the independent certifier's proof of its consistency.
+    Feasible {
+        /// The witness schedule.
+        schedule: Schedule,
+        /// `chronus-verify`'s proof that the witness is consistent.
+        certificate: Box<chronus_verify::Certificate>,
+    },
     /// No consistent schedule exists.
     Infeasible {
         /// A crossing that can never be scheduled, when the fast path
@@ -192,14 +202,39 @@ pub enum Feasibility {
         witness: Option<Crossing>,
     },
     /// The search budget was exhausted before a decision was reached
-    /// (only possible on instances with very large pending sets).
+    /// (only possible on instances with very large pending sets) —
+    /// or, signalling a bug in the simulator or the certifier, the
+    /// independent certifier rejected a simulator-verified witness.
     Unknown,
 }
 
 impl Feasibility {
     /// `true` for [`Feasibility::Feasible`].
     pub fn is_feasible(&self) -> bool {
-        matches!(self, Feasibility::Feasible(_))
+        matches!(self, Feasibility::Feasible { .. })
+    }
+
+    /// The witness schedule, for [`Feasibility::Feasible`].
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match self {
+            Feasibility::Feasible { schedule, .. } => Some(schedule),
+            _ => None,
+        }
+    }
+}
+
+/// Certifies a simulator-verified witness with the independent static
+/// certifier and seals it into [`Feasibility::Feasible`]. A rejection
+/// here means the simulator and the certifier disagree — a bug in one
+/// of them — so the decision is downgraded to
+/// [`Feasibility::Unknown`] rather than vouched for.
+fn seal_feasible(instance: &UpdateInstance, schedule: Schedule) -> Feasibility {
+    match chronus_verify::certify(instance, &schedule) {
+        Ok(cert) => Feasibility::Feasible {
+            schedule,
+            certificate: Box::new(cert),
+        },
+        Err(_) => Feasibility::Unknown,
     }
 }
 
@@ -234,9 +269,15 @@ pub fn check_feasibility_with(instance: &UpdateInstance, cfg: TreeConfig) -> Fea
             witness: Some(witness),
         };
     }
-    // Fast positive path: the greedy scheduler usually finds a witness.
-    if let Ok(GreedyOutcome { schedule, .. }) = greedy_schedule(instance) {
-        return Feasibility::Feasible(schedule);
+    // Fast positive path: the greedy scheduler usually finds a witness
+    // (certification deferred to `seal_feasible` to avoid running the
+    // certifier twice).
+    let greedy_cfg = GreedyConfig {
+        verify: chronus_verify::VerifyConfig::disabled(),
+        ..GreedyConfig::default()
+    };
+    if let Ok(GreedyOutcome { schedule, .. }) = greedy_schedule_with(instance, greedy_cfg) {
+        return seal_feasible(instance, schedule);
     }
     // Exhaustive fallback: memoized DFS over update orders.
     let Ok(problem) = MutpProblem::new(instance) else {
@@ -247,7 +288,7 @@ pub fn check_feasibility_with(instance: &UpdateInstance, cfg: TreeConfig) -> Fea
         Err(TooManyPending) => return Feasibility::Unknown,
     };
     match searcher.solve() {
-        SearchResult::Found(schedule) => Feasibility::Feasible(schedule),
+        SearchResult::Found(schedule) => seal_feasible(instance, schedule),
         SearchResult::Exhausted => Feasibility::Infeasible { witness: None },
         SearchResult::BudgetSpent => Feasibility::Unknown,
     }
@@ -464,9 +505,15 @@ mod tests {
         }
         let f = check_feasibility(&motivating_example());
         assert!(f.is_feasible());
-        if let Feasibility::Feasible(s) = f {
-            let report = FluidSimulator::check(&motivating_example(), &s);
+        if let Feasibility::Feasible {
+            schedule,
+            certificate,
+        } = f
+        {
+            let report = FluidSimulator::check(&motivating_example(), &schedule);
             assert_eq!(report.verdict(), Verdict::Consistent);
+            // The attached proof re-validates independently.
+            assert_eq!(certificate.check(&motivating_example()), Ok(()));
         }
     }
 
@@ -475,8 +522,8 @@ mod tests {
         // Equal-delay variant: phi_new == phi_old is admissible (the
         // new stream arrives exactly as the old one ends).
         let inst = shared_tail(2);
-        if let Feasibility::Feasible(s) = check_feasibility(&inst) {
-            let report = FluidSimulator::check(&inst, &s);
+        if let Feasibility::Feasible { schedule, .. } = check_feasibility(&inst) {
+            let report = FluidSimulator::check(&inst, &schedule);
             assert_eq!(report.verdict(), Verdict::Consistent, "{report}");
         } else {
             panic!("equal-delay shortcut should be feasible");

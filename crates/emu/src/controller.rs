@@ -3,6 +3,8 @@
 //! A driver is a *specification*; [`crate::Emulator::install_driver`]
 //! translates it into timed `ApplyFlowMod` events using its knowledge
 //! of installed rule ids, port maps and per-switch clocks.
+// Drivers index the instance's own flow list.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use chronus_clock::Nanos;
 use chronus_net::{SwitchId, UpdateInstance};

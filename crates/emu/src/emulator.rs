@@ -1,4 +1,8 @@
 //! The emulation loop.
+// The emulator's switch/port/rule tables are dense and indexed by
+// ids it minted at install time; `expect` unwraps those same
+// install-time invariants.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::controller::{ChronusDriver, EngineDriver, OrDriver, TpDriver, UpdateDriver};
 use crate::event::{Event, EventQueue};
@@ -265,6 +269,7 @@ impl Emulator {
         let engine = chronus_engine::Engine::new(chronus_engine::EngineConfig {
             workers: d.workers,
             default_deadline: d.deadline,
+            ..chronus_engine::EngineConfig::default()
         });
         let planned = engine.plan_one(chronus_engine::UpdateRequest::new(
             0,

@@ -17,6 +17,9 @@
 //! budget runs out before greedy or tree finishes skips ahead and
 //! still leaves with a consistent two-phase plan — deadline pressure
 //! degrades plan quality, never correctness.
+// `flows[0]`: the chain plans single-flow instances; multi-flow
+// batches are split into one request per flow upstream.
+#![allow(clippy::indexing_slicing)]
 
 use crate::cache::{CacheKey, TimeNetCache};
 use crate::metrics::EngineMetrics;
@@ -26,6 +29,7 @@ use chronus_core::greedy::{greedy_schedule_in, GreedyConfig};
 use chronus_core::tree::{check_feasibility, Feasibility};
 use chronus_net::{TimeStep, UpdateInstance};
 use chronus_timenet::{Schedule, SimWorkspace};
+use chronus_verify::{certify_two_phase, Certificate, VerifyConfig};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -132,6 +136,12 @@ pub struct PlannedUpdate {
     /// `true` when the deadline expired before every optimizing stage
     /// could run (the plan is then the two-phase fallback).
     pub deadline_exceeded: bool,
+    /// The independent certifier's proof that the winning plan is
+    /// consistent. `None` when certification was disabled in the
+    /// engine config, or when the certifier could not vouch for the
+    /// plan (a two-phase fallback whose flip window congests — the
+    /// cases [`crate::PlanReport`]'s `certs.failed` counts).
+    pub certificate: Option<Certificate>,
 }
 
 impl PlannedUpdate {
@@ -139,7 +149,40 @@ impl PlannedUpdate {
     pub fn attempt(&self, stage: Stage) -> Option<&StageAttempt> {
         self.attempts.iter().find(|a| a.stage == stage)
     }
+
+    /// The winning timed schedule, or a [`PlanError`] naming the
+    /// request and winning stage when the plan legitimately has none
+    /// (the two-phase fallback won) — the non-panicking accessor to
+    /// reach for where a timed schedule is assumed.
+    pub fn timed_schedule(&self) -> Result<&Schedule, PlanError> {
+        self.plan.schedule().ok_or(PlanError {
+            id: self.id,
+            winner: self.winner,
+        })
+    }
 }
+
+/// A plan was asked for something its winning stage did not produce:
+/// [`PlannedUpdate::timed_schedule`] on a two-phase fallback plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlanError {
+    /// The request whose plan was interrogated.
+    pub id: RequestId,
+    /// The stage that won without a timed schedule.
+    pub winner: Stage,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: the {} stage won without a timed schedule",
+            self.id, self.winner
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// The planning horizon used for the cached time-extended window: the
 /// instance's total path delay, the natural upper bound on how far
@@ -172,6 +215,18 @@ pub fn plan_with_chain(
     plan_with_chain_in(req, cache, metrics, &mut ws)
 }
 
+/// Like [`plan_with_chain_in`], with an explicit certification config
+/// (the engine passes [`crate::EngineConfig::verify`] through here).
+pub fn plan_with_chain_cfg(
+    req: &UpdateRequest,
+    cache: &TimeNetCache,
+    metrics: &EngineMetrics,
+    ws: &mut SimWorkspace,
+    verify: &VerifyConfig,
+) -> PlannedUpdate {
+    plan_chain_impl(req, cache, metrics, ws, verify)
+}
+
 /// Like [`plan_with_chain`], but reuses caller-owned simulation
 /// buffers for the greedy stage's exact gate. Each engine worker keeps
 /// one [`SimWorkspace`] for its whole life, so steady-state planning
@@ -182,6 +237,16 @@ pub fn plan_with_chain_in(
     metrics: &EngineMetrics,
     ws: &mut SimWorkspace,
 ) -> PlannedUpdate {
+    plan_chain_impl(req, cache, metrics, ws, &VerifyConfig::default())
+}
+
+fn plan_chain_impl(
+    req: &UpdateRequest,
+    cache: &TimeNetCache,
+    metrics: &EngineMetrics,
+    ws: &mut SimWorkspace,
+    verify: &VerifyConfig,
+) -> PlannedUpdate {
     let started = Instant::now();
     let instance = &req.instance;
 
@@ -191,7 +256,7 @@ pub fn plan_with_chain_in(
     let (timenet, cache_hit) = cache.get_or_materialize(key, instance);
 
     let mut attempts = Vec::with_capacity(Stage::CHAIN.len());
-    let mut winner: Option<(Stage, PlanKind)> = None;
+    let mut winner: Option<(Stage, PlanKind, Option<Certificate>)> = None;
     let mut deadline_exceeded = false;
 
     for stage in [Stage::Greedy, Stage::Tree] {
@@ -215,17 +280,27 @@ pub fn plan_with_chain_in(
         }
         let stage_start = Instant::now();
         let outcome = match stage {
-            Stage::Greedy => match greedy_schedule_in(instance, GreedyConfig::default(), ws) {
-                Ok(out) => {
-                    metrics.record_gate(&out.gate);
-                    winner = Some((stage, PlanKind::Timed(out.schedule)));
-                    StageOutcome::Won
+            Stage::Greedy => {
+                let cfg = GreedyConfig {
+                    verify: *verify,
+                    ..GreedyConfig::default()
+                };
+                match greedy_schedule_in(instance, cfg, ws) {
+                    Ok(out) => {
+                        metrics.record_gate(&out.gate);
+                        winner = Some((stage, PlanKind::Timed(out.schedule), out.certificate));
+                        StageOutcome::Won
+                    }
+                    Err(e) => StageOutcome::Failed(e.to_string()),
                 }
-                Err(e) => StageOutcome::Failed(e.to_string()),
-            },
+            }
             Stage::Tree => match check_feasibility(instance) {
-                Feasibility::Feasible(schedule) => {
-                    winner = Some((stage, PlanKind::Timed(schedule)));
+                Feasibility::Feasible {
+                    schedule,
+                    certificate,
+                } => {
+                    let cert = verify.enabled.then_some(*certificate);
+                    winner = Some((stage, PlanKind::Timed(schedule), cert));
                     StageOutcome::Won
                 }
                 Feasibility::Infeasible { witness } => StageOutcome::Failed(match witness {
@@ -247,7 +322,7 @@ pub fn plan_with_chain_in(
 
     // The consistency-preserving last resort: two-phase always plans,
     // deadline or not — it is the reason a request cannot fail.
-    let (winner_stage, plan) = match winner {
+    let (winner_stage, plan, certificate) = match winner {
         Some(found) => {
             attempts.push(StageAttempt {
                 stage: Stage::TwoPhase,
@@ -258,9 +333,20 @@ pub fn plan_with_chain_in(
         }
         None => {
             let stage_start = Instant::now();
+            let flip_time = tp_flip_time(instance);
             let tp = TpBatchPlan {
                 plan: tp_plan(&instance.flows[0]),
-                flip_time: tp_flip_time(instance),
+                flip_time,
+            };
+            // The two-phase fallback is consistency-preserving by
+            // construction, but the certifier can still refuse to vouch
+            // for a flip window that transiently congests a shared
+            // link; that legitimate `None` is what `certs.failed`
+            // counts.
+            let certificate = if verify.enabled {
+                certify_two_phase(instance, flip_time).ok()
+            } else {
+                None
             };
             let elapsed = stage_start.elapsed();
             metrics.record_attempt(Stage::TwoPhase, &StageOutcome::Won, elapsed);
@@ -269,10 +355,11 @@ pub fn plan_with_chain_in(
                 outcome: StageOutcome::Won,
                 elapsed,
             });
-            (Stage::TwoPhase, PlanKind::TwoPhase(tp))
+            (Stage::TwoPhase, PlanKind::TwoPhase(tp), certificate)
         }
     };
 
+    metrics.record_certification(verify.enabled, certificate.is_some());
     let planned = PlannedUpdate {
         id: req.id,
         plan,
@@ -283,6 +370,7 @@ pub fn plan_with_chain_in(
         te_nodes: timenet.nodes.len(),
         te_links: timenet.links.len(),
         deadline_exceeded,
+        certificate,
     };
     metrics.record_completion(&planned);
     planned
@@ -319,10 +407,14 @@ mod tests {
         let planned = plan_with_chain(&req(Duration::from_secs(30)), &cache, &metrics);
         assert_eq!(planned.winner, Stage::Greedy);
         assert!(!planned.deadline_exceeded);
-        let schedule = planned.plan.schedule().expect("timed plan");
+        let schedule = planned.timed_schedule().expect("timed plan");
         let inst = motivating_example();
         let report = FluidSimulator::check(&inst, schedule);
         assert_eq!(report.verdict(), Verdict::Consistent);
+        // The winning plan ships with an independent certificate that
+        // re-validates against the instance.
+        let cert = planned.certificate.as_ref().expect("certificate");
+        assert_eq!(cert.check(&inst), Ok(()));
         // Later stages are recorded as skipped, in chain order.
         assert_eq!(planned.attempts.len(), 3);
         assert!(matches!(
@@ -349,6 +441,42 @@ mod tests {
                 StageOutcome::Skipped("deadline exhausted".into())
             );
         }
+    }
+
+    #[test]
+    fn two_phase_plan_reports_plan_error_instead_of_panicking() {
+        let cache = TimeNetCache::new();
+        let metrics = EngineMetrics::new();
+        let planned = plan_with_chain(&req(Duration::ZERO), &cache, &metrics);
+        assert_eq!(planned.winner, Stage::TwoPhase);
+        let err = planned
+            .timed_schedule()
+            .expect_err("two-phase plans carry no timed schedule");
+        assert_eq!(
+            err,
+            PlanError {
+                id: planned.id,
+                winner: Stage::TwoPhase,
+            }
+        );
+        assert!(err.to_string().contains("two-phase"));
+    }
+
+    #[test]
+    fn disabled_verification_skips_certificates() {
+        let cache = TimeNetCache::new();
+        let metrics = EngineMetrics::new();
+        let mut ws = SimWorkspace::default();
+        let planned = plan_with_chain_cfg(
+            &req(Duration::from_secs(30)),
+            &cache,
+            &metrics,
+            &mut ws,
+            &VerifyConfig::disabled(),
+        );
+        assert_eq!(planned.winner, Stage::Greedy);
+        assert!(planned.certificate.is_none());
+        assert_eq!(metrics.report(&cache).certs.skipped, 1);
     }
 
     #[test]

@@ -32,6 +32,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 mod cache;
 mod fallback;
@@ -41,9 +45,10 @@ mod request;
 
 pub use cache::{flow_signature, topology_hash, CacheKey, TimeNetCache};
 pub use fallback::{
-    plan_sequential, plan_with_chain, plan_with_chain_in, planning_horizon, tp_flip_time, PlanKind,
-    PlannedUpdate, Stage, StageAttempt, StageOutcome, TpBatchPlan,
+    plan_sequential, plan_with_chain, plan_with_chain_cfg, plan_with_chain_in, planning_horizon,
+    tp_flip_time, PlanError, PlanKind, PlannedUpdate, Stage, StageAttempt, StageOutcome,
+    TpBatchPlan,
 };
-pub use metrics::{EngineMetrics, PlanReport, StageStats};
+pub use metrics::{CertStats, EngineMetrics, PlanReport, StageStats};
 pub use pool::{Engine, EngineConfig};
 pub use request::{RequestId, UpdateRequest};

@@ -32,6 +32,14 @@ struct GateCounters {
     full_equivalent_cells: AtomicU64,
 }
 
+/// Independent-certifier counters, mirroring [`CertStats`] atomically.
+#[derive(Default, Debug)]
+struct CertCounters {
+    issued: AtomicU64,
+    failed: AtomicU64,
+    skipped: AtomicU64,
+}
+
 /// Shared counters every worker records into.
 #[derive(Default, Debug)]
 pub struct EngineMetrics {
@@ -39,6 +47,7 @@ pub struct EngineMetrics {
     tree: StageCounters,
     tp: StageCounters,
     gate: GateCounters,
+    certs: CertCounters,
     submitted: AtomicU64,
     completed: AtomicU64,
     timeouts: AtomicU64,
@@ -96,6 +105,18 @@ impl EngineMetrics {
             .fetch_add(stats.full_equivalent_cells, Ordering::Relaxed);
     }
 
+    /// Records one request's certification outcome: `skipped` when
+    /// verification was disabled, `issued` when the certifier vouched
+    /// for the winning plan, `failed` when it ran and could not.
+    pub fn record_certification(&self, enabled: bool, issued: bool) {
+        let c = &self.certs;
+        match (enabled, issued) {
+            (false, _) => c.skipped.fetch_add(1, Ordering::Relaxed),
+            (true, true) => c.issued.fetch_add(1, Ordering::Relaxed),
+            (true, false) => c.failed.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
     /// Records a finished request.
     pub fn record_completion(&self, planned: &PlannedUpdate) {
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -139,6 +160,11 @@ impl EngineMetrics {
                 cells_touched: self.gate.cells_touched.load(Ordering::Relaxed),
                 full_equivalent_cells: self.gate.full_equivalent_cells.load(Ordering::Relaxed),
             },
+            certs: CertStats {
+                issued: self.certs.issued.load(Ordering::Relaxed),
+                failed: self.certs.failed.load(Ordering::Relaxed),
+                skipped: self.certs.skipped.load(Ordering::Relaxed),
+            },
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
@@ -178,6 +204,19 @@ impl StageStats {
     }
 }
 
+/// Snapshot of the independent certifier's counters across completed
+/// requests.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CertStats {
+    /// Winning plans the certifier vouched for.
+    pub issued: u64,
+    /// Winning plans the certifier ran on and refused to vouch for
+    /// (e.g. a two-phase fallback whose flip window congests).
+    pub failed: u64,
+    /// Requests planned with certification disabled.
+    pub skipped: u64,
+}
+
 /// Point-in-time engine report: per-stage latencies and win counts,
 /// cache effectiveness, queue pressure and deadline casualties.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -192,6 +231,8 @@ pub struct PlanReport {
     /// incremental vs full checks, ledger traffic, and the cell-visit
     /// volume a full re-simulation would have cost instead.
     pub gate: GateStats,
+    /// Independent-certifier counters across completed requests.
+    pub certs: CertStats,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests fully planned.
@@ -259,6 +300,11 @@ impl fmt::Display for PlanReport {
         }
         writeln!(
             f,
+            "  certifier: {} issued, {} failed, {} skipped",
+            self.certs.issued, self.certs.failed, self.certs.skipped
+        )?;
+        writeln!(
+            f,
             "  exact gate: {} incremental / {} full checks, \
              {} applies, {} undos, {} cells touched (full-sim equivalent {})",
             self.gate.incremental_checks,
@@ -295,6 +341,9 @@ mod tests {
             Duration::from_micros(30),
         );
         m.record_skip(Stage::Tree);
+        m.record_certification(true, true);
+        m.record_certification(true, false);
+        m.record_certification(false, false);
         m.record_enqueue();
         m.record_enqueue();
         m.record_dequeue();
@@ -308,8 +357,17 @@ mod tests {
         assert_eq!(r.queue_depth, 1);
         assert_eq!(r.queue_peak, 2);
         assert_eq!(r.cache_hit_rate(), 0.0);
+        assert_eq!(
+            r.certs,
+            CertStats {
+                issued: 1,
+                failed: 1,
+                skipped: 1
+            }
+        );
         let text = r.to_string();
         assert!(text.contains("greedy"), "{text}");
+        assert!(text.contains("certifier: 1 issued"), "{text}");
         assert!(text.contains("timenet cache"), "{text}");
     }
 }

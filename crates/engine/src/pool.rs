@@ -1,12 +1,17 @@
 //! The engine proper: a long-lived worker pool planning request
 //! batches over crossbeam channels.
+// `expect` sites assert engine-lifecycle invariants (workers outlive
+// the sender; one answer per request); a failure is a bug, and
+// panicking the caller is the designed response.
+#![allow(clippy::expect_used)]
 
 use crate::cache::TimeNetCache;
-use crate::fallback::{plan_with_chain_in, PlannedUpdate};
+use crate::fallback::{plan_with_chain_cfg, PlannedUpdate};
 use crate::metrics::{EngineMetrics, PlanReport};
 use crate::request::UpdateRequest;
 use chronus_net::UpdateInstance;
 use chronus_timenet::SimWorkspace;
+use chronus_verify::VerifyConfig;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -19,6 +24,10 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Deadline given to requests submitted without one.
     pub default_deadline: Duration,
+    /// Independent post-hoc certification of every winning plan.
+    /// Enabled by default; benchmarks measuring raw planning latency
+    /// can opt out with [`VerifyConfig::disabled`].
+    pub verify: VerifyConfig,
 }
 
 impl Default for EngineConfig {
@@ -26,6 +35,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             default_deadline: Duration::from_secs(5),
+            verify: VerifyConfig::default(),
         }
     }
 }
@@ -87,6 +97,7 @@ impl Engine {
                 let rx: Receiver<Job> = rx.clone();
                 let cache = cache.clone();
                 let metrics = metrics.clone();
+                let verify = config.verify;
                 thread::Builder::new()
                     .name(format!("chronus-engine-{i}"))
                     .spawn(move || {
@@ -97,8 +108,13 @@ impl Engine {
                         let mut ws = SimWorkspace::default();
                         while let Ok(job) = rx.recv() {
                             metrics.record_dequeue();
-                            let planned =
-                                plan_with_chain_in(&job.request, &cache, &metrics, &mut ws);
+                            let planned = plan_with_chain_cfg(
+                                &job.request,
+                                &cache,
+                                &metrics,
+                                &mut ws,
+                                &verify,
+                            );
                             // A dead reply channel means the batch was
                             // abandoned; planning the rest of the queue
                             // is still correct, so just keep going.
@@ -202,11 +218,16 @@ mod tests {
         for (i, p) in plans.iter().enumerate() {
             assert_eq!(p.id.0, i as u64, "submission order preserved");
             assert_eq!(p.winner, Stage::Greedy);
-            let report = FluidSimulator::check(&inst, p.plan.schedule().unwrap());
+            let schedule = p.timed_schedule().expect("greedy plans carry a schedule");
+            let report = FluidSimulator::check(&inst, schedule);
             assert_eq!(report.verdict(), Verdict::Consistent);
+            let cert = p.certificate.as_ref().expect("certified by default");
+            assert_eq!(cert.check(&inst), Ok(()));
         }
         let report = engine.report();
         assert_eq!(report.completed, 8);
+        assert_eq!(report.certs.issued, 8);
+        assert_eq!(report.certs.failed + report.certs.skipped, 0);
         // All requests share one cache key; only workers racing on the
         // cold key materialize more than once.
         assert_eq!(report.cache_entries, 1);

@@ -1,4 +1,6 @@
 //! Dynamic flows and update instances.
+// Flow paths hold >= 2 hops (checked at construction of `Path`).
+#![allow(clippy::indexing_slicing)]
 
 use crate::{Capacity, FlowId, NetError, Network, Path, SwitchId};
 use std::collections::BTreeSet;

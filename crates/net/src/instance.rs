@@ -2,6 +2,11 @@
 //! workloads (§V-B): "the initial routing path is fixed and the final
 //! routing path is chosen randomly … initial and final routing paths
 //! have the common source and destination."
+// Instance generators build hard-coded paper examples: a panic here
+// is a bug in the example itself, so `expect` with a message is the
+// intended failure mode, and indexing targets paths the generator
+// just constructed.
+#![allow(clippy::expect_used, clippy::indexing_slicing)]
 
 use crate::routing::{biased_random_path, shortest_path_delay};
 use crate::topology::{self, TopologyConfig};

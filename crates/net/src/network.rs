@@ -1,4 +1,7 @@
 //! The directed network graph `G = (V, E)` and its builder.
+// `LinkIdx` values are only minted by this builder, so indexing the
+// link table with one cannot fail.
+#![allow(clippy::indexing_slicing)]
 
 use crate::{Capacity, Delay, Link, LinkIdx, NetError, SwitchId};
 use std::collections::HashMap;

@@ -1,4 +1,7 @@
 //! Simple (loop-free) switch paths.
+// A `Path` holds >= 2 hops (checked at construction); first/last and
+// windowed hop indexing rely on that invariant.
+#![allow(clippy::expect_used, clippy::indexing_slicing)]
 
 use crate::{Delay, NetError, Network, SwitchId};
 use std::collections::HashSet;

@@ -4,6 +4,12 @@
 //! The experiment harness uses [`shortest_path_delay`] for initial
 //! routes and [`random_simple_path`] for the paper's "final path is
 //! chosen randomly" setup (§V-B).
+// Graph algorithms over dense `SwitchId`-indexed arrays: every index
+// is minted from `switch_count`, so slice indexing cannot go out of
+// bounds by construction.
+// `expect` sites unwrap invariants the algorithms themselves
+// establish (heap entries, predecessor links on reached nodes).
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::{Delay, Network, Path, SwitchId};
 use rand::rngs::StdRng;

@@ -10,6 +10,12 @@
 //!
 //! All generators produce *duplex* links (both directions, identical
 //! capacity/delay), matching the Mininet links of §V-A.
+// Generators index freshly-built switch/adjacency vectors whose
+// sizes they chose themselves; out-of-bounds is impossible by
+// construction.
+// Generators `expect` on builder results for shapes they define:
+// a failure is a bug in the generator, not a runtime condition.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::{Capacity, Delay, Network, NetworkBuilder, SwitchId};
 use petgraph::graph::{DiGraph, NodeIndex};

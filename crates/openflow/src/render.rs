@@ -1,4 +1,7 @@
 //! Flow-table pretty-printing in the layout of the paper's Table II.
+// Table rendering indexes fixed-width row/column vectors sized from
+// its own headers.
+#![allow(clippy::indexing_slicing)]
 
 use crate::table::FlowTable;
 use crate::types::Action;

@@ -197,6 +197,8 @@ impl FlowTable {
         let id = self.lookup(pkt).map(|r| r.id);
         match id {
             Some(id) => {
+                // `id` came from `lookup` over the same rule set.
+                #[allow(clippy::expect_used)]
                 let rule = self
                     .rules
                     .iter_mut()

@@ -1,6 +1,8 @@
 //! Brute-force enumeration of schedules — the oracle the exact
 //! solvers and the property tests are validated against, and the
 //! source of the path set `P(f)` for the ILP of program (3).
+// Enumeration indexes per-item assignment vectors it sized itself.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use chronus_core::MutpProblem;
 use chronus_net::{SwitchId, TimeStep, UpdateInstance};

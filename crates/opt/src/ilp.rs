@@ -14,6 +14,9 @@
 //! ([`solve_binary`]) — the same method the paper reports using.
 //! [`ilp_optimal`] wraps everything into an OPT solver that agrees
 //! with [`crate::search::optimal_schedule`] (asserted in tests).
+// The LP tableau is dense and indexed by row/column ids the builder
+// minted; `expect` unwraps basis invariants the pivot maintains.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::enumerate::enumerate_consistent_schedules;
 use chronus_core::ScheduleError;
@@ -350,15 +353,18 @@ pub fn build_mutp_ilp(
 
 /// Solves MUTP through the ILP route: build program (3) with growing
 /// makespan bound, solve by branch and bound, return the schedule the
-/// optimal assignment selects (merged across flows).
+/// optimal assignment selects (merged across flows) together with the
+/// independent certifier's proof of its consistency.
 ///
 /// # Errors
-/// [`ScheduleError::Infeasible`] / [`ScheduleError::TimedOut`].
+/// [`ScheduleError::Infeasible`] / [`ScheduleError::TimedOut`], or
+/// [`ScheduleError::CertificationFailed`] if the certifier rejects the
+/// ILP's winner (a bug in one of the two).
 pub fn ilp_optimal(
     instance: &UpdateInstance,
     max_makespan: TimeStep,
     budget: Duration,
-) -> Result<(Schedule, TimeStep), ScheduleError> {
+) -> Result<(Schedule, TimeStep, chronus_verify::Certificate), ScheduleError> {
     let deadline = Instant::now() + budget;
     for m in 0..=max_makespan {
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -391,7 +397,15 @@ pub fn ilp_optimal(
                 }
             }
             let makespan = merged.makespan().unwrap_or(0);
-            return Ok((merged, makespan));
+            let certificate = match chronus_verify::certify(instance, &merged) {
+                Ok(cert) => cert,
+                Err(violation) => {
+                    return Err(ScheduleError::CertificationFailed {
+                        violation: Box::new(violation),
+                    })
+                }
+            };
+            return Ok((merged, makespan, certificate));
         }
     }
     Err(ScheduleError::Infeasible {
@@ -424,10 +438,12 @@ mod tests {
     fn ilp_agrees_with_search_on_motivating_example() {
         let inst = motivating_example();
         let search = optimal_schedule(&inst).unwrap();
-        let (schedule, makespan) = ilp_optimal(&inst, 4, Duration::from_secs(60)).unwrap();
+        let (schedule, makespan, certificate) =
+            ilp_optimal(&inst, 4, Duration::from_secs(60)).unwrap();
         assert_eq!(makespan, search.makespan);
         let report = FluidSimulator::check(&inst, &schedule);
         assert_eq!(report.verdict(), Verdict::Consistent, "{report}");
+        assert_eq!(certificate.check(&inst), Ok(()));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! first hit is optimal, because a schedule with makespan `M` exists
 //! in the `M`-bounded space and none exists in the `(M−1)`-bounded
 //! one.
+// Branch-and-bound frames index per-item slots minted from the
+// instance's own update items.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use chronus_core::greedy::greedy_schedule;
 use chronus_core::{MutpProblem, ScheduleError};
@@ -36,6 +39,10 @@ pub struct OptConfig {
     /// the branch walk (default true) instead of re-simulating the
     /// whole schedule at every node. Identical verdicts either way.
     pub incremental_gate: bool,
+    /// Post-hoc certification of the winning schedule by the
+    /// independent static certifier (`chronus-verify`); enabled by
+    /// default, disable for hot benchmark loops.
+    pub verify: chronus_verify::VerifyConfig,
 }
 
 impl Default for OptConfig {
@@ -44,6 +51,7 @@ impl Default for OptConfig {
             budget: Duration::from_secs(600),
             max_makespan: None,
             incremental_gate: true,
+            verify: chronus_verify::VerifyConfig::default(),
         }
     }
 }
@@ -59,6 +67,28 @@ pub struct OptOutcome {
     pub simulator_calls: usize,
     /// Search states expanded.
     pub states: usize,
+    /// The independent certifier's proof of consistency, when
+    /// certification was enabled (see [`OptConfig::verify`]).
+    pub certificate: Option<chronus_verify::Certificate>,
+}
+
+/// Runs the independent certifier over the winning schedule per the
+/// config, surfacing a rejection as
+/// [`ScheduleError::CertificationFailed`].
+fn certify_outcome(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+    cfg: &chronus_verify::VerifyConfig,
+) -> Result<Option<chronus_verify::Certificate>, ScheduleError> {
+    if !cfg.enabled {
+        return Ok(None);
+    }
+    match chronus_verify::certify_with(instance, schedule, cfg) {
+        Ok(cert) => Ok(Some(cert)),
+        Err(violation) => Err(ScheduleError::CertificationFailed {
+            violation: Box::new(violation),
+        }),
+    }
 }
 
 /// Solves MUTP exactly with the default 600 s budget.
@@ -130,11 +160,13 @@ pub fn optimal_schedule_with(
         stats.sims += 1;
         if sim.run(&base).verdict() == Verdict::Consistent {
             let makespan = base.makespan().unwrap_or(0);
+            let certificate = certify_outcome(instance, &base, &cfg.verify)?;
             return Ok(OptOutcome {
                 schedule: base,
                 makespan,
                 simulator_calls: stats.sims,
                 states: stats.states,
+                certificate,
             });
         }
         return Err(ScheduleError::Infeasible {
@@ -180,11 +212,13 @@ pub fn optimal_schedule_with(
         match searcher.step(0, full, &mut schedule) {
             Outcome::Found => {
                 let makespan = schedule.makespan().unwrap_or(0);
+                let certificate = certify_outcome(instance, &schedule, &cfg.verify)?;
                 return Ok(OptOutcome {
                     schedule,
                     makespan,
                     simulator_calls: stats.sims,
                     states: stats.states,
+                    certificate,
                 });
             }
             Outcome::Exhausted => continue,

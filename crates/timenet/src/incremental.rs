@@ -35,6 +35,11 @@
 //! interleavings, verdicts, event counts and the whole load surface
 //! must be identical to a fresh [`crate::FluidSimulator`] run of the
 //! mirrored schedule.
+// The incremental simulator's whole point is dense indexed state:
+// cohort tables, visitor cursors and the flat ledger are all indexed
+// by ids this module mints, and `expect` unwraps mirror-state
+// invariants the apply/undo pair maintains.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::ledger::{LinkInterner, LoadLedger};
 use crate::report::Verdict;

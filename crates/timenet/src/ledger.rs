@@ -11,6 +11,10 @@
 //! added and removed, so the *verdict-relevant* congestion state is
 //! available in O(1) at any point of an incremental apply/undo
 //! sequence (see [`crate::IncrementalSimulator`]).
+// The flat `(time, link)` cell indexing is the module's invariant:
+// interner ids and window offsets are minted here and bounds-checked
+// at construction.
+#![allow(clippy::indexing_slicing)]
 
 use crate::report::CongestionEvent;
 use chronus_net::{Capacity, SwitchId, TimeStep, UpdateInstance};

@@ -155,7 +155,7 @@ impl SimulationReport {
         self.congestion
             .iter()
             .map(|c| c.load as f64 / c.capacity as f64)
-            .max_by(|a, b| a.partial_cmp(b).expect("ratios are finite"))
+            .max_by(f64::total_cmp)
     }
 
     /// Peak load ever observed on `⟨src, dst⟩` (0 if never loaded).

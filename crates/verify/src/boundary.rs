@@ -1,0 +1,152 @@
+//! Per-boundary forwarding graphs and topological-order witnesses.
+//!
+//! The schedule's distinct update times partition the timeline into
+//! epochs. At each boundary instant this module materializes the union
+//! forwarding graph — every flow's effective rule edge at that instant
+//! — and attempts a topological order (Kahn's algorithm, hand-rolled
+//! to keep the certifier free of simulator and graph-library code).
+//! See [`crate::BoundaryOrder`] for why these witnesses are
+//! diagnostics rather than the loop verdict itself.
+
+use crate::certificate::{BoundaryOrder, BoundaryWitness};
+use chronus_net::{SwitchId, TimeStep, UpdateInstance};
+use chronus_timenet::Schedule;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The effective next hop of `flow` at switch `u` at instant `t`:
+/// the new rule once `t` has reached the switch's scheduled time (and
+/// a new rule exists), the old rule otherwise.
+fn effective_edge(
+    flow: &chronus_net::Flow,
+    schedule: &Schedule,
+    u: SwitchId,
+    t: TimeStep,
+) -> Option<SwitchId> {
+    let new_next = flow.fin.next_hop(u);
+    match (schedule.get(flow.id, u), new_next) {
+        (Some(tv), Some(next)) if t >= tv => Some(next),
+        _ => flow.initial.next_hop(u),
+    }
+}
+
+/// Builds the boundary witnesses for every distinct update time in
+/// `schedule`. The boundary list is empty for an empty schedule.
+pub(crate) fn boundary_witnesses(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+) -> Vec<BoundaryWitness> {
+    let times: BTreeSet<TimeStep> = schedule.iter().map(|(_, _, t)| t).collect();
+    times
+        .into_iter()
+        .map(|t| BoundaryWitness {
+            time: t,
+            order: order_at(instance, schedule, t),
+        })
+        .collect()
+}
+
+/// Topological order of the union forwarding graph at instant `t`, or
+/// the set of switches on instantaneous cycles.
+pub(crate) fn order_at(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+    t: TimeStep,
+) -> BoundaryOrder {
+    let mut edges: BTreeSet<(SwitchId, SwitchId)> = BTreeSet::new();
+    let mut nodes: BTreeSet<SwitchId> = BTreeSet::new();
+    for flow in &instance.flows {
+        for path in [&flow.initial, &flow.fin] {
+            for &u in path.hops() {
+                if u == flow.destination() {
+                    continue;
+                }
+                nodes.insert(u);
+                if let Some(v) = effective_edge(flow, schedule, u, t) {
+                    nodes.insert(v);
+                    edges.insert((u, v));
+                }
+            }
+        }
+    }
+    // Kahn's algorithm over the union graph.
+    let mut indegree: BTreeMap<SwitchId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    let mut out: BTreeMap<SwitchId, Vec<SwitchId>> = BTreeMap::new();
+    for &(u, v) in &edges {
+        out.entry(u).or_default().push(v);
+        if let Some(d) = indegree.get_mut(&v) {
+            *d += 1;
+        }
+    }
+    let mut ready: Vec<SwitchId> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(n) = ready.pop() {
+        order.push(n);
+        for v in out.get(&n).into_iter().flatten() {
+            if let Some(d) = indegree.get_mut(v) {
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(*v);
+                }
+            }
+        }
+    }
+    if order.len() == nodes.len() {
+        BoundaryOrder::Acyclic(order)
+    } else {
+        let placed: BTreeSet<SwitchId> = order.into_iter().collect();
+        BoundaryOrder::Cyclic(nodes.difference(&placed).copied().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_net::{motivating_example, FlowId};
+
+    #[test]
+    fn staged_schedule_boundaries_are_acyclic() {
+        let inst = motivating_example();
+        let s = Schedule::from_pairs(
+            FlowId(0),
+            [
+                (SwitchId(1), 0),
+                (SwitchId(2), 1),
+                (SwitchId(0), 2),
+                (SwitchId(3), 2),
+            ],
+        );
+        let witnesses = boundary_witnesses(&inst, &s);
+        assert_eq!(witnesses.len(), 3); // distinct times 0, 1, 2
+        for w in &witnesses {
+            assert!(
+                matches!(w.order, BoundaryOrder::Acyclic(_)),
+                "boundary {} unexpectedly cyclic",
+                w.time
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_order_boundary_shows_a_cycle() {
+        // Updating v4 before v3 puts edges v3→v4 (old) and v4→v3 (new)
+        // in the same instantaneous graph.
+        let inst = motivating_example();
+        let s = Schedule::from_pairs(
+            FlowId(0),
+            [
+                (SwitchId(1), 0),
+                (SwitchId(3), 1),
+                (SwitchId(0), 2),
+                (SwitchId(2), 3),
+            ],
+        );
+        let witnesses = boundary_witnesses(&inst, &s);
+        assert!(witnesses
+            .iter()
+            .any(|w| matches!(&w.order, BoundaryOrder::Cyclic(nodes) if !nodes.is_empty())));
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-link sweep-line over interval load contributions.
+//!
+//! Congestion-freedom is decided by pure interval arithmetic: each
+//! contribution is a half-open interval `[t_lo, t_hi + 1)` of departure
+//! steps carrying a constant demand, so per link the total load is a
+//! step function whose breakpoints are contribution endpoints. The
+//! sweep accumulates `+demand` / `−demand` deltas at the breakpoints
+//! and emits the maximal constant-load segments — the certificate's
+//! per-interval load bounds — then compares each segment that
+//! intersects `t ≥ 0` against the link's capacity (steps < 0 are the
+//! feasible pre-update steady state, exactly the simulator's rule).
+
+use crate::certificate::{IntervalLoad, LinkBound, Violation};
+use crate::trace::Contribution;
+use chronus_net::{Capacity, SwitchId, UpdateInstance};
+use std::collections::BTreeMap;
+
+/// Folds contributions into per-link constant-load segments, sorted by
+/// link then by time. Zero-load gaps are omitted.
+pub(crate) fn link_profiles(
+    contributions: &[Contribution],
+) -> BTreeMap<(SwitchId, SwitchId), Vec<IntervalLoad>> {
+    let mut deltas: BTreeMap<(SwitchId, SwitchId), BTreeMap<i64, i128>> = BTreeMap::new();
+    for c in contributions {
+        let link = deltas.entry((c.src, c.dst)).or_default();
+        *link.entry(c.t_lo).or_insert(0) += i128::from(c.demand);
+        *link.entry(c.t_hi + 1).or_insert(0) -= i128::from(c.demand);
+    }
+    let mut out = BTreeMap::new();
+    for (link, events) in deltas {
+        let mut segments: Vec<IntervalLoad> = Vec::new();
+        let mut load: i128 = 0;
+        let mut prev: Option<i64> = None;
+        for (&t, &delta) in &events {
+            if let Some(start) = prev {
+                if load > 0 && t > start {
+                    let level = Capacity::try_from(load).unwrap_or(Capacity::MAX);
+                    match segments.last_mut() {
+                        Some(last) if last.end == start && last.load == level => last.end = t,
+                        _ => segments.push(IntervalLoad {
+                            start,
+                            end: t,
+                            load: level,
+                        }),
+                    }
+                }
+            }
+            load += delta;
+            prev = Some(t);
+        }
+        out.insert(link, segments);
+    }
+    out
+}
+
+/// Builds the certificate's per-link bounds from the profiles,
+/// recording each link's capacity and its peak load over `t ≥ 0`.
+pub(crate) fn link_bounds(
+    instance: &UpdateInstance,
+    profiles: &BTreeMap<(SwitchId, SwitchId), Vec<IntervalLoad>>,
+) -> Vec<LinkBound> {
+    profiles
+        .iter()
+        .map(|(&(src, dst), segments)| LinkBound {
+            src,
+            dst,
+            capacity: instance.network.capacity(src, dst).unwrap_or(0),
+            peak: segments
+                .iter()
+                .filter(|s| s.end > 0)
+                .map(|s| s.load)
+                .max()
+                .unwrap_or(0),
+            segments: segments.clone(),
+        })
+        .collect()
+}
+
+/// Finds the minimal congestion counterexample, if any: the earliest
+/// overloaded instant across all links (ties broken by link id), and
+/// the maximal contiguous run of overloaded segments around it. The
+/// contributing flows are every flow with demand on the link during
+/// that run.
+pub(crate) fn first_congestion(
+    instance: &UpdateInstance,
+    contributions: &[Contribution],
+    profiles: &BTreeMap<(SwitchId, SwitchId), Vec<IntervalLoad>>,
+) -> Option<Violation> {
+    let mut best: Option<(i64, SwitchId, SwitchId, i64, Capacity, Capacity)> = None;
+    for (&(src, dst), segments) in profiles {
+        let capacity = instance.network.capacity(src, dst).unwrap_or(0);
+        let mut run: Option<(i64, i64, Capacity)> = None;
+        for s in segments {
+            let overloaded = s.load > capacity && s.end > 0;
+            if overloaded {
+                let start = s.start.max(0);
+                run = match run {
+                    Some((rs, re, peak)) if re == start => Some((rs, s.end, peak.max(s.load))),
+                    Some(done) => {
+                        consider(&mut best, src, dst, capacity, done);
+                        Some((start, s.end, s.load))
+                    }
+                    None => Some((start, s.end, s.load)),
+                };
+            } else if let Some(done) = run.take() {
+                consider(&mut best, src, dst, capacity, done);
+            }
+        }
+        if let Some(done) = run {
+            consider(&mut best, src, dst, capacity, done);
+        }
+    }
+    let (start, src, dst, end, peak, capacity) = best?;
+    let mut flows: Vec<_> = contributions
+        .iter()
+        .filter(|c| c.src == src && c.dst == dst && c.t_lo < end && c.t_hi + 1 > start)
+        .map(|c| c.flow)
+        .collect();
+    flows.sort_unstable();
+    flows.dedup();
+    Some(Violation::Congestion {
+        src,
+        dst,
+        start,
+        end,
+        peak,
+        capacity,
+        flows,
+    })
+}
+
+fn consider(
+    best: &mut Option<(i64, SwitchId, SwitchId, i64, Capacity, Capacity)>,
+    src: SwitchId,
+    dst: SwitchId,
+    capacity: Capacity,
+    (start, end, peak): (i64, i64, Capacity),
+) {
+    let candidate = (start, src, dst, end, peak, capacity);
+    match best {
+        Some(b) if (b.0, b.1, b.2) <= (start, src, dst) => {}
+        _ => *best = Some(candidate),
+    }
+}
+
+/// Expands the profiles into per-step congestion events (`t ≥ 0`,
+/// `load > capacity`) sorted by `(time, src, dst)` — the simulator's
+/// event list, reproduced from intervals for differential testing.
+pub(crate) fn congestion_events(
+    instance: &UpdateInstance,
+    profiles: &BTreeMap<(SwitchId, SwitchId), Vec<IntervalLoad>>,
+) -> Vec<(SwitchId, SwitchId, i64, Capacity, Capacity)> {
+    let mut out = Vec::new();
+    for (&(src, dst), segments) in profiles {
+        let capacity = instance.network.capacity(src, dst).unwrap_or(0);
+        for s in segments {
+            if s.load > capacity {
+                for t in s.start.max(0)..s.end {
+                    out.push((src, dst, t, s.load, capacity));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|&(src, dst, t, _, _)| (t, src, dst));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_net::FlowId;
+
+    fn contrib(t_lo: i64, t_hi: i64, demand: Capacity, flow: u32) -> Contribution {
+        Contribution {
+            src: SwitchId(0),
+            dst: SwitchId(1),
+            t_lo,
+            t_hi,
+            demand,
+            flow: FlowId(flow),
+        }
+    }
+
+    #[test]
+    fn merges_overlapping_intervals() {
+        let profiles = link_profiles(&[contrib(0, 4, 1, 0), contrib(2, 6, 1, 1)]);
+        let segs = &profiles[&(SwitchId(0), SwitchId(1))];
+        assert_eq!(
+            segs,
+            &vec![
+                IntervalLoad {
+                    start: 0,
+                    end: 2,
+                    load: 1
+                },
+                IntervalLoad {
+                    start: 2,
+                    end: 5,
+                    load: 2
+                },
+                IntervalLoad {
+                    start: 5,
+                    end: 7,
+                    load: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesces_equal_adjacent_levels() {
+        // Back-to-back intervals at the same level form one segment.
+        let profiles = link_profiles(&[contrib(0, 1, 1, 0), contrib(2, 3, 1, 0)]);
+        let segs = &profiles[&(SwitchId(0), SwitchId(1))];
+        assert_eq!(
+            segs,
+            &vec![IntervalLoad {
+                start: 0,
+                end: 4,
+                load: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn negative_time_overload_is_not_congestion() {
+        let mut b = chronus_net::NetworkBuilder::with_switches(2);
+        b.add_link(SwitchId(0), SwitchId(1), 1, 1).unwrap();
+        let net = b.build();
+        let flow = chronus_net::Flow::new(
+            FlowId(0),
+            1,
+            chronus_net::Path::new(vec![SwitchId(0), SwitchId(1)]),
+            chronus_net::Path::new(vec![SwitchId(0), SwitchId(1)]),
+        )
+        .unwrap();
+        let inst = chronus_net::UpdateInstance::single(net, flow).unwrap();
+        let contributions = [contrib(-5, -1, 2, 0)];
+        let profiles = link_profiles(&contributions);
+        assert!(first_congestion(&inst, &contributions, &profiles).is_none());
+        // The same overload touching step 0 is congestion, clipped at 0.
+        let contributions = [contrib(-5, 0, 2, 0)];
+        let profiles = link_profiles(&contributions);
+        let v = first_congestion(&inst, &contributions, &profiles).unwrap();
+        match v {
+            Violation::Congestion { start, end, .. } => {
+                assert_eq!((start, end), (0, 1));
+            }
+            other => panic!("expected congestion, got {other:?}"),
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn main() {
 
     // 1. Does any consistent timed sequence exist? (Algorithm 1)
     match check_feasibility(&instance) {
-        Feasibility::Feasible(_) => println!("tree check: a consistent sequence exists"),
+        Feasibility::Feasible { .. } => println!("tree check: a consistent sequence exists"),
         other => {
             println!("tree check: {other:?}");
             return;
@@ -41,6 +41,9 @@ fn main() {
     let outcome = greedy_schedule(&instance).expect("the example is feasible");
     let report = FluidSimulator::check(&instance, &outcome.schedule);
     assert_eq!(report.verdict(), Verdict::Consistent);
+    if let Some(cert) = &outcome.certificate {
+        println!("independent certifier: {cert}");
+    }
     println!(
         "\ngreedy schedule (|T| = {} steps):\n{}",
         outcome.makespan + 1,

@@ -1,0 +1,106 @@
+//! Offline shim of the [`loom`](https://docs.rs/loom) permutation
+//! testing crate.
+//!
+//! The real loom replaces `std::sync` with instrumented types and runs
+//! a model body under *every* legal interleaving of its threads. This
+//! shim keeps the API surface (so `#[cfg(loom)]` model tests compile
+//! and run offline) but explores interleavings **stochastically**: the
+//! model body is executed [`ITERATIONS`] times with real OS threads,
+//! relying on scheduler noise rather than exhaustive enumeration.
+//!
+//! The consequence for test authors: assertions must hold under *any*
+//! interleaving (they are checked under many), and a pass here is
+//! evidence, not proof. Swapping in the real loom is a one-line
+//! `Cargo.toml` change — the model code does not change.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How many times [`model`] re-runs its body. Each run uses fresh
+/// state and real threads, so distinct interleavings are sampled.
+pub const ITERATIONS: usize = 64;
+
+static IN_MODEL: AtomicBool = AtomicBool::new(false);
+
+/// Runs `f` repeatedly, panicking (like the real loom) if any run
+/// panics. The closure must be self-contained: it creates its own
+/// shared state and joins its own threads each run.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    IN_MODEL.store(true, Ordering::SeqCst);
+    for _ in 0..ITERATIONS {
+        f();
+    }
+    IN_MODEL.store(false, Ordering::SeqCst);
+}
+
+/// `true` while a [`model`] body is running (the real loom exposes
+/// richer introspection; tests here only need the flag).
+pub fn is_model_active() -> bool {
+    IN_MODEL.load(Ordering::SeqCst)
+}
+
+/// Mirror of `loom::thread`: re-exports the std thread API that model
+/// bodies use (`spawn`, `JoinHandle`, `yield_now`).
+pub mod thread {
+    pub use std::thread::{current, park, sleep, spawn, yield_now, JoinHandle, Thread};
+}
+
+/// Mirror of `loom::sync`: instrumented types in the real loom, the
+/// plain std types here.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Mirror of `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+
+    /// Mirror of `loom::sync::mpsc`.
+    pub mod mpsc {
+        pub use std::sync::mpsc::{channel, Receiver, Sender};
+    }
+}
+
+/// Mirror of `loom::hint`.
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_many_iterations() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        super::model(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), super::ITERATIONS);
+    }
+
+    #[test]
+    fn threads_and_mutexes_work_inside_model() {
+        super::model(|| {
+            let shared = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let s = shared.clone();
+                    super::thread::spawn(move || {
+                        *s.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*shared.lock().unwrap(), 2);
+        });
+    }
+}

@@ -21,7 +21,11 @@
 //! - [`emu`] — the discrete-event emulator standing in for Mininet;
 //! - [`engine`] — the concurrent batched update-planning engine:
 //!   worker-pool planning with per-request deadlines and the
-//!   greedy → tree → two-phase fallback chain.
+//!   greedy → tree → two-phase fallback chain;
+//! - [`verify`] — the independent static certifier: proves schedules
+//!   loop- and congestion-free by interval arithmetic, with no shared
+//!   simulator code, and seals every solver's success with a
+//!   machine-checkable certificate.
 //!
 //! ## Quickstart
 //!
@@ -47,7 +51,8 @@
 //!
 //! let engine = Engine::new(EngineConfig::with_workers(2));
 //! let plans = engine.plan_instances(vec![Arc::new(motivating_example()); 8]);
-//! assert!(plans.iter().all(|p| p.plan.schedule().is_some()));
+//! assert!(plans.iter().all(|p| p.timed_schedule().is_ok()));
+//! assert!(plans.iter().all(|p| p.certificate.is_some()));
 //! println!("{}", engine.report());
 //! ```
 //!
@@ -68,3 +73,4 @@ pub use chronus_net as net;
 pub use chronus_openflow as openflow;
 pub use chronus_opt as opt;
 pub use chronus_timenet as timenet;
+pub use chronus_verify as verify;

@@ -64,8 +64,8 @@ proptest! {
         let Some(inst) = gen_instance(switches, seed) else { return Ok(()); };
         if greedy_schedule(&inst).is_ok() {
             match check_feasibility(&inst) {
-                Feasibility::Feasible(witness) => {
-                    let report = FluidSimulator::check(&inst, &witness);
+                Feasibility::Feasible { schedule, .. } => {
+                    let report = FluidSimulator::check(&inst, &schedule);
                     prop_assert_eq!(report.verdict(), Verdict::Consistent);
                 }
                 other => prop_assert!(false, "greedy found a witness but tree said {:?}", other),

@@ -73,13 +73,14 @@ fn ilp_route_matches_search_route() {
         );
         let ilp = ilp_optimal(&inst, 5, Duration::from_secs(20));
         match (search, ilp) {
-            (Ok(s), Ok((schedule, makespan))) if s.makespan <= 5 => {
+            (Ok(s), Ok((schedule, makespan, certificate))) if s.makespan <= 5 => {
                 assert_eq!(s.makespan, makespan);
                 let report = FluidSimulator::check(&inst, &schedule);
                 assert_eq!(report.verdict(), Verdict::Consistent);
+                assert_eq!(certificate.check(&inst), Ok(()));
                 compared += 1;
             }
-            (Err(_), Ok((_, m))) => panic!("ILP found |T|={} where search failed", m + 1),
+            (Err(_), Ok((_, m, _))) => panic!("ILP found |T|={} where search failed", m + 1),
             _ => {}
         }
     }

@@ -45,9 +45,13 @@ fn optimum_is_three_steps_and_greedy_is_near_optimal() {
 fn tree_algorithm_confirms_feasibility_with_witness() {
     let inst = motivating_example();
     match check_feasibility(&inst) {
-        Feasibility::Feasible(witness) => {
-            let report = FluidSimulator::check(&inst, &witness);
+        Feasibility::Feasible {
+            schedule,
+            certificate,
+        } => {
+            let report = FluidSimulator::check(&inst, &schedule);
             assert_eq!(report.verdict(), Verdict::Consistent);
+            assert_eq!(certificate.check(&inst), Ok(()));
         }
         other => panic!("expected feasible, got {other:?}"),
     }
