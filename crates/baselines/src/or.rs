@@ -222,6 +222,7 @@ pub fn or_rounds_greedy(instance: &UpdateInstance) -> Result<OrOutcome, Schedule
 /// budget expires. Minimizing rounds is NP-hard [15], so the budget
 /// matters on large pending sets — exactly the effect Fig. 10 shows.
 pub fn or_rounds(instance: &UpdateInstance, cfg: OrConfig) -> Result<OrOutcome, ScheduleError> {
+    let _span = chronus_trace::span!("baselines.or_rounds", flows = instance.flows.len()).entered();
     let flow = single_flow(instance)?;
     let pending: Vec<SwitchId> = flow.switches_to_update().into_iter().collect();
     if pending.is_empty() {

@@ -64,6 +64,12 @@ impl TpPlan {
 
 /// Builds the two-phase plan for one flow.
 pub fn tp_plan(flow: &Flow) -> TpPlan {
+    let _span = chronus_trace::span!(
+        "baselines.tp_plan",
+        initial_hops = flow.initial.len(),
+        final_hops = flow.fin.len()
+    )
+    .entered();
     let phase1: Vec<RuleOp> = flow
         .fin
         .hops()

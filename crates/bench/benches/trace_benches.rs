@@ -1,0 +1,42 @@
+//! Tracing overhead bench: the same greedy scheduling run with and
+//! without a span collector installed.
+//!
+//! The span fast path is a single relaxed atomic load when no
+//! collector is live, so `spans_off` must track the uninstrumented
+//! cost and `spans_on` must stay within a few percent of it (the
+//! acceptance bar is 5%): greedy emits a handful of spans per run, not
+//! one per inner-loop iteration.
+
+use chronus_core::greedy::{greedy_schedule_with, GreedyConfig};
+use chronus_net::{InstanceGenerator, InstanceGeneratorConfig};
+use chronus_trace::Collector;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn instance(n: usize) -> chronus_net::UpdateInstance {
+    InstanceGenerator::new(InstanceGeneratorConfig::paper(n, 42))
+        .generate()
+        .expect("generator succeeds")
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let inst = instance(60);
+    let cfg = GreedyConfig::default();
+    let mut g = c.benchmark_group("trace_overhead");
+    g.bench_function("greedy/spans_off", |b| {
+        b.iter(|| greedy_schedule_with(std::hint::black_box(&inst), cfg))
+    });
+    g.bench_function("greedy/spans_on", |b| {
+        let _guard = Collector::install();
+        b.iter(|| {
+            let out = greedy_schedule_with(std::hint::black_box(&inst), cfg);
+            // Keep the sink bounded; draining a handful of records is
+            // part of the cost of running with collection on.
+            std::hint::black_box(Collector::drain());
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

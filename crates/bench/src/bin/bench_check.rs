@@ -17,6 +17,10 @@
 //!    scheduler's behaviour changed, which a perf-smoke job must not
 //!    let slide through silently.
 //!
+//! A third series is printed but never gated: per-size `gate_nanos`
+//! deltas against the baseline (gate wall-clock drifts with hardware,
+//! so it is CI-log information, not an assertion).
+//!
 //! The JSON is the bench's own flat hand-written format, so parsing is
 //! a hand-rolled field scan — no serde in the workspace.
 
@@ -106,6 +110,23 @@ fn main() -> ExitCode {
                 eprintln!("FAIL: {key} makespan missing from {fresh_path}");
                 failures += 1;
             }
+        }
+    }
+
+    // Informational only — gate-time wall-clock drifts with hardware,
+    // so the deltas are printed for the CI log but never gated on.
+    for &n in ALL_SIZES {
+        let key = format!("summary/{n}");
+        match (
+            lookup(&baseline, &key, "gate_nanos"),
+            lookup(&fresh, &key, "gate_nanos"),
+        ) {
+            (Some(b), Some(f)) if b > 0.0 => println!(
+                "info: {key} gate_nanos {f:.0} (baseline {b:.0}, {:+.1}%)",
+                (f - b) / b * 100.0
+            ),
+            (_, Some(f)) => println!("info: {key} gate_nanos {f:.0} (no baseline value)"),
+            (_, None) => println!("info: {key} gate_nanos not recorded in {fresh_path}"),
         }
     }
 

@@ -126,11 +126,15 @@ fn main() {
              link visits saved {cell_ratio:.1}x, end-to-end {speedup:.1}x, \
              makespan {makespan}"
         );
+        // `gate_nanos` = per-op time inside the incremental gate; an
+        // informational series (bench_check prints deltas, never gates
+        // on it — wall-clock drifts with hardware).
         let _ = write!(
             summaries,
             ",\n  \"summary/{n}\": {{\"speedup\": {speedup:.2}, \
              \"gate_speedup\": {gate_speedup:.2}, \"cell_ratio\": {cell_ratio:.2}, \
-             \"makespan\": {makespan}}}"
+             \"makespan\": {makespan}, \"gate_nanos\": {:.0}}}",
+            inc.1
         );
     }
 

@@ -68,6 +68,7 @@ pub fn two_way_sync(
     rng: &mut StdRng,
 ) -> SyncOutcome {
     assert!(cfg.rounds > 0, "at least one exchange round");
+    let mut span = chronus_trace::span!("clock.sync", rounds = cfg.rounds as u64).entered();
     let mut best: Option<(Nanos, Nanos)> = None; // (rtt, estimate)
     for round in 0..cfg.rounds {
         let t1 = start + round as Nanos * cfg.round_spacing;
@@ -91,6 +92,10 @@ pub fn two_way_sync(
     let (best_rtt, estimate) = best.expect("rounds > 0");
     clock.correct_offset(estimate);
     let after = start + cfg.rounds as Nanos * cfg.round_spacing;
+    if span.is_recording() {
+        span.record("best_rtt_ns", best_rtt as i64);
+        span.record("residual_ns", clock.error_at(after) as i64);
+    }
     SyncOutcome {
         applied_estimate: estimate,
         residual_error: clock.error_at(after),

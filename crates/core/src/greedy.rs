@@ -121,18 +121,37 @@ enum GateBackend<'a> {
 /// The exactness gate: owns whichever backend the config selected and
 /// keeps the two behaviourally identical (same accept/reject answers,
 /// same schedule side effects on rejection).
+///
+/// Instrumentation lives in a gate-scoped
+/// [`chronus_trace::MetricsRegistry`] (`chronus_core_gate_*` names);
+/// the [`GateStats`] returned by [`ExactGate::into_parts`] is a
+/// derived view over it, and the per-check latency distribution is a
+/// `chronus_core_gate_ns` histogram whose exact sum is the run's
+/// `gate_nanos`. The registry is per-run, so concurrent plans (and
+/// parallel tests) never share counters.
 struct ExactGate<'a> {
     backend: GateBackend<'a>,
-    calls: usize,
-    stats: GateStats,
+    registry: chronus_trace::MetricsRegistry,
+    calls: chronus_trace::Counter,
+    incremental_checks: chronus_trace::Counter,
+    full_checks: chronus_trace::Counter,
+    full_equivalent_cells: chronus_trace::Counter,
     /// Wall-clock nanoseconds spent inside the gate (construction,
     /// mirroring, checks) — the "exact-gate planning time" that the
-    /// incremental backend exists to shrink.
-    nanos: u64,
+    /// incremental backend exists to shrink. One observation per
+    /// timed segment; the histogram sum is the exact total.
+    gate_ns: chronus_trace::Histogram,
 }
 
 impl<'a> ExactGate<'a> {
     fn new(instance: &'a UpdateInstance, incremental: bool, ws: SimWorkspace) -> Self {
+        let registry = chronus_trace::MetricsRegistry::new();
+        let calls = registry.counter("chronus_core_gate_checks_total");
+        let incremental_checks = registry.counter("chronus_core_gate_incremental_checks_total");
+        let full_checks = registry.counter("chronus_core_gate_full_checks_total");
+        let full_equivalent_cells =
+            registry.counter("chronus_core_gate_full_equivalent_cells_total");
+        let gate_ns = registry.histogram("chronus_core_gate_ns");
         let t0 = Instant::now();
         let backend = if incremental {
             GateBackend::Incremental(Box::new(IncrementalSimulator::with_workspace(instance, ws)))
@@ -147,11 +166,15 @@ impl<'a> ExactGate<'a> {
                 ws,
             }
         };
+        gate_ns.record(t0.elapsed().as_nanos() as u64);
         ExactGate {
             backend,
-            calls: 0,
-            stats: GateStats::default(),
-            nanos: t0.elapsed().as_nanos() as u64,
+            registry,
+            calls,
+            incremental_checks,
+            full_checks,
+            full_equivalent_cells,
+            gate_ns,
         }
     }
 
@@ -161,26 +184,26 @@ impl<'a> ExactGate<'a> {
         if let GateBackend::Incremental(inc) = &mut self.backend {
             let t0 = Instant::now();
             let _ = inc.apply(flow, switch, t); // committed: delta never undone
-            self.nanos += t0.elapsed().as_nanos() as u64;
+            self.gate_ns.record(t0.elapsed().as_nanos() as u64);
         }
     }
 
     /// One gate check of the current schedule as-is.
     fn check_current(&mut self, schedule: &Schedule) -> bool {
         let t0 = Instant::now();
-        self.calls += 1;
+        self.calls.inc();
         let ok = match &mut self.backend {
             GateBackend::Full { sim, .. } => {
-                self.stats.full_checks += 1;
+                self.full_checks.inc();
                 sim.run(schedule).verdict() == Verdict::Consistent
             }
             GateBackend::Incremental(inc) => {
-                self.stats.incremental_checks += 1;
-                self.stats.full_equivalent_cells += inc.live_cells();
+                self.incremental_checks.inc();
+                self.full_equivalent_cells.add(inc.live_cells());
                 inc.verdict() == Verdict::Consistent
             }
         };
-        self.nanos += t0.elapsed().as_nanos() as u64;
+        self.gate_ns.record(t0.elapsed().as_nanos() as u64);
         ok
     }
 
@@ -196,18 +219,18 @@ impl<'a> ExactGate<'a> {
         t: TimeStep,
     ) -> bool {
         let t0 = Instant::now();
-        self.calls += 1;
+        self.calls.inc();
         for &v in switches {
             schedule.set(flow, v, t);
         }
         let ok = match &mut self.backend {
             GateBackend::Full { sim, .. } => {
-                self.stats.full_checks += 1;
+                self.full_checks.inc();
                 sim.run(schedule).verdict() == Verdict::Consistent
             }
             GateBackend::Incremental(inc) => {
-                self.stats.incremental_checks += 1;
-                self.stats.full_equivalent_cells += inc.live_cells();
+                self.incremental_checks.inc();
+                self.full_equivalent_cells.add(inc.live_cells());
                 let mut deltas = Vec::with_capacity(switches.len());
                 for &v in switches {
                     deltas.push(inc.apply(flow, v, t));
@@ -226,23 +249,42 @@ impl<'a> ExactGate<'a> {
                 schedule.unset(flow, v);
             }
         }
-        self.nanos += t0.elapsed().as_nanos() as u64;
+        self.gate_ns.record(t0.elapsed().as_nanos() as u64);
         ok
     }
 
     /// Tears the gate down into its instrumentation plus the reusable
-    /// workspace buffers.
-    fn into_parts(mut self) -> (usize, GateStats, u64, SimWorkspace) {
+    /// workspace buffers. The returned [`GateStats`] is derived from
+    /// the gate's registry — the counters and the stats view are the
+    /// same numbers by construction.
+    fn into_parts(self) -> (usize, GateStats, u64, SimWorkspace) {
+        let ledger_applies = self
+            .registry
+            .counter("chronus_core_gate_ledger_applies_total");
+        let ledger_undos = self
+            .registry
+            .counter("chronus_core_gate_ledger_undos_total");
+        let cells_touched = self
+            .registry
+            .counter("chronus_core_gate_cells_touched_total");
         let ws = match self.backend {
             GateBackend::Full { ws, .. } => ws,
             GateBackend::Incremental(inc) => {
-                self.stats.ledger_applies += inc.applies();
-                self.stats.ledger_undos += inc.undos();
-                self.stats.cells_touched += inc.cell_visits();
+                ledger_applies.add(inc.applies());
+                ledger_undos.add(inc.undos());
+                cells_touched.add(inc.cell_visits());
                 inc.into_workspace()
             }
         };
-        (self.calls, self.stats, self.nanos, ws)
+        let stats = GateStats {
+            incremental_checks: self.incremental_checks.get(),
+            full_checks: self.full_checks.get(),
+            ledger_applies: ledger_applies.get(),
+            ledger_undos: ledger_undos.get(),
+            cells_touched: cells_touched.get(),
+            full_equivalent_cells: self.full_equivalent_cells.get(),
+        };
+        (self.calls.get() as usize, stats, self.gate_ns.sum(), ws)
     }
 }
 
@@ -316,6 +358,13 @@ pub fn greedy_schedule_in(
     config: GreedyConfig,
     workspace: &mut SimWorkspace,
 ) -> Result<GreedyOutcome, ScheduleError> {
+    let mut span = chronus_trace::span!(
+        "core.greedy",
+        flows = instance.flows.len(),
+        exact_gate = config.exact_gate,
+        incremental = config.incremental_gate
+    )
+    .entered();
     let mut gate = if config.exact_gate {
         Some(ExactGate::new(
             instance,
@@ -334,9 +383,15 @@ pub fn greedy_schedule_in(
         }
         None => (0, GateStats::default(), 0),
     };
+    if span.is_recording() {
+        span.record("simulator_calls", simulator_calls);
+        span.record("gate_ns", gate_nanos);
+        span.record("feasible", result.is_ok());
+    }
     let (schedule, rounds) = result?;
     let makespan = schedule.makespan().unwrap_or(0);
     let certificate = crate::certify_outcome(instance, &schedule, &config.verify)?;
+    span.record("makespan", makespan);
     Ok(GreedyOutcome {
         schedule,
         makespan,

@@ -5,9 +5,9 @@
 #![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::controller::{ChronusDriver, EngineDriver, OrDriver, TpDriver, UpdateDriver};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, HopRing};
 use crate::link::EmuLink;
-use crate::report::EmuReport;
+use crate::report::{EmuReport, TtlDrop};
 use crate::switchdev::{EmuSwitch, HOST_PORT};
 use crate::traffic::{chunk_size_for, CbrSource};
 use chronus_clock::{HardwareClock, Nanos};
@@ -444,6 +444,13 @@ impl Emulator {
 
     /// Runs the emulation to completion and returns the report.
     pub fn run(mut self) -> EmuReport {
+        let mut span = chronus_trace::span!(
+            "emu.run",
+            switches = self.switches.len(),
+            flows = self.flows.len(),
+            run_for_ns = self.config.run_for as i64
+        )
+        .entered();
         while let Some(ev) = self.queue.pop() {
             let now = ev.at;
             match ev.event {
@@ -463,6 +470,7 @@ impl Emulator {
                             switch: f.src_switch,
                             packet: pkt,
                             ttl: self.config.ttl,
+                            hops: HopRing::new(),
                         },
                     );
                     let next = now + f.interval();
@@ -474,16 +482,18 @@ impl Emulator {
                     switch,
                     packet,
                     ttl,
+                    hops,
                 } => {
-                    self.handle_packet(now, switch, packet, ttl);
+                    self.handle_packet(now, switch, packet, ttl, hops);
                 }
                 Event::LinkDeliver {
                     switch,
                     packet,
                     ttl,
+                    hops,
                     ..
                 } => {
-                    self.handle_packet(now, switch, packet, ttl);
+                    self.handle_packet(now, switch, packet, ttl, hops);
                 }
                 Event::ApplyFlowMod { switch, flowmod } => {
                     if let Ok(maybe_id) = self.switches[switch.index()].apply_flowmod(&flowmod) {
@@ -522,10 +532,24 @@ impl Emulator {
         }
         self.report.buffer_drops = self.links.iter().map(|l| l.totals().dropped).sum();
         self.report.peak_rule_count = self.peak_rules;
+        if span.is_recording() {
+            span.record("delivered_bytes", self.report.total_delivered());
+            span.record("ttl_drops", self.report.ttl_drops);
+            span.record("buffer_drops", self.report.buffer_drops);
+            span.record("table_misses", self.report.table_misses);
+        }
         self.report
     }
 
-    fn handle_packet(&mut self, now: Nanos, switch: SwitchId, packet: Packet, ttl: u8) {
+    fn handle_packet(
+        &mut self,
+        now: Nanos,
+        switch: SwitchId,
+        packet: Packet,
+        ttl: u8,
+        mut hops: HopRing,
+    ) {
+        hops.push(switch);
         let (pkt, ports) = self.switches[switch.index()].forward(packet);
         if ports.is_empty() {
             self.report.table_misses += 1;
@@ -539,7 +563,17 @@ impl Emulator {
                 continue;
             }
             if ttl == 0 {
-                self.report.ttl_drops += 1;
+                let drop = TtlDrop {
+                    at: now,
+                    switch,
+                    last_hops: hops.hops(),
+                };
+                chronus_trace::instant!(
+                    "emu.ttl_drop",
+                    switch = switch.0 as u64,
+                    looped = drop.looped()
+                );
+                self.report.record_ttl_drop(drop);
                 continue;
             }
             let Some(link_idx) = self.switches[switch.index()].link_behind(port) else {
@@ -561,6 +595,7 @@ impl Emulator {
                         switch: head,
                         packet: arrived,
                         ttl: ttl - 1,
+                        hops,
                     },
                 );
             }
@@ -726,6 +761,37 @@ mod tests {
             "standing loop must drop packets: {report:?}"
         );
         assert!(!report.clean());
+    }
+
+    #[test]
+    fn ttl_drop_forensics_localize_the_loop() {
+        // Same standing v3↔v4 loop as above, but with a buffer deep
+        // enough that packets die of TTL exhaustion (not overflow):
+        // every drop record must carry the bounce trail, and the trail
+        // must name the two looping switches.
+        let inst = motivating_example();
+        let cfg = EmuConfig {
+            ttl: 8,
+            buffer_delay: 10_000_000_000, // never overflow; force TTL expiry
+            ..short_config()
+        };
+        let mut emu = Emulator::new(&inst, cfg, 6);
+        emu.install_driver(UpdateDriver::or_rounds(vec![vec![SwitchId(3)]]));
+        let report = emu.run();
+        assert!(report.ttl_drops > 0, "standing loop must expire packets");
+        assert!(!report.ttl_drop_records.is_empty());
+        assert!(
+            report.ttl_drop_records.len() <= crate::report::MAX_TTL_DROP_RECORDS,
+            "forensics stay bounded"
+        );
+        for drop in &report.ttl_drop_records {
+            assert!(drop.looped(), "an expiring packet was bouncing: {drop:?}");
+            // The v3↔v4 bounce dominates the remembered tail.
+            assert!(
+                drop.last_hops.contains(&SwitchId(2)) && drop.last_hops.contains(&SwitchId(3)),
+                "trail names the looping pair: {drop:?}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,67 @@ use chronus_openflow::{FlowMod, Packet};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// How many recent hops a packet remembers for loop forensics.
+pub const HOP_RING_CAPACITY: usize = 8;
+
+/// A fixed-capacity ring of the last [`HOP_RING_CAPACITY`] switches a
+/// packet visited. `Copy` so it travels inside events for free; once
+/// full, each push evicts the oldest hop. When a packet dies of TTL
+/// exhaustion the ring is the forensic record: a forwarding loop shows
+/// up as a repeating cycle in the tail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HopRing {
+    hops: [SwitchId; HOP_RING_CAPACITY],
+    /// Total hops ever pushed (saturating at `u32::MAX`); the ring
+    /// holds the last `min(pushed, HOP_RING_CAPACITY)` of them.
+    pushed: u32,
+}
+
+impl HopRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a visit to `switch`, evicting the oldest hop if full.
+    pub fn push(&mut self, switch: SwitchId) {
+        let slot = self.pushed as usize % HOP_RING_CAPACITY;
+        if let Some(h) = self.hops.get_mut(slot) {
+            *h = switch;
+        }
+        self.pushed = self.pushed.saturating_add(1);
+    }
+
+    /// Hops currently remembered.
+    pub fn len(&self) -> usize {
+        (self.pushed as usize).min(HOP_RING_CAPACITY)
+    }
+
+    /// `true` when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// The remembered hops, oldest first.
+    pub fn hops(&self) -> Vec<SwitchId> {
+        let n = self.len();
+        let start = self.pushed as usize - n;
+        (start..self.pushed as usize)
+            .filter_map(|i| self.hops.get(i % HOP_RING_CAPACITY).copied())
+            .collect()
+    }
+
+    /// `true` when the remembered tail revisits a switch — the
+    /// signature of a forwarding loop (a loop-free walk never repeats
+    /// a node within the ring window).
+    pub fn has_revisit(&self) -> bool {
+        let hops = self.hops();
+        hops.iter()
+            .enumerate()
+            .any(|(i, h)| hops.iter().skip(i + 1).any(|other| other == h))
+    }
+}
+
 /// Everything that can happen in the emulation.
 #[derive(Clone, Debug)]
 pub enum Event {
@@ -23,6 +84,8 @@ pub enum Event {
         packet: Packet,
         /// Remaining hop budget; 0 ⇒ counted as a TTL drop (loop!).
         ttl: u8,
+        /// Recently visited switches (loop forensics).
+        hops: HopRing,
     },
     /// A link finishes serializing a chunk onto the wire; the chunk
     /// will arrive after the propagation delay.
@@ -35,6 +98,8 @@ pub enum Event {
         packet: Packet,
         /// Remaining hop budget.
         ttl: u8,
+        /// Recently visited switches (loop forensics).
+        hops: HopRing,
     },
     /// A FlowMod takes effect at a switch (control-channel delivery or
     /// a timed trigger firing).
@@ -135,6 +200,38 @@ mod tests {
         assert!(matches!(c.event, Event::ChunkEmit { flow: 1 }));
         assert!(q.pop().is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn hop_ring_keeps_last_n_in_order() {
+        let mut r = HopRing::new();
+        assert!(r.is_empty());
+        assert!(!r.has_revisit());
+        for i in 0..3 {
+            r.push(SwitchId(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.hops(), vec![SwitchId(0), SwitchId(1), SwitchId(2)]);
+        assert!(!r.has_revisit(), "distinct hops are loop-free");
+        // Overflow evicts the oldest: after 12 pushes of distinct ids
+        // only the last HOP_RING_CAPACITY remain, oldest first.
+        let mut r = HopRing::new();
+        for i in 0..12 {
+            r.push(SwitchId(i));
+        }
+        assert_eq!(r.len(), HOP_RING_CAPACITY);
+        let expect: Vec<SwitchId> = (4..12).map(SwitchId).collect();
+        assert_eq!(r.hops(), expect);
+        assert!(!r.has_revisit());
+    }
+
+    #[test]
+    fn hop_ring_flags_revisits() {
+        let mut r = HopRing::new();
+        r.push(SwitchId(2));
+        r.push(SwitchId(3));
+        r.push(SwitchId(2));
+        assert!(r.has_revisit(), "a two-switch bounce repeats a node");
     }
 
     #[test]

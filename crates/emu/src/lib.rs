@@ -55,4 +55,5 @@ pub mod traffic;
 pub use analysis::{skew_tolerance, SkewTolerance};
 pub use controller::{EngineDriver, UpdateDriver};
 pub use emulator::{EmuConfig, Emulator};
-pub use report::EmuReport;
+pub use event::{HopRing, HOP_RING_CAPACITY};
+pub use report::{EmuReport, TtlDrop, MAX_TTL_DROP_RECORDS};

@@ -19,6 +19,37 @@ pub struct BandwidthSample {
     pub dropped_mbps: f64,
 }
 
+/// Forensic record of one TTL expiry: where the packet died and the
+/// trail of switches it bounced through right before. A forwarding
+/// loop shows up as a repeating cycle in `last_hops`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TtlDrop {
+    /// When the packet died (true time, ns).
+    pub at: Nanos,
+    /// The switch where the hop budget ran out.
+    pub switch: SwitchId,
+    /// The last few switches visited, oldest first (bounded by the
+    /// packet's hop ring capacity).
+    pub last_hops: Vec<SwitchId>,
+}
+
+impl TtlDrop {
+    /// `true` when the recorded trail revisits a switch — the
+    /// signature of a forwarding loop rather than a long path.
+    pub fn looped(&self) -> bool {
+        self.last_hops
+            .iter()
+            .enumerate()
+            .any(|(i, h)| self.last_hops.iter().skip(i + 1).any(|other| other == h))
+    }
+}
+
+/// Cap on retained [`TtlDrop`] records: a standing loop kills every
+/// arriving packet, and the counter (`ttl_drops`) already carries the
+/// magnitude — the per-drop forensics only need enough examples to
+/// localise the cycle.
+pub const MAX_TTL_DROP_RECORDS: usize = 64;
+
 /// The full emulation report.
 #[derive(Clone, Debug, Default)]
 pub struct EmuReport {
@@ -31,6 +62,9 @@ pub struct EmuReport {
     /// Packets dropped because their TTL expired — a TTL drop is the
     /// packet-level signature of a transient forwarding loop.
     pub ttl_drops: u64,
+    /// Forensics for the first [`MAX_TTL_DROP_RECORDS`] TTL drops:
+    /// drop site plus the trail of recently visited switches.
+    pub ttl_drop_records: Vec<TtlDrop>,
     /// Packets that missed every table rule (blackholes).
     pub table_misses: u64,
     /// FlowMods applied, as `(true time, switch)` pairs.
@@ -59,6 +93,15 @@ impl EmuReport {
                 delivered_mbps: to_mbps(w.delivered),
                 dropped_mbps: to_mbps(w.dropped),
             });
+    }
+
+    /// Counts a TTL expiry and retains its forensics while under the
+    /// [`MAX_TTL_DROP_RECORDS`] cap.
+    pub fn record_ttl_drop(&mut self, drop: TtlDrop) {
+        self.ttl_drops += 1;
+        if self.ttl_drop_records.len() < MAX_TTL_DROP_RECORDS {
+            self.ttl_drop_records.push(drop);
+        }
     }
 
     /// Peak offered bandwidth ever sampled on a link (0.0 if never).
@@ -123,5 +166,27 @@ mod tests {
         r.ttl_drops = 0;
         r.delivered_bytes = vec![10, 20];
         assert_eq!(r.total_delivered(), 30);
+    }
+
+    #[test]
+    fn ttl_drop_records_are_capped_and_classified() {
+        let mut r = EmuReport::default();
+        for i in 0..(MAX_TTL_DROP_RECORDS as u64 + 10) {
+            r.record_ttl_drop(TtlDrop {
+                at: i as Nanos,
+                switch: SwitchId(3),
+                last_hops: vec![SwitchId(2), SwitchId(3), SwitchId(2)],
+            });
+        }
+        // Every drop is counted; only the first cap-many keep forensics.
+        assert_eq!(r.ttl_drops, MAX_TTL_DROP_RECORDS as u64 + 10);
+        assert_eq!(r.ttl_drop_records.len(), MAX_TTL_DROP_RECORDS);
+        assert!(r.ttl_drop_records[0].looped());
+        let straight = TtlDrop {
+            at: 0,
+            switch: SwitchId(5),
+            last_hops: vec![SwitchId(1), SwitchId(2), SwitchId(3)],
+        };
+        assert!(!straight.looped(), "distinct hops are a path, not a loop");
     }
 }

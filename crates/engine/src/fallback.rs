@@ -240,6 +240,15 @@ pub fn plan_with_chain_in(
     plan_chain_impl(req, cache, metrics, ws, &VerifyConfig::default())
 }
 
+/// The static span name for one stage's attempt.
+fn stage_span_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Greedy => "engine.stage.greedy",
+        Stage::Tree => "engine.stage.tree",
+        Stage::TwoPhase => "engine.stage.two_phase",
+    }
+}
+
 fn plan_chain_impl(
     req: &UpdateRequest,
     cache: &TimeNetCache,
@@ -249,6 +258,12 @@ fn plan_chain_impl(
 ) -> PlannedUpdate {
     let started = Instant::now();
     let instance = &req.instance;
+    let mut plan_span = chronus_trace::span!(
+        "engine.plan",
+        request = req.id.0,
+        flows = instance.flows.len()
+    )
+    .entered();
 
     // Memoized time-extended window: the planning context shared by
     // identical re-plans of the same (topology, flow, horizon).
@@ -279,6 +294,7 @@ fn plan_chain_impl(
             continue;
         }
         let stage_start = Instant::now();
+        let mut stage_span = chronus_trace::span!(stage_span_name(stage)).entered();
         let outcome = match stage {
             Stage::Greedy => {
                 let cfg = GreedyConfig {
@@ -312,6 +328,17 @@ fn plan_chain_impl(
             Stage::TwoPhase => unreachable!("two-phase handled below"),
         };
         let elapsed = stage_start.elapsed();
+        if stage_span.is_recording() {
+            stage_span.record(
+                "outcome",
+                match &outcome {
+                    StageOutcome::Won => "won",
+                    StageOutcome::Failed(_) => "failed",
+                    StageOutcome::Skipped(_) => "skipped",
+                },
+            );
+        }
+        drop(stage_span);
         metrics.record_attempt(stage, &outcome, elapsed);
         attempts.push(StageAttempt {
             stage,
@@ -333,6 +360,7 @@ fn plan_chain_impl(
         }
         None => {
             let stage_start = Instant::now();
+            let mut stage_span = chronus_trace::span!(stage_span_name(Stage::TwoPhase)).entered();
             let flip_time = tp_flip_time(instance);
             let tp = TpBatchPlan {
                 plan: tp_plan(&instance.flows[0]),
@@ -342,12 +370,25 @@ fn plan_chain_impl(
             // construction, but the certifier can still refuse to vouch
             // for a flip window that transiently congests a shared
             // link; that legitimate `None` is what `certs.failed`
-            // counts.
+            // counts — the refusal itself is preserved on the trace
+            // via the violation's `Display` rendering.
             let certificate = if verify.enabled {
-                certify_two_phase(instance, flip_time).ok()
+                match certify_two_phase(instance, flip_time) {
+                    Ok(cert) => Some(cert),
+                    Err(violation) => {
+                        chronus_trace::instant!(
+                            "engine.cert_refused",
+                            request = req.id.0,
+                            violation = violation.to_string()
+                        );
+                        None
+                    }
+                }
             } else {
                 None
             };
+            stage_span.record("outcome", "won");
+            drop(stage_span);
             let elapsed = stage_start.elapsed();
             metrics.record_attempt(Stage::TwoPhase, &StageOutcome::Won, elapsed);
             attempts.push(StageAttempt {
@@ -360,6 +401,13 @@ fn plan_chain_impl(
     };
 
     metrics.record_certification(verify.enabled, certificate.is_some());
+    if plan_span.is_recording() {
+        plan_span.record("winner", winner_stage.to_string());
+        plan_span.record("cache_hit", cache_hit);
+        plan_span.record("deadline_exceeded", deadline_exceeded);
+        plan_span.record("certified", certificate.is_some());
+    }
+    drop(plan_span);
     let planned = PlannedUpdate {
         id: req.id,
         plan,

@@ -1,67 +1,135 @@
 //! Engine-level planning metrics.
 //!
-//! Workers record into lock-free atomic counters; [`PlanReport`] is a
-//! point-in-time snapshot with derived rates and mean latencies,
-//! printable as the engine's operational summary.
+//! The counters live in a per-engine [`MetricsRegistry`]
+//! (`chronus-trace`), under `chronus_engine_*` names; the recording
+//! methods write through cached lock-free handles, so the hot path
+//! never takes the registry lock. [`PlanReport`] is a derived view
+//! over the registry — the same numbers are exportable as Prometheus
+//! text or a JSON snapshot via [`EngineMetrics::registry`].
+//!
+//! One registry per [`crate::Engine`] instance (not process-global)
+//! keeps concurrent engines — and the test suite's parallel engine
+//! tests — from bleeding counts into each other; callers that want a
+//! whole-process rollup absorb each snapshot into
+//! [`MetricsRegistry::global`].
 
 use crate::cache::TimeNetCache;
 use crate::fallback::{PlannedUpdate, Stage, StageOutcome};
 use chronus_timenet::GateStats;
+use chronus_trace::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Per-stage atomic counters.
-#[derive(Default, Debug)]
-struct StageCounters {
-    attempts: AtomicU64,
-    wins: AtomicU64,
-    failures: AtomicU64,
-    skips: AtomicU64,
-    nanos: AtomicU64,
+/// Cached handles for one fallback stage's instruments.
+struct StageHandles {
+    attempts: Counter,
+    wins: Counter,
+    failures: Counter,
+    skips: Counter,
+    nanos: Histogram,
 }
 
-/// Exact-gate counters, mirroring [`GateStats`] atomically.
-#[derive(Default, Debug)]
-struct GateCounters {
-    incremental_checks: AtomicU64,
-    full_checks: AtomicU64,
-    ledger_applies: AtomicU64,
-    ledger_undos: AtomicU64,
-    cells_touched: AtomicU64,
-    full_equivalent_cells: AtomicU64,
+impl StageHandles {
+    fn new(registry: &MetricsRegistry, stage: &str) -> Self {
+        let name = |suffix: &str| format!("chronus_engine_{stage}_{suffix}");
+        StageHandles {
+            attempts: registry.counter(&name("attempts_total")),
+            wins: registry.counter(&name("wins_total")),
+            failures: registry.counter(&name("failures_total")),
+            skips: registry.counter(&name("skips_total")),
+            nanos: registry.histogram(&name("stage_ns")),
+        }
+    }
+
+    fn stats(&self) -> StageStats {
+        StageStats {
+            attempts: self.attempts.get(),
+            wins: self.wins.get(),
+            failures: self.failures.get(),
+            skips: self.skips.get(),
+            total: Duration::from_nanos(self.nanos.sum()),
+        }
+    }
 }
 
-/// Independent-certifier counters, mirroring [`CertStats`] atomically.
-#[derive(Default, Debug)]
-struct CertCounters {
-    issued: AtomicU64,
-    failed: AtomicU64,
-    skipped: AtomicU64,
-}
-
-/// Shared counters every worker records into.
-#[derive(Default, Debug)]
+/// Shared instruments every worker records into, backed by one
+/// registry per engine.
 pub struct EngineMetrics {
-    greedy: StageCounters,
-    tree: StageCounters,
-    tp: StageCounters,
-    gate: GateCounters,
-    certs: CertCounters,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    timeouts: AtomicU64,
-    queue_depth: AtomicU64,
-    queue_peak: AtomicU64,
+    registry: MetricsRegistry,
+    greedy: StageHandles,
+    tree: StageHandles,
+    tp: StageHandles,
+    gate_incremental_checks: Counter,
+    gate_full_checks: Counter,
+    gate_ledger_applies: Counter,
+    gate_ledger_undos: Counter,
+    gate_cells_touched: Counter,
+    gate_full_equivalent_cells: Counter,
+    certs_issued: Counter,
+    certs_failed: Counter,
+    certs_skipped: Counter,
+    submitted: Counter,
+    completed: Counter,
+    timeouts: Counter,
+    queue_depth: Gauge,
+    queue_peak: Gauge,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for EngineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineMetrics")
+            .field("snapshot", &self.registry.snapshot())
+            .finish()
+    }
 }
 
 impl EngineMetrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed metrics over a new scoped registry.
     pub fn new() -> Self {
-        EngineMetrics::default()
+        let registry = MetricsRegistry::new();
+        let counter = |name: &str| registry.counter(name);
+        EngineMetrics {
+            greedy: StageHandles::new(&registry, "greedy"),
+            tree: StageHandles::new(&registry, "tree"),
+            tp: StageHandles::new(&registry, "two_phase"),
+            gate_incremental_checks: counter("chronus_engine_gate_incremental_checks_total"),
+            gate_full_checks: counter("chronus_engine_gate_full_checks_total"),
+            gate_ledger_applies: counter("chronus_engine_gate_ledger_applies_total"),
+            gate_ledger_undos: counter("chronus_engine_gate_ledger_undos_total"),
+            gate_cells_touched: counter("chronus_engine_gate_cells_touched_total"),
+            gate_full_equivalent_cells: counter("chronus_engine_gate_full_equivalent_cells_total"),
+            certs_issued: counter("chronus_engine_certs_issued_total"),
+            certs_failed: counter("chronus_engine_certs_failed_total"),
+            certs_skipped: counter("chronus_engine_certs_skipped_total"),
+            submitted: counter("chronus_engine_requests_submitted_total"),
+            completed: counter("chronus_engine_requests_completed_total"),
+            timeouts: counter("chronus_engine_deadline_timeouts_total"),
+            queue_depth: registry.gauge("chronus_engine_queue_depth"),
+            queue_peak: registry.gauge("chronus_engine_queue_peak"),
+            registry,
+        }
     }
 
-    fn stage(&self, stage: Stage) -> &StageCounters {
+    /// The engine-scoped metrics registry backing every counter here,
+    /// for Prometheus text exposition
+    /// ([`MetricsRegistry::to_prometheus`]), JSON snapshots, or
+    /// absorption into [`MetricsRegistry::global`].
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Point-in-time snapshot of every `chronus_engine_*` instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    fn stage(&self, stage: Stage) -> &StageHandles {
         match stage {
             Stage::Greedy => &self.greedy,
             Stage::Tree => &self.tree,
@@ -71,105 +139,90 @@ impl EngineMetrics {
 
     /// Records a stage that ran to an outcome.
     pub fn record_attempt(&self, stage: Stage, outcome: &StageOutcome, elapsed: Duration) {
-        let c = self.stage(stage);
-        c.attempts.fetch_add(1, Ordering::Relaxed);
-        c.nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let s = self.stage(stage);
+        s.attempts.inc();
+        s.nanos.record(elapsed.as_nanos() as u64);
         match outcome {
-            StageOutcome::Won => c.wins.fetch_add(1, Ordering::Relaxed),
-            StageOutcome::Failed(_) => c.failures.fetch_add(1, Ordering::Relaxed),
-            StageOutcome::Skipped(_) => c.skips.fetch_add(1, Ordering::Relaxed),
-        };
+            StageOutcome::Won => s.wins.inc(),
+            StageOutcome::Failed(_) => s.failures.inc(),
+            StageOutcome::Skipped(_) => s.skips.inc(),
+        }
     }
 
     /// Records a stage skipped by deadline pressure.
     pub fn record_skip(&self, stage: Stage) {
-        self.stage(stage).skips.fetch_add(1, Ordering::Relaxed);
+        self.stage(stage).skips.inc();
     }
 
     /// Folds one planning run's exact-gate counters into the engine
     /// totals.
     pub fn record_gate(&self, stats: &GateStats) {
-        let g = &self.gate;
-        g.incremental_checks
-            .fetch_add(stats.incremental_checks, Ordering::Relaxed);
-        g.full_checks
-            .fetch_add(stats.full_checks, Ordering::Relaxed);
-        g.ledger_applies
-            .fetch_add(stats.ledger_applies, Ordering::Relaxed);
-        g.ledger_undos
-            .fetch_add(stats.ledger_undos, Ordering::Relaxed);
-        g.cells_touched
-            .fetch_add(stats.cells_touched, Ordering::Relaxed);
-        g.full_equivalent_cells
-            .fetch_add(stats.full_equivalent_cells, Ordering::Relaxed);
+        self.gate_incremental_checks.add(stats.incremental_checks);
+        self.gate_full_checks.add(stats.full_checks);
+        self.gate_ledger_applies.add(stats.ledger_applies);
+        self.gate_ledger_undos.add(stats.ledger_undos);
+        self.gate_cells_touched.add(stats.cells_touched);
+        self.gate_full_equivalent_cells
+            .add(stats.full_equivalent_cells);
     }
 
     /// Records one request's certification outcome: `skipped` when
     /// verification was disabled, `issued` when the certifier vouched
     /// for the winning plan, `failed` when it ran and could not.
     pub fn record_certification(&self, enabled: bool, issued: bool) {
-        let c = &self.certs;
         match (enabled, issued) {
-            (false, _) => c.skipped.fetch_add(1, Ordering::Relaxed),
-            (true, true) => c.issued.fetch_add(1, Ordering::Relaxed),
-            (true, false) => c.failed.fetch_add(1, Ordering::Relaxed),
-        };
+            (false, _) => self.certs_skipped.inc(),
+            (true, true) => self.certs_issued.inc(),
+            (true, false) => self.certs_failed.inc(),
+        }
     }
 
     /// Records a finished request.
     pub fn record_completion(&self, planned: &PlannedUpdate) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.inc();
         if planned.deadline_exceeded {
-            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.timeouts.inc();
         }
     }
 
-    /// Records a request entering the queue; returns nothing but keeps
-    /// the running and peak depth.
+    /// Records a request entering the queue, keeping the running and
+    /// peak depth.
     pub fn record_enqueue(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        self.submitted.inc();
+        let depth = self.queue_depth.add(1);
+        self.queue_peak.max(depth);
     }
 
     /// Records a worker picking a request off the queue.
     pub fn record_dequeue(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.add(-1);
     }
 
-    /// Snapshots everything into a [`PlanReport`], folding in the
+    /// Derives a [`PlanReport`] view over the registry, folding in the
     /// shared cache's counters.
     pub fn report(&self, cache: &TimeNetCache) -> PlanReport {
-        let snap = |c: &StageCounters| StageStats {
-            attempts: c.attempts.load(Ordering::Relaxed),
-            wins: c.wins.load(Ordering::Relaxed),
-            failures: c.failures.load(Ordering::Relaxed),
-            skips: c.skips.load(Ordering::Relaxed),
-            total: Duration::from_nanos(c.nanos.load(Ordering::Relaxed)),
-        };
         PlanReport {
-            greedy: snap(&self.greedy),
-            tree: snap(&self.tree),
-            two_phase: snap(&self.tp),
+            greedy: self.greedy.stats(),
+            tree: self.tree.stats(),
+            two_phase: self.tp.stats(),
             gate: GateStats {
-                incremental_checks: self.gate.incremental_checks.load(Ordering::Relaxed),
-                full_checks: self.gate.full_checks.load(Ordering::Relaxed),
-                ledger_applies: self.gate.ledger_applies.load(Ordering::Relaxed),
-                ledger_undos: self.gate.ledger_undos.load(Ordering::Relaxed),
-                cells_touched: self.gate.cells_touched.load(Ordering::Relaxed),
-                full_equivalent_cells: self.gate.full_equivalent_cells.load(Ordering::Relaxed),
+                incremental_checks: self.gate_incremental_checks.get(),
+                full_checks: self.gate_full_checks.get(),
+                ledger_applies: self.gate_ledger_applies.get(),
+                ledger_undos: self.gate_ledger_undos.get(),
+                cells_touched: self.gate_cells_touched.get(),
+                full_equivalent_cells: self.gate_full_equivalent_cells.get(),
             },
             certs: CertStats {
-                issued: self.certs.issued.load(Ordering::Relaxed),
-                failed: self.certs.failed.load(Ordering::Relaxed),
-                skipped: self.certs.skipped.load(Ordering::Relaxed),
+                issued: self.certs_issued.get(),
+                failed: self.certs_failed.get(),
+                skipped: self.certs_skipped.get(),
             },
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            timeouts: self.timeouts.get(),
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            queue_peak: self.queue_peak.get().max(0) as u64,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             cache_entries: cache.len() as u64,
@@ -369,5 +422,55 @@ mod tests {
         assert!(text.contains("greedy"), "{text}");
         assert!(text.contains("certifier: 1 issued"), "{text}");
         assert!(text.contains("timenet cache"), "{text}");
+    }
+
+    #[test]
+    fn report_is_a_view_over_the_registry() {
+        let m = EngineMetrics::new();
+        let cache = TimeNetCache::new();
+        m.record_attempt(Stage::Greedy, &StageOutcome::Won, Duration::from_micros(10));
+        m.record_certification(true, true);
+        m.record_enqueue();
+
+        // The exact same numbers are visible through the registry.
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("chronus_engine_greedy_attempts_total"),
+            Some(1)
+        );
+        assert_eq!(snap.counter("chronus_engine_greedy_wins_total"), Some(1));
+        assert_eq!(snap.counter("chronus_engine_certs_issued_total"), Some(1));
+        assert_eq!(
+            snap.counter("chronus_engine_requests_submitted_total"),
+            Some(1)
+        );
+        assert_eq!(snap.gauge("chronus_engine_queue_depth"), Some(1));
+        assert_eq!(
+            snap.histogram("chronus_engine_greedy_stage_ns"),
+            Some((10_000, 1))
+        );
+        let r = m.report(&cache);
+        assert_eq!(r.greedy.attempts, 1);
+        assert_eq!(r.greedy.total, Duration::from_micros(10));
+
+        // And the Prometheus rendering carries them too.
+        let prom = m.registry().to_prometheus();
+        assert!(
+            prom.contains("chronus_engine_greedy_attempts_total 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("chronus_engine_greedy_stage_ns_count 1"),
+            "{prom}"
+        );
+
+        // Two engines' registries are fully isolated.
+        let other = EngineMetrics::new();
+        assert_eq!(
+            other
+                .snapshot()
+                .counter("chronus_engine_greedy_attempts_total"),
+            Some(0)
+        );
     }
 }

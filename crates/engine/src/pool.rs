@@ -108,6 +108,12 @@ impl Engine {
                         let mut ws = SimWorkspace::default();
                         while let Ok(job) = rx.recv() {
                             metrics.record_dequeue();
+                            let _job_span = chronus_trace::span!(
+                                "engine.worker",
+                                worker = i,
+                                request = job.request.id.0
+                            )
+                            .entered();
                             let planned = plan_with_chain_cfg(
                                 &job.request,
                                 &cache,
@@ -183,6 +189,12 @@ impl Engine {
     /// Snapshot of the engine's planning metrics and cache state.
     pub fn report(&self) -> PlanReport {
         self.metrics.report(&self.cache)
+    }
+
+    /// The engine's live metrics (its scoped registry lives inside;
+    /// see [`EngineMetrics::registry`] for Prometheus/JSON exposition).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 
     /// The shared time-extended-network cache (for inspection).

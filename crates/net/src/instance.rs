@@ -101,6 +101,12 @@ impl InstanceGenerator {
     /// after a bounded number of attempts (practically impossible on
     /// connected topologies of ≥ 4 switches).
     pub fn generate(&mut self) -> Option<UpdateInstance> {
+        let _span = chronus_trace::span!(
+            "net.generate",
+            switches = self.cfg.switches,
+            seed = self.cfg.seed
+        )
+        .entered();
         let attempt_seed = self
             .cfg
             .seed

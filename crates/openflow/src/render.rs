@@ -9,6 +9,7 @@ use crate::types::Action;
 /// Renders a flow table like the paper's Table II: one row per rule,
 /// columns `InPort | SrcPfx | DstPfx | Tag | Action`.
 pub fn render_table(title: &str, table: &FlowTable) -> String {
+    let _span = chronus_trace::span!("openflow.render_table", rules = table.len()).entered();
     let mut rows: Vec<[String; 5]> = Vec::new();
     for r in table.rules() {
         let action = r

@@ -136,6 +136,11 @@ impl FlowTable {
             actions,
             counters: Counters::default(),
         });
+        // Control-plane churn is process-wide observability (rule
+        // installs are cold relative to packet lookups).
+        chronus_trace::MetricsRegistry::global()
+            .counter("chronus_openflow_rule_installs_total")
+            .inc();
         Ok(id)
     }
 
@@ -166,6 +171,9 @@ impl FlowTable {
             .iter()
             .position(|r| r.id == id)
             .ok_or(TableError::NoSuchRule(id))?;
+        chronus_trace::MetricsRegistry::global()
+            .counter("chronus_openflow_rule_removals_total")
+            .inc();
         Ok(self.rules.remove(pos))
     }
 

@@ -108,6 +108,7 @@ pub fn optimal_schedule_with(
     instance: &UpdateInstance,
     cfg: OptConfig,
 ) -> Result<OptOutcome, ScheduleError> {
+    let _span = chronus_trace::span!("opt.search", flows = instance.flows.len()).entered();
     let problem = MutpProblem::new(instance)?;
     let deadline = Instant::now() + cfg.budget;
 

@@ -479,6 +479,12 @@ impl IncrementalSimulator {
     /// Like [`IncrementalSimulator::new`], recycling `workspace`'s
     /// buffers.
     pub fn with_workspace(instance: &UpdateInstance, workspace: SimWorkspace) -> Self {
+        let _span = chronus_trace::span!(
+            "timenet.incremental.build",
+            flows = instance.flows.len(),
+            switches = instance.network.switch_count()
+        )
+        .entered();
         let interner = LinkInterner::for_instance(instance);
         let net = &instance.network;
         let tables: Vec<FlowTable> = instance

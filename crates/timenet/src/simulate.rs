@@ -95,6 +95,12 @@ impl<'a> FluidSimulator<'a> {
     /// deliberately broken schedule is how blackholes are studied); use
     /// [`Schedule::validate`] first if completeness matters.
     pub fn run(&self, schedule: &Schedule) -> SimulationReport {
+        let _span = chronus_trace::span!(
+            "timenet.simulate",
+            flows = self.instance.flows.len(),
+            fail_fast = self.config.fail_fast
+        )
+        .entered();
         let net = &self.instance.network;
         let interner = LinkInterner::for_instance(self.instance);
         let t_lo = self

@@ -1,0 +1,107 @@
+//! Span and event field values.
+
+use std::fmt;
+
+/// A structured field value attached to a span, instant event or
+/// timeline event. Conversions exist for the primitive types the
+/// instrumentation sites actually record, so `span!(…, key = value)`
+/// takes the value verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string (use sparingly on hot paths).
+    Str(String),
+}
+
+impl FieldValue {
+    /// Encodes the value as a JSON literal (strings escaped).
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) => crate::json::number(*v),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(s) => crate::json::string(s),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v.into())
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v.into())
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_json() {
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i32), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(true).to_json(), "true");
+        assert_eq!(FieldValue::from("a\"b").to_json(), "\"a\\\"b\"");
+        assert_eq!(FieldValue::from(1.5f64).to_json(), "1.5");
+        assert_eq!(FieldValue::from(7usize).to_string(), "7");
+    }
+}

@@ -107,13 +107,26 @@ pub fn certify_with(
     schedule: &Schedule,
     config: &VerifyConfig,
 ) -> Result<Certificate, Violation> {
+    let mut span = chronus_trace::span!(
+        "verify.certify",
+        flows = instance.flows.len(),
+        witnesses = config.witnesses
+    )
+    .entered();
     let analysis = analyze(instance, schedule);
     let boundaries = if config.witnesses {
         boundary::boundary_witnesses(instance, schedule)
     } else {
         Vec::new()
     };
-    seal(instance, &analysis, boundaries)
+    let result = seal(instance, &analysis, boundaries);
+    if span.is_recording() {
+        span.record("certified", result.is_ok());
+        if let Err(violation) = &result {
+            span.record("violation", violation.to_string());
+        }
+    }
+    result
 }
 
 /// Certifies a two-phase (tagged) rollout of every flow flipping at
@@ -125,8 +138,21 @@ pub fn certify_two_phase(
     instance: &UpdateInstance,
     flip_time: TimeStep,
 ) -> Result<Certificate, Violation> {
+    let mut span = chronus_trace::span!(
+        "verify.certify_two_phase",
+        flows = instance.flows.len(),
+        flip_time = flip_time
+    )
+    .entered();
     let analysis = analyze_two_phase(instance, flip_time);
-    seal(instance, &analysis, Vec::new())
+    let result = seal(instance, &analysis, Vec::new());
+    if span.is_recording() {
+        span.record("certified", result.is_ok());
+        if let Err(violation) = &result {
+            span.record("violation", violation.to_string());
+        }
+    }
+    result
 }
 
 /// Shared tail of the certify entry points: turn an [`Analysis`] into

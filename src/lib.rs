@@ -25,7 +25,11 @@
 //! - [`verify`] — the independent static certifier: proves schedules
 //!   loop- and congestion-free by interval arithmetic, with no shared
 //!   simulator code, and seals every solver's success with a
-//!   machine-checkable certificate.
+//!   machine-checkable certificate;
+//! - [`trace`] — the observability layer: structured spans across
+//!   every solver/engine/emulator hot path, a lock-free metrics
+//!   registry with Prometheus/JSON encoders, and a Chrome trace-event
+//!   timeline exporter (load `trace.json` in Perfetto).
 //!
 //! ## Quickstart
 //!
@@ -73,4 +77,5 @@ pub use chronus_net as net;
 pub use chronus_openflow as openflow;
 pub use chronus_opt as opt;
 pub use chronus_timenet as timenet;
+pub use chronus_trace as trace;
 pub use chronus_verify as verify;

@@ -1,0 +1,231 @@
+//! Golden-format tests over the observability encoders.
+//!
+//! The timeline exporter writes Chrome trace-event JSON by hand (no
+//! serde in the workspace), so these tests round-trip its output
+//! through the *independent* `serde_json` shim parser and assert the
+//! structural invariants Perfetto relies on: a `traceEvents` array,
+//! known phase codes, numeric timestamps, and — for every span that
+//! names a parent — that the parent exists and contains the child's
+//! interval.
+//!
+//! CI reuses the same checker on the artifact written by
+//! `examples/trace_update.rs`: when `CHRONUS_TRACE_JSON` (and
+//! optionally `CHRONUS_TRACE_PROM`) point at files, those are
+//! validated instead of a freshly generated trace.
+
+use chronus::engine::{Engine, EngineConfig};
+use chronus::net::motivating_example;
+use chronus::trace::{Collector, MetricsRegistry, TimelineExporter};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Parses `text` as trace-event JSON and checks every structural
+/// invariant; returns `(complete_spans, instants, counters)`.
+fn assert_well_formed_trace(text: &str) -> (usize, usize, usize) {
+    let v: Value = serde_json::from_str(text).expect("trace JSON parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("top-level traceEvents array");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms"),
+        "displayTimeUnit pins the UI scale"
+    );
+
+    // First pass: index complete spans by span_id.
+    let mut spans: HashMap<u64, (f64, f64)> = HashMap::new(); // id -> (ts, ts+dur)
+    for ev in events {
+        if ev.get("ph").and_then(Value::as_str) == Some("X") {
+            let id = ev
+                .get("args")
+                .and_then(|a| a.get("span_id"))
+                .and_then(Value::as_u64)
+                .expect("X events carry args.span_id");
+            let ts = ev.get("ts").and_then(Value::as_f64).expect("numeric ts");
+            let dur = ev.get("dur").and_then(Value::as_f64).expect("numeric dur");
+            assert!(dur >= 0.0, "durations are non-negative");
+            assert!(spans.insert(id, (ts, ts + dur)).is_none(), "unique ids");
+        }
+    }
+
+    let (mut complete, mut instants, mut counters) = (0usize, 0usize, 0usize);
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("phase code");
+        assert!(ev.get("name").is_some(), "every event is named");
+        match ph {
+            "M" => continue, // metadata: no timestamp
+            "C" => {
+                counters += 1;
+                assert!(
+                    ev.get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Value::as_f64)
+                        .is_some(),
+                    "counter events carry args.value"
+                );
+                continue;
+            }
+            "X" => complete += 1,
+            "i" => {
+                instants += 1;
+                assert_eq!(
+                    ev.get("s").and_then(Value::as_str),
+                    Some("t"),
+                    "instants are thread-scoped"
+                );
+            }
+            other => panic!("unexpected phase code {other:?}"),
+        }
+        assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+        assert!(ev.get("tid").and_then(Value::as_u64).is_some());
+        // Parent linkage: the parent exists and contains the child
+        // (tiny epsilon for the ns → µs float conversion).
+        if let Some(parent) = ev
+            .get("args")
+            .and_then(|a| a.get("parent_id"))
+            .and_then(Value::as_u64)
+        {
+            let &(pstart, pend) = spans
+                .get(&parent)
+                .expect("parent_id names an exported span");
+            let ts = ev.get("ts").and_then(Value::as_f64).expect("numeric ts");
+            let end = ts + ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+            const EPS: f64 = 1e-3;
+            assert!(
+                ts + EPS >= pstart && end <= pend + EPS,
+                "child [{ts}, {end}] escapes parent [{pstart}, {pend}]"
+            );
+        }
+    }
+    (complete, instants, counters)
+}
+
+/// Checks Prometheus text-exposition line format plus histogram
+/// coherence (cumulative buckets, `+Inf` == `_count`).
+fn assert_well_formed_prometheus(text: &str) {
+    let mut last_bucket: Option<(String, f64)> = None;
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    let mut inf_buckets: HashMap<String, f64> = HashMap::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next(), parts.next());
+            assert!(name.is_some_and(|n| n.starts_with("chronus_")), "{line}");
+            assert!(
+                matches!(kind, Some("counter" | "gauge" | "histogram")),
+                "{line}"
+            );
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("number: {line}"));
+        if let Some((series, le)) = key.split_once("_bucket{le=\"") {
+            let le = le.strip_suffix("\"}").expect("closing le brace");
+            if le == "+Inf" {
+                inf_buckets.insert(series.to_string(), value);
+                last_bucket = None;
+            } else {
+                let le: f64 = le.parse().unwrap_or_else(|_| panic!("le: {line}"));
+                if let Some((prev_series, prev)) = &last_bucket {
+                    if prev_series == series {
+                        assert!(value >= *prev, "buckets are cumulative: {line}");
+                    }
+                }
+                last_bucket = Some((series.to_string(), value));
+                assert!(le >= 0.0);
+            }
+        } else if let Some(series) = key.strip_suffix("_count") {
+            counts.insert(series.to_string(), value);
+        } else {
+            assert!(
+                key.strip_suffix("_sum").is_some() || key.starts_with("chronus_"),
+                "unexpected series name: {line}"
+            );
+        }
+    }
+    for (series, inf) in &inf_buckets {
+        assert_eq!(
+            counts.get(series),
+            Some(inf),
+            "{series}: +Inf bucket must equal _count"
+        );
+    }
+    assert!(!counts.is_empty() || inf_buckets.is_empty());
+}
+
+/// Generates a trace by planning a small batch with the collector on.
+fn generate_trace_json() -> String {
+    let _guard = Collector::install();
+    let instance = Arc::new(motivating_example());
+    let engine = Engine::new(EngineConfig::with_workers(2));
+    let plans = engine.plan_instances(vec![instance; 3]);
+    assert!(plans.iter().all(|p| p.timed_schedule().is_ok()));
+    drop(engine);
+    let records = Collector::drain();
+    assert!(!records.is_empty(), "instrumented paths produce spans");
+    let mut timeline = TimelineExporter::new();
+    timeline.process_name("chronus-test");
+    timeline.add_spans(&records);
+    timeline.counter("link 0->1 load", 10_000, 1.0);
+    timeline.counter("link 0->1 load", 20_000, 0.0);
+    timeline.to_json()
+}
+
+#[test]
+fn trace_json_round_trips_through_serde_json() {
+    // CI mode: validate the artifact the example wrote; otherwise
+    // generate a fresh trace in-process.
+    let (text, from_file) = match std::env::var("CHRONUS_TRACE_JSON") {
+        Ok(path) => (
+            std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("CHRONUS_TRACE_JSON={path}: {e}")),
+            true,
+        ),
+        Err(_) => (generate_trace_json(), false),
+    };
+    let (complete, _instants, counters) = assert_well_formed_trace(&text);
+    assert!(complete > 0, "at least one complete span");
+    if from_file {
+        // The example promises link-utilization counter tracks.
+        assert!(counters > 0, "example traces carry counter samples");
+        for subsystem in ["engine.", "core.", "timenet.", "verify.", "emu."] {
+            assert!(
+                text.contains(&format!("\"name\":\"{subsystem}")),
+                "trace.json must contain {subsystem}* spans"
+            );
+        }
+    }
+}
+
+#[test]
+fn prometheus_dump_parses() {
+    match std::env::var("CHRONUS_TRACE_PROM") {
+        Ok(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("CHRONUS_TRACE_PROM={path}: {e}"));
+            assert_well_formed_prometheus(&text);
+        }
+        Err(_) => {
+            let registry = MetricsRegistry::new();
+            registry.counter("chronus_test_requests_total").add(7);
+            registry.gauge("chronus_test_queue_depth").set(3);
+            let h = registry.histogram("chronus_test_latency_ns");
+            for v in [0u64, 1, 2, 100, 10_000] {
+                h.record(v);
+            }
+            assert_well_formed_prometheus(&registry.to_prometheus());
+        }
+    }
+}
+
+#[test]
+fn empty_timeline_is_still_valid_json() {
+    let timeline = TimelineExporter::new();
+    let v: Value = serde_json::from_str(&timeline.to_json()).expect("parses");
+    assert_eq!(
+        v.get("traceEvents").and_then(Value::as_array).map(Vec::len),
+        Some(0)
+    );
+}
