@@ -1,6 +1,9 @@
 //! Timed-trigger execution: fire scheduled updates when the *local*
 //! clock passes the trigger time.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
 use crate::clock::{HardwareClock, Nanos};
 
 /// A scheduled trigger: an opaque payload armed for a local-clock
@@ -13,14 +16,58 @@ pub struct Trigger<T> {
     pub payload: T,
 }
 
+/// Heap entry: a [`Trigger`] plus the bookkeeping the executor needs —
+/// an arming sequence number (FIFO among equal trigger times) and
+/// whether the trigger was armed for a local time that had already
+/// passed (a *late* arm, whose reported firing instant is clamped).
+#[derive(Clone, Debug)]
+struct Armed<T> {
+    local_time: Nanos,
+    seq: u64,
+    late: bool,
+    payload: T,
+}
+
+impl<T> PartialEq for Armed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.local_time == other.local_time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Armed<T> {}
+
+impl<T> Ord for Armed<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we want the earliest
+        // (local_time, seq) on top.
+        (other.local_time, other.seq).cmp(&(self.local_time, self.seq))
+    }
+}
+
+impl<T> PartialOrd for Armed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A per-switch trigger list driven by that switch's hardware clock —
 /// the Time4 execution model: the controller distributes update
 /// messages ahead of time, each carrying its scheduled execution
 /// time, and the switch fires them by its own (synchronized) clock.
+///
+/// Triggers live in a binary heap keyed on `(local_time, arming seq)`,
+/// so [`arm`](ScheduledExecutor::arm) and each pop in
+/// [`advance_to`](ScheduledExecutor::advance_to) are `O(log n)` — the
+/// earlier `Vec` implementation re-sorted on every insert and drained
+/// with `remove(0)`, an `O(n²)` pattern that dominated large fan-outs.
 #[derive(Clone, Debug)]
 pub struct ScheduledExecutor<T> {
     clock: HardwareClock,
-    triggers: Vec<Trigger<T>>,
+    triggers: BinaryHeap<Armed<T>>,
+    next_seq: u64,
+    /// Highest true time ever passed to `advance_to`, if any — the
+    /// executor's notion of "now", used to detect late arming.
+    advanced_to: Option<Nanos>,
 }
 
 impl<T> ScheduledExecutor<T> {
@@ -28,7 +75,9 @@ impl<T> ScheduledExecutor<T> {
     pub fn new(clock: HardwareClock) -> Self {
         ScheduledExecutor {
             clock,
-            triggers: Vec::new(),
+            triggers: BinaryHeap::new(),
+            next_seq: 0,
+            advanced_to: None,
         }
     }
 
@@ -37,18 +86,47 @@ impl<T> ScheduledExecutor<T> {
         &self.clock
     }
 
-    /// Arms a trigger for local-clock time `local_time`.
+    /// Mutable access to the switch's clock (sync corrections, desync
+    /// spikes).
+    pub fn clock_mut(&mut self) -> &mut HardwareClock {
+        &mut self.clock
+    }
+
+    /// Arms a trigger for local-clock time `local_time`. Triggers with
+    /// equal times fire in arming order.
     pub fn arm(&mut self, local_time: Nanos, payload: T) {
-        self.triggers.push(Trigger {
+        // Armed for a local time the clock has already passed? Then it
+        // cannot fire at its nominal instant — it fires at the next
+        // advance, and is reported as such (see `advance_to`).
+        let late = self
+            .advanced_to
+            .is_some_and(|now| self.clock.read(now) >= local_time);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.triggers.push(Armed {
             local_time,
+            seq,
+            late,
             payload,
         });
-        self.triggers.sort_by_key(|t| t.local_time);
     }
 
     /// Number of armed (not yet fired) triggers.
     pub fn armed(&self) -> usize {
         self.triggers.len()
+    }
+
+    /// Local-clock time of the earliest armed trigger, if any.
+    pub fn next_local_time(&self) -> Option<Nanos> {
+        self.triggers.peek().map(|t| t.local_time)
+    }
+
+    /// Disarms every pending trigger (a switch reboot loses its armed
+    /// triggers; an abort cancels them), returning how many were lost.
+    pub fn clear(&mut self) -> usize {
+        let lost = self.triggers.len();
+        self.triggers.clear();
+        lost
     }
 
     /// The true time at which an armed trigger will fire — local
@@ -60,19 +138,28 @@ impl<T> ScheduledExecutor<T> {
     /// Advances true time to `now` and returns every trigger whose
     /// local time has passed, in firing order, each paired with its
     /// *true* firing instant (so callers can measure scheduling
-    /// error).
+    /// error). A trigger that was armed late (local time already in
+    /// the past at arming) reports `now` — it fires when first
+    /// noticed, never before it existed.
     pub fn advance_to(&mut self, now: Nanos) -> Vec<(Nanos, T)> {
         let local_now = self.clock.read(now);
         let mut fired = Vec::new();
-        while let Some(first) = self.triggers.first() {
-            if first.local_time <= local_now {
-                let t = self.triggers.remove(0);
-                let true_at = self.clock.true_time_of_local(t.local_time);
-                fired.push((true_at, t.payload));
-            } else {
+        while let Some(first) = self.triggers.peek() {
+            if first.local_time > local_now {
                 break;
             }
+            let t = match self.triggers.pop() {
+                Some(t) => t,
+                None => break,
+            };
+            let true_at = if t.late {
+                now
+            } else {
+                self.clock.true_time_of_local(t.local_time)
+            };
+            fired.push((true_at, t.payload));
         }
+        self.advanced_to = Some(self.advanced_to.map_or(now, |prev| prev.max(now)));
         fired
     }
 }
@@ -125,6 +212,16 @@ mod tests {
     }
 
     #[test]
+    fn equal_times_fire_in_arming_order() {
+        let mut ex = ScheduledExecutor::new(HardwareClock::perfect());
+        ex.arm(1_000, 'x');
+        ex.arm(1_000, 'y');
+        ex.arm(1_000, 'z');
+        let fired: Vec<char> = ex.advance_to(1_000).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!['x', 'y', 'z']);
+    }
+
+    #[test]
     fn true_fire_time_matches_clock_inversion() {
         let clock = HardwareClock::new(250, 5_000);
         let ex: ScheduledExecutor<()> = ScheduledExecutor::new(clock);
@@ -132,5 +229,59 @@ mod tests {
             ex.true_fire_time(1_000_000),
             clock.true_time_of_local(1_000_000)
         );
+    }
+
+    #[test]
+    fn late_arming_clamps_reported_fire_time_to_the_advance() {
+        // Regression: a trigger armed for a local time already in the
+        // past used to report a *true* fire time earlier than `now` —
+        // before the trigger even existed.
+        let mut ex = ScheduledExecutor::new(HardwareClock::perfect());
+        assert!(ex.advance_to(5_000).is_empty());
+        ex.arm(1_000, "late");
+        let fired = ex.advance_to(6_000);
+        assert_eq!(fired, vec![(6_000, "late")]);
+
+        // A trigger armed in time still reports its nominal instant,
+        // even when the advance lands well past it.
+        ex.arm(7_000, "on-time");
+        let fired = ex.advance_to(9_000);
+        assert_eq!(fired, vec![(7_000, "on-time")]);
+    }
+
+    #[test]
+    fn clear_disarms_everything() {
+        let mut ex = ScheduledExecutor::new(HardwareClock::perfect());
+        ex.arm(1_000, ());
+        ex.arm(2_000, ());
+        assert_eq!(ex.clear(), 2);
+        assert_eq!(ex.armed(), 0);
+        assert!(ex.advance_to(10_000).is_empty());
+        assert_eq!(ex.next_local_time(), None);
+    }
+
+    #[test]
+    fn next_local_time_tracks_the_heap_top() {
+        let mut ex = ScheduledExecutor::new(HardwareClock::perfect());
+        assert_eq!(ex.next_local_time(), None);
+        ex.arm(2_000, ());
+        ex.arm(1_000, ());
+        assert_eq!(ex.next_local_time(), Some(1_000));
+        ex.advance_to(1_500);
+        assert_eq!(ex.next_local_time(), Some(2_000));
+    }
+
+    #[test]
+    fn ten_thousand_triggers_drain_quickly() {
+        // Smoke guard for the O(n log n) heap path: arm 10k triggers in
+        // adversarial (descending) order and drain them; the old
+        // sort-per-arm + remove(0) implementation made this quadratic.
+        let mut ex = ScheduledExecutor::new(HardwareClock::perfect());
+        for i in (0..10_000i128).rev() {
+            ex.arm(i, i);
+        }
+        let fired = ex.advance_to(20_000);
+        assert_eq!(fired.len(), 10_000);
+        assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 }

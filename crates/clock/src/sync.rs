@@ -58,6 +58,18 @@ pub struct SyncOutcome {
     pub best_rtt: Nanos,
 }
 
+/// Halves `x` with floor division. Rust's `/ 2` truncates toward
+/// zero, which biases the estimator asymmetrically for fast vs slow
+/// clocks: the numerator is `2·off + j` (with `j = δ₁ − δ₂` the jitter
+/// difference), so truncation rounds fast clocks (`off > 0`) down but
+/// slow clocks (`off < 0`) up whenever `j` is odd (3/2 → 1 but
+/// −3/2 → −1), skewing residuals by up to 1 ns per round depending on
+/// the *sign* of the clock error. Floor division makes the estimator
+/// error exactly `floor(j/2)` for either sign.
+fn half_floor(x: Nanos) -> Nanos {
+    x.div_euclid(2)
+}
+
 /// Runs `cfg.rounds` two-way exchanges starting at true time
 /// `start`, applies the best round's offset estimate to `clock`, and
 /// reports the residual error.
@@ -80,7 +92,7 @@ pub fn two_way_sync(
         let t3 = clock.read(t3_true); // switch local stamp on send
         let t4 = t3_true + d2; // master stamp on receive (true time)
 
-        let estimate = ((t2 - t1) - (t4 - t3)) / 2;
+        let estimate = half_floor((t2 - t1) - (t4 - t3));
         let rtt = (t4 - t1) - (t3 - t2);
         let better = best.is_none_or(|(b, _)| rtt < b);
         if better {
@@ -165,6 +177,54 @@ mod tests {
             &mut rng2,
         );
         assert!(eight.best_rtt <= one.best_rtt);
+    }
+
+    #[test]
+    fn estimator_is_symmetric_for_fast_and_slow_clocks() {
+        // Regression: truncating division rounded the estimator toward
+        // zero, i.e. *down* for fast clocks but *up* for slow ones, so
+        // two clocks off by ±off under identical jitter draws ended up
+        // with different residuals whenever the winning round's jitter
+        // difference δ₁ − δ₂ was odd. Floor division makes the
+        // estimator error floor(j/2) regardless of the offset's sign.
+        let off: Nanos = 777_777;
+        let cfg = SyncConfig {
+            jitter: 3, // odd jitter differences exercise the rounding
+            ..Default::default()
+        };
+        for seed in 0..40 {
+            let mut fast = HardwareClock::new(off, 0);
+            let mut slow = HardwareClock::new(-off, 0);
+            let mut rng_f = StdRng::seed_from_u64(seed);
+            let mut rng_s = StdRng::seed_from_u64(seed);
+            let out_f = two_way_sync(&mut fast, 0, cfg, &mut rng_f);
+            let out_s = two_way_sync(&mut slow, 0, cfg, &mut rng_s);
+            // Same jitter draws ⇒ same estimator error for both signs.
+            let err_f = out_f.applied_estimate - off;
+            let err_s = out_s.applied_estimate + off;
+            assert_eq!(err_f, err_s, "seed {seed}: ±offset estimator bias");
+            assert_eq!(
+                out_f.residual_error, out_s.residual_error,
+                "seed {seed}: ±offset residual asymmetry"
+            );
+        }
+    }
+
+    #[test]
+    fn halving_rounds_the_same_direction_for_both_signs() {
+        // The exact rule the estimator relies on: floor, not
+        // truncation (which maps −3 → −1 but 3 → 1).
+        assert_eq!(half_floor(3), 1);
+        assert_eq!(half_floor(-3), -2);
+        assert_eq!(half_floor(4), 2);
+        assert_eq!(half_floor(-4), -2);
+        assert_eq!(half_floor(0), 0);
+        // Shifting the numerator by a whole offset shifts the estimate
+        // by exactly that offset — the property truncation violates.
+        for j in -7i128..=7 {
+            assert_eq!(half_floor(2 * 1_000 + j), 1_000 + half_floor(j));
+            assert_eq!(half_floor(-2 * 1_000 + j), -1_000 + half_floor(j));
+        }
     }
 
     #[test]

@@ -5,14 +5,20 @@
 #![allow(clippy::indexing_slicing, clippy::expect_used)]
 
 use crate::controller::{ChronusDriver, EngineDriver, OrDriver, TpDriver, UpdateDriver};
+use crate::ctrl::{CtrlPayload, FaultLayer, TaskState};
 use crate::event::{Event, EventQueue, HopRing};
 use crate::link::EmuLink;
 use crate::report::{EmuReport, TtlDrop};
 use crate::switchdev::{EmuSwitch, HOST_PORT};
 use crate::traffic::{chunk_size_for, CbrSource};
 use chronus_clock::{HardwareClock, Nanos};
+use chronus_faults::{
+    Envelope, FaultInjector, FaultPlan, MsgId, RecoveryAction, ReliableConfig, SlackBudget,
+    TimeoutVerdict,
+};
 use chronus_net::{LinkIdx, SwitchId, UpdateInstance};
 use chronus_openflow::{Action, FlowMod, Ipv4Prefix, Match, Packet, RuleId};
+use chronus_verify::SlackCertificate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -90,6 +96,7 @@ pub struct Emulator {
     rng: StdRng,
     xid: u64,
     peak_rules: usize,
+    faults: Option<FaultLayer>,
 }
 
 impl Emulator {
@@ -134,6 +141,7 @@ impl Emulator {
             rng,
             xid: 0,
             peak_rules: 0,
+            faults: None,
         };
 
         for (fi, flow) in instance.flows.iter().enumerate() {
@@ -287,6 +295,10 @@ impl Emulator {
     }
 
     fn install_chronus(&mut self, d: ChronusDriver) {
+        if self.faults.is_some() {
+            self.install_chronus_reliable(d);
+            return;
+        }
         let assignments: Vec<(chronus_net::FlowId, SwitchId, i64)> = d.schedule.iter().collect();
         for (flow_id, switch, t) in assignments {
             let fi = flow_id.index();
@@ -305,6 +317,164 @@ impl Emulator {
                     switch,
                     flowmod: fm,
                 },
+            );
+        }
+    }
+
+    /// Installs a fault plan plus the reliable-delivery protocol that
+    /// defends against it. Must be called before
+    /// [`install_driver`](Self::install_driver): a Chronus (or
+    /// engine-planned timed) driver then travels over the faulty
+    /// control channel — Arm messages with acks, retransmission and
+    /// receiver dedup, switch-local trigger executors, and the
+    /// controller watchdog deciding between a slack-certified re-send
+    /// and the two-phase rollback.
+    ///
+    /// `slack` is the certified timing tolerance ±Δ (see
+    /// [`install_faults_certified`](Self::install_faults_certified)
+    /// to derive it from a `chronus-verify` slack certificate).
+    pub fn install_faults(
+        &mut self,
+        plan: FaultPlan,
+        reliable: ReliableConfig,
+        slack: SlackBudget,
+    ) {
+        let injector = FaultInjector::new(plan);
+        for r in injector.reboots() {
+            self.queue.push(
+                r.at.max(0),
+                Event::SwitchReboot {
+                    switch: r.switch,
+                    outage_ns: r.outage_ns.max(0),
+                },
+            );
+        }
+        for s in injector.spikes() {
+            self.queue.push(
+                s.at.max(0),
+                Event::ClockSpike {
+                    switch: s.switch,
+                    offset_ns: s.offset_ns,
+                },
+            );
+        }
+        self.faults = Some(FaultLayer::new(injector, reliable, slack));
+    }
+
+    /// [`install_faults`](Self::install_faults) with the slack budget
+    /// taken from a `chronus-verify` [`SlackCertificate`] under this
+    /// emulator's step length.
+    pub fn install_faults_certified(
+        &mut self,
+        plan: FaultPlan,
+        reliable: ReliableConfig,
+        certificate: &SlackCertificate,
+    ) {
+        let delta = certificate.delta_ns(self.config.step_ns);
+        self.install_faults(plan, reliable, SlackBudget::new(delta));
+    }
+
+    /// The Chronus install path over the faulty control channel: each
+    /// schedule entry becomes a task distributed as a reliable Arm
+    /// message `lead_time` ahead of its trigger, with a watchdog
+    /// deadline check shortly after its nominal firing instant.
+    fn install_chronus_reliable(&mut self, d: ChronusDriver) {
+        let assignments: Vec<(chronus_net::FlowId, SwitchId, i64)> = d.schedule.iter().collect();
+        for (flow_id, switch, t) in assignments {
+            let fi = flow_id.index();
+            let fm = self.update_flowmod(fi, switch);
+            let local_target = self.config.update_at + t as Nanos * self.config.step_ns;
+            let nominal_true = local_target; // the schedule's intent in true time
+            let fl = self.faults.as_mut().expect("reliable path requires faults");
+            let task = fl.tasks.len();
+            fl.tasks.push(TaskState {
+                switch,
+                local_target,
+                nominal_true,
+                flowmod: fm.clone(),
+                applied: false,
+            });
+            let send_at = (nominal_true - fl.reliable.lead_time_ns).max(0);
+            let watchdog_at = nominal_true + fl.policy.margin_ns;
+            self.ctrl_send(
+                CtrlPayload::Arm {
+                    task,
+                    switch,
+                    local_time: local_target,
+                    flowmod: fm,
+                },
+                send_at,
+                Some(task),
+            );
+            self.queue.push(watchdog_at, Event::WatchdogCheck { task });
+        }
+    }
+
+    /// Puts one reliable control message on the (lossy) wire at true
+    /// time `at`: registers it with the outbox, lets the injector
+    /// decide each copy's fate, and schedules the retransmission
+    /// timer.
+    fn ctrl_send(&mut self, payload: CtrlPayload, at: Nanos, task: Option<usize>) {
+        let Some(fl) = self.faults.as_mut() else {
+            return;
+        };
+        let switch = payload.switch();
+        let (envelope, timeout_at) = fl.outbox.send(payload, at);
+        fl.msg_task.insert(envelope.id, task);
+        fl.stats.outstanding_add(1);
+        let id = envelope.id;
+        Self::transmit(fl, &mut self.queue, switch, envelope, at);
+        self.queue.push(timeout_at, Event::CtrlTimeout { id });
+    }
+
+    /// One transmission attempt through the fault injector: pushes a
+    /// `CtrlDeliver` per surviving copy (base delay + injected extra).
+    fn transmit(
+        fl: &mut FaultLayer,
+        queue: &mut EventQueue,
+        switch: SwitchId,
+        envelope: Envelope<CtrlPayload>,
+        at: Nanos,
+    ) {
+        let fate = fl.injector.channel_fate();
+        if fate.lost() {
+            fl.stats.record_drop();
+            return;
+        }
+        if fate.deliveries.len() > 1 {
+            fl.stats.record_dup();
+        }
+        for &extra in &fate.deliveries {
+            if extra > 0 {
+                fl.stats.record_delay();
+            }
+            queue.push(
+                at + fl.reliable.base_delay_ns + extra,
+                Event::CtrlDeliver {
+                    switch,
+                    envelope: envelope.clone(),
+                },
+            );
+        }
+    }
+
+    /// Sends an acknowledgement back through the same faulty channel.
+    fn send_ack(fl: &mut FaultLayer, queue: &mut EventQueue, id: MsgId, now: Nanos) {
+        let fate = fl.injector.channel_fate();
+        if fate.lost() {
+            fl.stats.record_drop();
+            return;
+        }
+        if fate.deliveries.len() > 1 {
+            fl.stats.record_dup();
+        }
+        for &extra in &fate.deliveries {
+            if extra > 0 {
+                fl.stats.record_delay();
+            }
+            queue.push(
+                now + fl.reliable.base_delay_ns + extra,
+                Event::CtrlAck { id },
             );
         }
     }
@@ -342,6 +512,14 @@ impl Emulator {
     }
 
     fn install_tp(&mut self, d: TpDriver) {
+        let base = self.config.update_at;
+        self.install_tp_at(d, base);
+    }
+
+    /// The two-phase install sequence starting at `base` — the normal
+    /// TP driver uses `config.update_at`; the watchdog's rollback
+    /// fallback re-enters here at the abort instant.
+    fn install_tp_at(&mut self, d: TpDriver, base: Nanos) {
         let fi = 0;
         let (_, fin) = self.instance_paths[fi].clone();
         let dst_ip = self.flows[fi].dst_ip;
@@ -351,7 +529,7 @@ impl Emulator {
         // Phase 1: tagged generation at priority 20 on every
         // final-path switch except the source (whose stamp rule is the
         // flip itself).
-        let mut latest = self.config.update_at;
+        let mut latest = base;
         for (pos, &v) in fin.iter().enumerate() {
             if v == source {
                 continue;
@@ -372,7 +550,7 @@ impl Emulator {
             };
             let xid = self.next_xid();
             let latency = self.rng.gen_range(d.latency_range.0..=d.latency_range.1);
-            let at = self.config.update_at + latency;
+            let at = base + latency;
             latest = latest.max(at);
             if self.control_message_lost() {
                 continue; // the tagged duplicate never arrives
@@ -528,7 +706,52 @@ impl Emulator {
                         self.queue.push(next, Event::StatsSample);
                     }
                 }
+                Event::CtrlDeliver { switch, envelope } => {
+                    self.handle_ctrl_deliver(now, switch, envelope);
+                }
+                Event::CtrlAck { id } => {
+                    if let Some(fl) = self.faults.as_mut() {
+                        if fl.outbox.on_ack(id) {
+                            fl.stats.record_ack();
+                            fl.stats.outstanding_add(-1);
+                        }
+                    }
+                }
+                Event::CtrlTimeout { id } => self.handle_ctrl_timeout(now, id),
+                Event::TriggerPoll { switch } => self.handle_trigger_poll(now, switch),
+                Event::WatchdogCheck { task } => self.handle_watchdog(now, task),
+                Event::SwitchReboot { switch, outage_ns } => {
+                    let sw = &mut self.switches[switch.index()];
+                    sw.agent.online = false;
+                    let lost = sw.agent.executor.clear();
+                    if let Some(fl) = self.faults.as_mut() {
+                        fl.stats.record_reboot(lost as u64);
+                    }
+                    self.queue
+                        .push(now + outage_ns.max(0), Event::SwitchRecover { switch });
+                }
+                Event::SwitchRecover { switch } => self.handle_switch_recover(now, switch),
+                Event::ClockSpike { switch, offset_ns } => {
+                    let sw = &mut self.switches[switch.index()];
+                    // `correct_offset` subtracts its estimate, so a
+                    // spike of +x is a correction of −x.
+                    sw.clock.correct_offset(-offset_ns);
+                    sw.agent.spike_clock(offset_ns);
+                    if let Some(fl) = self.faults.as_mut() {
+                        fl.stats.record_spike();
+                    }
+                    // The predicted firing instants moved; re-poll.
+                    if let Some(lt) = sw.agent.executor.next_local_time() {
+                        let predicted = sw.agent.executor.true_fire_time(lt).max(now + 1);
+                        self.queue.push(predicted, Event::TriggerPoll { switch });
+                    }
+                }
             }
+        }
+        if let Some(fl) = &self.faults {
+            self.report.faults = Some(fl.stats.summary());
+            self.report.fault_metrics = Some(fl.stats.snapshot());
+            self.report.timed_tasks_pending = fl.pending_tasks();
         }
         self.report.buffer_drops = self.links.iter().map(|l| l.totals().dropped).sum();
         self.report.peak_rule_count = self.peak_rules;
@@ -599,6 +822,235 @@ impl Emulator {
                     },
                 );
             }
+        }
+    }
+
+    /// A control-message copy reaches its switch agent: dedup, ack,
+    /// and execute fresh payloads (arm a trigger / apply now / abort).
+    fn handle_ctrl_deliver(
+        &mut self,
+        now: Nanos,
+        switch: SwitchId,
+        envelope: Envelope<CtrlPayload>,
+    ) {
+        let Some(fl) = self.faults.as_mut() else {
+            return;
+        };
+        let sw = &mut self.switches[switch.index()];
+        if !sw.agent.online {
+            return; // agent down: the attempt is lost, no ack
+        }
+        let fresh = sw.agent.dedup.accept(envelope.id);
+        Self::send_ack(fl, &mut self.queue, envelope.id, now);
+        if !fresh {
+            return; // retransmission or wire duplicate: re-acked only
+        }
+        match envelope.payload {
+            CtrlPayload::Arm {
+                task,
+                local_time,
+                flowmod,
+                ..
+            } => {
+                if fl.tasks[task].applied {
+                    return; // recovery already applied this update
+                }
+                sw.agent.executor.arm(local_time, (task, flowmod));
+                fl.stats.record_armed();
+                let predicted = sw.agent.executor.true_fire_time(local_time).max(now);
+                self.queue.push(predicted, Event::TriggerPoll { switch });
+            }
+            CtrlPayload::Apply { task, flowmod, .. } => {
+                if fl.tasks[task].applied {
+                    return;
+                }
+                let extra = fl.injector.install_extra(switch);
+                if extra > 0 {
+                    fl.stats.record_straggler_install();
+                }
+                let apply_at = now + extra;
+                fl.tasks[task].applied = true;
+                fl.stats
+                    .record_fired(apply_at - fl.tasks[task].nominal_true);
+                self.queue
+                    .push(apply_at, Event::ApplyFlowMod { switch, flowmod });
+            }
+            CtrlPayload::Abort { .. } => {
+                sw.agent.executor.clear();
+            }
+        }
+    }
+
+    /// A retransmission timer fires at the controller.
+    fn handle_ctrl_timeout(&mut self, now: Nanos, id: MsgId) {
+        let Some(fl) = self.faults.as_mut() else {
+            return;
+        };
+        match fl.outbox.on_timeout(id, now) {
+            TimeoutVerdict::AlreadyAcked => {}
+            TimeoutVerdict::Retransmit {
+                envelope,
+                next_timeout_at,
+            } => {
+                fl.stats.record_retransmit();
+                let switch = envelope.payload.switch();
+                Self::transmit(fl, &mut self.queue, switch, envelope, now);
+                self.queue.push(next_timeout_at, Event::CtrlTimeout { id });
+            }
+            TimeoutVerdict::Exhausted => {
+                fl.stats.record_exhausted();
+                fl.stats.outstanding_add(-1);
+                // Escalate straight to the watchdog — the nominal
+                // deadline check may be far away (or already past).
+                if let Some(Some(task)) = fl.msg_task.get(&id).copied() {
+                    self.queue.push(now, Event::WatchdogCheck { task });
+                }
+            }
+        }
+    }
+
+    /// A switch agent checks its trigger executor at a predicted
+    /// firing instant, applying everything whose local time passed.
+    fn handle_trigger_poll(&mut self, now: Nanos, switch: SwitchId) {
+        let Some(fl) = self.faults.as_mut() else {
+            return;
+        };
+        let sw = &mut self.switches[switch.index()];
+        if !sw.agent.online {
+            return; // a reboot cleared the triggers anyway
+        }
+        for (true_at, (task, flowmod)) in sw.agent.executor.advance_to(now) {
+            if fl.tasks[task].applied {
+                continue; // double-armed after a recovery re-send
+            }
+            let extra = fl.injector.install_extra(switch);
+            if extra > 0 {
+                fl.stats.record_straggler_install();
+            }
+            // `true_at` is the nominal firing instant for on-time
+            // triggers (it may trail `now` by the poll's rounding
+            // nanosecond — the heap handles a push into the past) and
+            // the clamped `now` for late re-arms.
+            let apply_at = true_at + extra;
+            fl.tasks[task].applied = true;
+            fl.stats
+                .record_fired(apply_at - fl.tasks[task].nominal_true);
+            self.queue
+                .push(apply_at, Event::ApplyFlowMod { switch, flowmod });
+        }
+        if let Some(lt) = sw.agent.executor.next_local_time() {
+            let predicted = sw.agent.executor.true_fire_time(lt).max(now + 1);
+            self.queue.push(predicted, Event::TriggerPoll { switch });
+        }
+    }
+
+    /// The controller's deadline check for one timed update: decide
+    /// between a slack-certified re-send and the two-phase rollback.
+    fn handle_watchdog(&mut self, now: Nanos, task: usize) {
+        let decision = {
+            let Some(fl) = self.faults.as_mut() else {
+                return;
+            };
+            let t = &fl.tasks[task];
+            if t.applied || fl.rollback_started {
+                return;
+            }
+            let d = fl.policy.decide(t.nominal_true, now, fl.slack);
+            if matches!(d, RecoveryAction::Rearm { .. }) {
+                fl.stats.record_rearm();
+            }
+            (d, t.switch, t.flowmod.clone())
+        };
+        match decision {
+            (RecoveryAction::Rearm { at }, switch, flowmod) => {
+                let (margin, base_delay) = {
+                    let fl = self.faults.as_ref().expect("checked above");
+                    (fl.policy.margin_ns, fl.reliable.base_delay_ns)
+                };
+                // An immediate-apply re-send, timed so the first
+                // attempt lands as close to `at` as the channel
+                // allows; re-check in case it dies on the wire too.
+                let send_at = (at - base_delay).max(now);
+                self.ctrl_send(
+                    CtrlPayload::Apply {
+                        task,
+                        switch,
+                        flowmod,
+                    },
+                    send_at,
+                    Some(task),
+                );
+                self.queue.push(at + margin, Event::WatchdogCheck { task });
+            }
+            (RecoveryAction::Rollback, _, _) => self.start_rollback(now),
+        }
+    }
+
+    /// The certified window is unreachable: abort the timed plan and
+    /// complete the update through the two-phase path from `now`.
+    fn start_rollback(&mut self, now: Nanos) {
+        let targets: Vec<SwitchId> = {
+            let Some(fl) = self.faults.as_mut() else {
+                return;
+            };
+            if fl.rollback_started {
+                return;
+            }
+            fl.rollback_started = true;
+            fl.stats.record_rollback();
+            let mut s: Vec<SwitchId> = fl
+                .tasks
+                .iter()
+                .filter(|t| !t.applied)
+                .map(|t| t.switch)
+                .collect();
+            s.sort_unstable_by_key(|v| v.0);
+            s.dedup();
+            s
+        };
+        self.report.rolled_back = true;
+        for switch in targets {
+            self.ctrl_send(CtrlPayload::Abort { switch }, now, None);
+        }
+        let margin = self
+            .faults
+            .as_ref()
+            .map(|fl| fl.policy.margin_ns)
+            .unwrap_or(0);
+        self.install_tp_at(TpDriver::default(), now + margin);
+    }
+
+    /// A rebooted agent reconnects: the controller re-arms every
+    /// unapplied update targeting it (fresh message ids; the
+    /// per-task `applied` guard absorbs any double-arm from an old
+    /// retransmission that lands later).
+    fn handle_switch_recover(&mut self, now: Nanos, switch: SwitchId) {
+        self.switches[switch.index()].agent.online = true;
+        let pending: Vec<(usize, Nanos, FlowMod)> = {
+            let Some(fl) = self.faults.as_ref() else {
+                return;
+            };
+            if fl.rollback_started {
+                return;
+            }
+            fl.tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.applied && t.switch == switch)
+                .map(|(i, t)| (i, t.local_target, t.flowmod.clone()))
+                .collect()
+        };
+        for (task, local_time, flowmod) in pending {
+            self.ctrl_send(
+                CtrlPayload::Arm {
+                    task,
+                    switch,
+                    local_time,
+                    flowmod,
+                },
+                now,
+                Some(task),
+            );
         }
     }
 }
@@ -826,5 +1278,152 @@ mod tests {
         ch.install_driver(UpdateDriver::chronus(schedule, &inst));
         let ch_report = ch.run();
         assert_eq!(ch_report.peak_rule_count, 6);
+    }
+
+    /// A fault-enabled emulator with the motivating example's greedy
+    /// schedule installed over the reliable channel.
+    fn faulty_emu(plan: FaultPlan, reliable: ReliableConfig, slack: SlackBudget) -> Emulator {
+        let inst = motivating_example();
+        let schedule = greedy_schedule(&inst).unwrap().schedule;
+        let mut emu = Emulator::new(&inst, short_config(), 2);
+        emu.install_faults(plan, reliable, slack);
+        emu.install_driver(UpdateDriver::chronus(schedule, &inst));
+        emu
+    }
+
+    #[test]
+    fn reliable_quiet_run_migrates_cleanly() {
+        let emu = faulty_emu(
+            FaultPlan::quiet(7),
+            ReliableConfig::default(),
+            SlackBudget::new(99_000_000),
+        );
+        let report = emu.run();
+        assert!(report.clean(), "quiet faulty channel stays clean");
+        assert_eq!(report.applied_updates.len(), 4);
+        assert_eq!(report.timed_tasks_pending, 0);
+        assert!(!report.rolled_back);
+        let f = report.faults.expect("fault summary present");
+        assert_eq!(f.drops, 0);
+        assert_eq!(f.retransmits, 0);
+        assert_eq!(f.triggers_armed, 4);
+        assert_eq!(f.triggers_fired, 4);
+        assert_eq!(f.rollbacks, 0);
+        // Traffic migrated exactly as on the ideal channel.
+        let new_link = &report.bandwidth[&(SwitchId(0), SwitchId(3))];
+        assert!(new_link.last().unwrap().offered_mbps > 0.7);
+    }
+
+    #[test]
+    fn lossy_run_recovers_via_retransmission() {
+        let emu = faulty_emu(
+            FaultPlan::lossy(11, 0.2),
+            ReliableConfig::default(),
+            SlackBudget::new(99_000_000),
+        );
+        let report = emu.run();
+        assert_eq!(report.ttl_drops, 0, "no loops despite 20% message loss");
+        assert_eq!(report.table_misses, 0);
+        assert_eq!(report.timed_tasks_pending, 0, "every update landed");
+        assert!(!report.rolled_back);
+        let f = report.faults.expect("fault summary present");
+        assert!(f.drops > 0, "the seed must actually drop something: {f}");
+        assert!(
+            f.retransmits > 0,
+            "recovery must come from retransmission: {f}"
+        );
+        assert_eq!(f.exhausted, 0);
+    }
+
+    #[test]
+    fn reboot_before_update_recovers_via_rearm() {
+        // The agent reboots after the Arm messages went out (send at
+        // update_at − 1s = 1s) and comes back 200 ms later — well
+        // before its triggers fire at ≥ 2s. The recovery re-arm path
+        // must restore the lost trigger.
+        let plan = FaultPlan::quiet(3).with_reboot(1_100_000_000, SwitchId(1), 200_000_000);
+        let emu = faulty_emu(
+            plan,
+            ReliableConfig::default(),
+            SlackBudget::new(99_000_000),
+        );
+        let report = emu.run();
+        assert!(report.clean(), "reboot recovery keeps the run clean");
+        assert_eq!(report.timed_tasks_pending, 0);
+        assert!(!report.rolled_back);
+        let f = report.faults.expect("fault summary present");
+        assert_eq!(f.reboots, 1);
+        assert_eq!(f.triggers_lost, 1, "the reboot wiped one armed trigger");
+        assert!(f.triggers_armed >= 5, "the lost trigger was re-armed: {f}");
+        assert_eq!(f.triggers_fired, 4, "each task still applies exactly once");
+    }
+
+    #[test]
+    fn dead_channel_with_zero_slack_rolls_back_to_two_phase() {
+        // Every control message vanishes: retries exhaust, the
+        // watchdog finds zero certified slack, and the run must fall
+        // back to the two-phase path — which installs over the
+        // *ideal* legacy channel and still completes the migration.
+        let reliable = ReliableConfig {
+            max_retries: 2,
+            ..ReliableConfig::default()
+        };
+        let emu = faulty_emu(FaultPlan::lossy(5, 1.0), reliable, SlackBudget::zero());
+        let report = emu.run();
+        assert!(report.rolled_back, "zero slack must force the rollback");
+        assert_eq!(
+            report.timed_tasks_pending, 4,
+            "the timed plan itself never lands"
+        );
+        assert_eq!(report.ttl_drops, 0, "two-phase fallback never loops");
+        assert_eq!(report.table_misses, 0);
+        let f = report.faults.expect("fault summary present");
+        assert_eq!(f.rollbacks, 1, "rollback fires once, not per task");
+        assert!(f.exhausted > 0, "retries ran dry first: {f}");
+        // TP installs tagged duplicates + flip + cleanup: more events
+        // than the four timed rewrites.
+        assert!(report.applied_updates.len() > 4);
+        let new_link = &report.bandwidth[&(SwitchId(0), SwitchId(3))];
+        assert!(
+            new_link.last().unwrap().offered_mbps > 0.7,
+            "the fallback still migrates the traffic"
+        );
+    }
+
+    #[test]
+    fn clock_spike_within_slack_stays_clean() {
+        // A +50 µs desync spike hits v2 before its trigger fires: the
+        // switch fires 50 µs early — far inside the certified ±99 ms
+        // tolerance, so the run stays consistent.
+        // Baseline: the same seeds with no spike — deviations are just
+        // the drawn clock offset/drift residuals.
+        let quiet = faulty_emu(
+            FaultPlan::quiet(9),
+            ReliableConfig::default(),
+            SlackBudget::new(99_000_000),
+        )
+        .run();
+        let base_dev = quiet.faults.expect("fault summary").max_fire_deviation_ns;
+
+        let plan = FaultPlan::quiet(9).with_spike(1_500_000_000, SwitchId(1), 50_000);
+        let emu = faulty_emu(
+            plan,
+            ReliableConfig::default(),
+            SlackBudget::new(99_000_000),
+        );
+        let report = emu.run();
+        assert!(report.clean(), "an in-slack spike must not break the run");
+        assert_eq!(report.timed_tasks_pending, 0);
+        let f = report.faults.expect("fault summary present");
+        assert_eq!(f.spikes, 1);
+        assert!(
+            f.max_fire_deviation_ns > base_dev,
+            "the spike shows up as extra firing deviation: {} vs baseline {base_dev}",
+            f.max_fire_deviation_ns
+        );
+        assert!(
+            f.max_fire_deviation_ns < 99_000_000,
+            "but stays inside the certified slack: {f}"
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! The discrete-event queue.
 
+use crate::ctrl::CtrlPayload;
 use chronus_clock::Nanos;
+use chronus_faults::{Envelope, MsgId};
 use chronus_net::{LinkIdx, SwitchId};
 use chronus_openflow::{FlowMod, Packet};
 use std::cmp::Ordering;
@@ -111,6 +113,59 @@ pub enum Event {
     },
     /// The statistics module samples all byte counters.
     StatsSample,
+    /// A control-plane message (one transmission attempt) reaches its
+    /// switch — only used when faults are installed.
+    CtrlDeliver {
+        /// Receiving switch.
+        switch: SwitchId,
+        /// The attempt (logical id + epoch + payload).
+        envelope: Envelope<CtrlPayload>,
+    },
+    /// An acknowledgement reaches the controller.
+    CtrlAck {
+        /// The acknowledged logical message.
+        id: MsgId,
+    },
+    /// A retransmission timer fires at the controller.
+    CtrlTimeout {
+        /// The timed-out logical message.
+        id: MsgId,
+    },
+    /// A switch agent checks its timed-trigger executor (scheduled at
+    /// each trigger's predicted true firing instant).
+    TriggerPoll {
+        /// The polling switch.
+        switch: SwitchId,
+    },
+    /// The controller's deadline check for one timed update: if it has
+    /// not applied by now, recovery (re-arm within slack or rollback)
+    /// kicks in.
+    WatchdogCheck {
+        /// Index into the controller's task table.
+        task: usize,
+    },
+    /// A switch's control agent reboots: armed triggers are lost and
+    /// the control channel is down until the matching
+    /// [`Event::SwitchRecover`].
+    SwitchReboot {
+        /// Rebooting switch.
+        switch: SwitchId,
+        /// Control-plane outage length (ns).
+        outage_ns: Nanos,
+    },
+    /// A rebooted switch reconnects; the controller re-arms its
+    /// unapplied updates.
+    SwitchRecover {
+        /// Recovering switch.
+        switch: SwitchId,
+    },
+    /// A clock-desync spike: the switch's local clock jumps.
+    ClockSpike {
+        /// Afflicted switch.
+        switch: SwitchId,
+        /// Offset jump (ns, positive = clock leaps ahead).
+        offset_ns: Nanos,
+    },
     /// End of the run.
     Stop,
 }

@@ -17,6 +17,12 @@
 //! - [`controller`] — the three update drivers: Chronus timed updates
 //!   (Algorithm 5 over synchronized clocks), OR rounds with random
 //!   installation latencies and barriers, and TP's two phases;
+//! - [`ctrl`] — the faulty control plane: when a `chronus-faults`
+//!   plan is installed, timed updates travel as reliable (acked,
+//!   retransmitted, deduplicated) Arm messages, switches fire them
+//!   from their own trigger executors, and a controller watchdog
+//!   re-sends missed updates within the certified slack window or
+//!   falls back to two-phase rollback;
 //! - [`emulator`] — the simulation loop tying everything together;
 //! - [`report`] — bandwidth series and loss accounting, the data
 //!   behind Fig. 6.
@@ -45,6 +51,7 @@
 
 pub mod analysis;
 pub mod controller;
+pub mod ctrl;
 pub mod emulator;
 pub mod event;
 pub mod link;
@@ -54,6 +61,8 @@ pub mod traffic;
 
 pub use analysis::{skew_tolerance, SkewTolerance};
 pub use controller::{EngineDriver, UpdateDriver};
+pub use ctrl::CtrlPayload;
 pub use emulator::{EmuConfig, Emulator};
 pub use event::{HopRing, HOP_RING_CAPACITY};
 pub use report::{EmuReport, TtlDrop, MAX_TTL_DROP_RECORDS};
+pub use switchdev::SwitchAgent;

@@ -72,6 +72,23 @@ pub struct EmuReport {
     /// Highest total rule count observed across all switches at any
     /// point of the run — the Fig. 9 flow-table-space metric.
     pub peak_rule_count: usize,
+    /// Fault and recovery counters when faults were installed
+    /// ([`crate::Emulator::install_faults`]); `None` on fault-free
+    /// runs.
+    pub faults: Option<chronus_faults::FaultSummary>,
+    /// Snapshot of the fault layer's `chronus_faults_*` instruments,
+    /// ready to absorb into a process-global
+    /// [`chronus_trace::MetricsRegistry`] for exposition; `None` on
+    /// fault-free runs.
+    pub fault_metrics: Option<chronus_trace::MetricsSnapshot>,
+    /// The watchdog abandoned the timed plan and completed the update
+    /// through the two-phase rollback path.
+    pub rolled_back: bool,
+    /// Timed-update tasks the controller never saw applied by the end
+    /// of the run (only meaningful with faults installed; the
+    /// rollback path re-issues pending tasks through two-phase, so a
+    /// rolled-back run reports what the *timed* plan left behind).
+    pub timed_tasks_pending: usize,
 }
 
 impl EmuReport {

@@ -1,12 +1,48 @@
 //! Emulated switches: flow table + ports + hardware clock.
 
-use chronus_clock::HardwareClock;
+use chronus_clock::{HardwareClock, Nanos, ScheduledExecutor};
+use chronus_faults::DedupFilter;
 use chronus_net::{LinkIdx, SwitchId};
 use chronus_openflow::{Action, FlowMod, FlowModCommand, FlowTable, Packet, RuleId, TableError};
 use std::collections::HashMap;
 
 /// The reserved port a host hangs off (packet delivery).
 pub const HOST_PORT: u16 = 0;
+
+/// The switch's control agent: the software half that speaks to the
+/// controller and drives timed triggers. It lives and dies separately
+/// from the data plane — an agent reboot loses every armed trigger and
+/// silences the control channel, but installed flow-table rules
+/// survive (TCAM state persists across agent restarts).
+#[derive(Clone, Debug)]
+pub struct SwitchAgent {
+    /// Timed triggers armed by the controller, fired by the local
+    /// clock; the payload is `(task id, FlowMod)`.
+    pub executor: ScheduledExecutor<(usize, FlowMod)>,
+    /// Reliable-channel receiver dedup (retransmissions and wire
+    /// duplicates are re-acked, never re-executed).
+    pub dedup: DedupFilter,
+    /// `false` while the agent is rebooting: control messages
+    /// addressed to it are lost and triggers cannot fire.
+    pub online: bool,
+}
+
+impl SwitchAgent {
+    /// A fresh online agent driven by the switch's clock.
+    pub fn new(clock: HardwareClock) -> Self {
+        SwitchAgent {
+            executor: ScheduledExecutor::new(clock),
+            dedup: DedupFilter::new(),
+            online: true,
+        }
+    }
+
+    /// Applies a clock-desync spike of `offset_ns` to the agent's
+    /// executor clock (callers also spike the switch's own clock).
+    pub fn spike_clock(&mut self, offset_ns: Nanos) {
+        self.executor.clock_mut().correct_offset(-offset_ns);
+    }
+}
 
 /// One emulated switch.
 #[derive(Clone, Debug)]
@@ -17,6 +53,8 @@ pub struct EmuSwitch {
     pub table: FlowTable,
     /// Its (possibly skewed) hardware clock.
     pub clock: HardwareClock,
+    /// Its control agent (timed triggers + channel state).
+    pub agent: SwitchAgent,
     port_to_link: HashMap<u16, LinkIdx>,
     neighbor_to_port: HashMap<SwitchId, u16>,
     next_port: u16,
@@ -29,6 +67,7 @@ impl EmuSwitch {
             id,
             table: FlowTable::new(),
             clock,
+            agent: SwitchAgent::new(clock),
             port_to_link: HashMap::new(),
             neighbor_to_port: HashMap::new(),
             next_port: HOST_PORT + 1,
@@ -166,6 +205,37 @@ mod tests {
         // Miss: no outputs.
         let (_, out) = s.forward(Packet::new(HOST_PORT, 1, 99));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn agent_reboot_semantics_lose_triggers_not_rules() {
+        let mut s = sw();
+        let id = s
+            .apply_flowmod(&FlowMod::add(
+                1,
+                5,
+                Match::dst_prefix(Ipv4Prefix::host(7)),
+                vec![Action::Output(1)],
+            ))
+            .unwrap()
+            .unwrap();
+        s.agent.executor.arm(1_000, (0, FlowMod::delete(2, id)));
+        assert_eq!(s.agent.executor.armed(), 1);
+        // Reboot: agent state resets, TCAM survives.
+        let lost = s.agent.executor.clear();
+        s.agent.online = false;
+        assert_eq!(lost, 1);
+        assert_eq!(s.table.len(), 1, "data plane survives the reboot");
+    }
+
+    #[test]
+    fn spike_shifts_the_agent_clock() {
+        let mut s = sw();
+        let before = s.agent.executor.clock().read(0);
+        s.agent.spike_clock(500);
+        assert_eq!(s.agent.executor.clock().read(0), before + 500);
+        s.agent.spike_clock(-200);
+        assert_eq!(s.agent.executor.clock().read(0), before + 300);
     }
 
     #[test]

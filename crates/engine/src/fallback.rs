@@ -29,9 +29,46 @@ use chronus_core::greedy::{greedy_schedule_in, GreedyConfig};
 use chronus_core::tree::{check_feasibility, Feasibility};
 use chronus_net::{TimeStep, UpdateInstance};
 use chronus_timenet::{Schedule, SimWorkspace};
-use chronus_verify::{certify_two_phase, Certificate, VerifyConfig};
+use chronus_verify::{
+    certify_two_phase, certify_with_slack, Certificate, SlackCertificate, SlackConfig, VerifyConfig,
+};
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// The engine's slack policy: how much certified timing tolerance a
+/// timed plan should carry before it ships, and how far the engine may
+/// dilate the schedule to buy it.
+///
+/// A greedy/tree schedule packs dependent updates onto adjacent steps,
+/// which certifies zero slack — any single-step displacement of one
+/// switch can recreate the transient loop. Dilating the schedule
+/// (multiplying every step by a factor) stretches those gaps: the same
+/// ordering constraints hold with spare steps in between, so the slack
+/// certificate's tolerance grows with the factor — makespan traded for
+/// robustness against exactly the timing faults `chronus-faults`
+/// injects.
+#[derive(Clone, Copy, Debug)]
+pub struct SlackPolicy {
+    /// Certified tolerance (in steps) a plan should reach; the engine
+    /// stops dilating once a factor certifies at least this much.
+    pub target_steps: TimeStep,
+    /// Largest dilation factor to try (1 = never dilate). When even
+    /// this factor misses the target, the best-slack candidate ships
+    /// anyway and the miss is counted in the metrics.
+    pub max_dilation: TimeStep,
+    /// Budget knobs for each slack-certificate search.
+    pub search: SlackConfig,
+}
+
+impl Default for SlackPolicy {
+    fn default() -> Self {
+        SlackPolicy {
+            target_steps: 1,
+            max_dilation: 4,
+            search: SlackConfig::default(),
+        }
+    }
+}
 
 /// A stage of the fallback chain, in chain order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -142,6 +179,15 @@ pub struct PlannedUpdate {
     /// plan (a two-phase fallback whose flip window congests — the
     /// cases [`crate::PlanReport`]'s `certs.failed` counts).
     pub certificate: Option<Certificate>,
+    /// The slack certificate for the shipped timed schedule: the
+    /// largest per-switch timing tolerance ±Δ under which consistency
+    /// still holds. `None` when no [`SlackPolicy`] was configured or
+    /// the plan is the two-phase fallback (which has no timed
+    /// schedule to perturb).
+    pub slack: Option<SlackCertificate>,
+    /// The dilation factor applied to the shipped schedule by the
+    /// slack stage (1 = the planner's schedule, undilated).
+    pub dilation: TimeStep,
 }
 
 impl PlannedUpdate {
@@ -224,7 +270,20 @@ pub fn plan_with_chain_cfg(
     ws: &mut SimWorkspace,
     verify: &VerifyConfig,
 ) -> PlannedUpdate {
-    plan_chain_impl(req, cache, metrics, ws, verify)
+    plan_chain_impl(req, cache, metrics, ws, verify, None)
+}
+
+/// The full worker-side entry point: certification config plus an
+/// optional [`SlackPolicy`] driving the post-win slack stage.
+pub fn plan_with_chain_slack(
+    req: &UpdateRequest,
+    cache: &TimeNetCache,
+    metrics: &EngineMetrics,
+    ws: &mut SimWorkspace,
+    verify: &VerifyConfig,
+    slack: Option<&SlackPolicy>,
+) -> PlannedUpdate {
+    plan_chain_impl(req, cache, metrics, ws, verify, slack)
 }
 
 /// Like [`plan_with_chain`], but reuses caller-owned simulation
@@ -237,7 +296,7 @@ pub fn plan_with_chain_in(
     metrics: &EngineMetrics,
     ws: &mut SimWorkspace,
 ) -> PlannedUpdate {
-    plan_chain_impl(req, cache, metrics, ws, &VerifyConfig::default())
+    plan_chain_impl(req, cache, metrics, ws, &VerifyConfig::default(), None)
 }
 
 /// The static span name for one stage's attempt.
@@ -249,12 +308,44 @@ fn stage_span_name(stage: Stage) -> &'static str {
     }
 }
 
+/// The slack stage: dilates a winning timed schedule until its slack
+/// certificate meets the policy target (or the factor cap), returning
+/// the schedule to ship, its slack certificate, the consistency
+/// certificate matching it, and the factor applied.
+fn buy_slack(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+    policy: &SlackPolicy,
+) -> Option<(Schedule, SlackCertificate, Certificate, TimeStep)> {
+    let mut best: Option<(Schedule, SlackCertificate, Certificate, TimeStep)> = None;
+    for factor in 1..=policy.max_dilation.max(1) {
+        let candidate = schedule.dilated(factor);
+        let Ok((cert, slack)) = certify_with_slack(instance, &candidate, &policy.search) else {
+            // A dilation should never break a consistent plan, but if
+            // a factor fails to certify, skip it rather than ship it.
+            continue;
+        };
+        let reached = slack.slack_steps >= policy.target_steps;
+        let improves = best
+            .as_ref()
+            .is_none_or(|(_, b, _, _)| slack.slack_steps > b.slack_steps);
+        if improves {
+            best = Some((candidate, slack, cert, factor));
+        }
+        if reached {
+            break;
+        }
+    }
+    best
+}
+
 fn plan_chain_impl(
     req: &UpdateRequest,
     cache: &TimeNetCache,
     metrics: &EngineMetrics,
     ws: &mut SimWorkspace,
     verify: &VerifyConfig,
+    slack_policy: Option<&SlackPolicy>,
 ) -> PlannedUpdate {
     let started = Instant::now();
     let instance = &req.instance;
@@ -400,6 +491,43 @@ fn plan_chain_impl(
         }
     };
 
+    // The slack stage: timed winners get a certified timing tolerance,
+    // dilated as allowed until the policy target is met. Two-phase
+    // plans have no timed schedule to perturb and skip the stage.
+    let mut plan = plan;
+    let mut certificate = certificate;
+    let mut slack = None;
+    let mut dilation = 1;
+    if let (Some(policy), PlanKind::Timed(schedule)) = (slack_policy, &plan) {
+        let stage_start = Instant::now();
+        let mut slack_span = chronus_trace::span!("engine.stage.slack").entered();
+        match buy_slack(instance, schedule, policy) {
+            Some((shipped, slack_cert, cert, factor)) => {
+                let target_met = slack_cert.slack_steps >= policy.target_steps;
+                if slack_span.is_recording() {
+                    slack_span.record("slack_steps", slack_cert.slack_steps);
+                    slack_span.record("dilation", factor);
+                    slack_span.record("target_met", target_met);
+                }
+                metrics.record_slack(&slack_cert, factor, target_met);
+                plan = PlanKind::Timed(shipped);
+                if verify.enabled {
+                    certificate = Some(cert);
+                }
+                slack = Some(slack_cert);
+                dilation = factor;
+            }
+            None => {
+                // Even the undilated winner failed to re-certify — a
+                // planner/certifier disagreement worth surfacing.
+                slack_span.record("outcome", "uncertifiable");
+                metrics.record_slack_failure();
+            }
+        }
+        drop(slack_span);
+        metrics.record_slack_elapsed(stage_start.elapsed());
+    }
+
     metrics.record_certification(verify.enabled, certificate.is_some());
     if plan_span.is_recording() {
         plan_span.record("winner", winner_stage.to_string());
@@ -419,6 +547,8 @@ fn plan_chain_impl(
         te_links: timenet.links.len(),
         deadline_exceeded,
         certificate,
+        slack,
+        dilation,
     };
     metrics.record_completion(&planned);
     planned

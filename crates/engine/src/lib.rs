@@ -12,6 +12,12 @@
 //!   degrades plan *quality* (rule overhead), never correctness;
 //! - [`TimeNetCache`]: shared memoization of materialized
 //!   time-extended windows, keyed by `(topology hash, flow, horizon)`;
+//! - the **slack stage** ([`SlackPolicy`]): timed winners ship with a
+//!   slack certificate — the certified timing tolerance ±Δ — dilating
+//!   the schedule to buy tolerance when the planner's packing
+//!   certifies none;
+//! - [`UpdateWatchdog`]: the deployment-side deadline tracker turning
+//!   that certified tolerance into re-arm-or-rollback decisions;
 //! - [`PlanReport`]: per-stage latencies and win counts, cache hit
 //!   rates, queue depths and deadline casualties.
 //!
@@ -42,13 +48,15 @@ mod fallback;
 mod metrics;
 mod pool;
 mod request;
+mod watchdog;
 
 pub use cache::{flow_signature, topology_hash, CacheKey, TimeNetCache};
 pub use fallback::{
-    plan_sequential, plan_with_chain, plan_with_chain_cfg, plan_with_chain_in, planning_horizon,
-    tp_flip_time, PlanError, PlanKind, PlannedUpdate, Stage, StageAttempt, StageOutcome,
-    TpBatchPlan,
+    plan_sequential, plan_with_chain, plan_with_chain_cfg, plan_with_chain_in,
+    plan_with_chain_slack, planning_horizon, tp_flip_time, PlanError, PlanKind, PlannedUpdate,
+    SlackPolicy, Stage, StageAttempt, StageOutcome, TpBatchPlan,
 };
-pub use metrics::{CertStats, EngineMetrics, PlanReport, StageStats};
+pub use metrics::{CertStats, EngineMetrics, PlanReport, SlackStats, StageStats};
 pub use pool::{Engine, EngineConfig};
 pub use request::{RequestId, UpdateRequest};
+pub use watchdog::{UpdateWatchdog, WatchdogVerdict};

@@ -15,8 +15,10 @@
 
 use crate::cache::TimeNetCache;
 use crate::fallback::{PlannedUpdate, Stage, StageOutcome};
+use chronus_net::TimeStep;
 use chronus_timenet::GateStats;
 use chronus_trace::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use chronus_verify::SlackCertificate;
 use std::fmt;
 use std::time::Duration;
 
@@ -68,6 +70,13 @@ pub struct EngineMetrics {
     certs_issued: Counter,
     certs_failed: Counter,
     certs_skipped: Counter,
+    slack_certified: Counter,
+    slack_dilated: Counter,
+    slack_target_missed: Counter,
+    slack_uncertifiable: Counter,
+    slack_schedules_checked: Counter,
+    slack_steps: Histogram,
+    slack_nanos: Histogram,
     submitted: Counter,
     completed: Counter,
     timeouts: Counter,
@@ -107,6 +116,13 @@ impl EngineMetrics {
             certs_issued: counter("chronus_engine_certs_issued_total"),
             certs_failed: counter("chronus_engine_certs_failed_total"),
             certs_skipped: counter("chronus_engine_certs_skipped_total"),
+            slack_certified: counter("chronus_engine_slack_certified_total"),
+            slack_dilated: counter("chronus_engine_slack_dilated_total"),
+            slack_target_missed: counter("chronus_engine_slack_target_missed_total"),
+            slack_uncertifiable: counter("chronus_engine_slack_uncertifiable_total"),
+            slack_schedules_checked: counter("chronus_engine_slack_schedules_checked_total"),
+            slack_steps: registry.histogram("chronus_engine_slack_steps"),
+            slack_nanos: registry.histogram("chronus_engine_slack_stage_ns"),
             submitted: counter("chronus_engine_requests_submitted_total"),
             completed: counter("chronus_engine_requests_completed_total"),
             timeouts: counter("chronus_engine_deadline_timeouts_total"),
@@ -177,6 +193,33 @@ impl EngineMetrics {
         }
     }
 
+    /// Records one slack-stage success: a timed plan shipped with a
+    /// slack certificate, dilated by `factor` (1 = undilated), with
+    /// `target_met` saying whether the policy target was reached.
+    pub fn record_slack(&self, cert: &SlackCertificate, factor: TimeStep, target_met: bool) {
+        self.slack_certified.inc();
+        if factor > 1 {
+            self.slack_dilated.inc();
+        }
+        if !target_met {
+            self.slack_target_missed.inc();
+        }
+        self.slack_schedules_checked
+            .add(cert.schedules_checked as u64);
+        self.slack_steps.record(cert.slack_steps.max(0) as u64);
+    }
+
+    /// Records a slack stage where even the undilated winner failed to
+    /// re-certify (a planner/certifier disagreement).
+    pub fn record_slack_failure(&self) {
+        self.slack_uncertifiable.inc();
+    }
+
+    /// Records the wall-clock cost of one slack stage.
+    pub fn record_slack_elapsed(&self, elapsed: Duration) {
+        self.slack_nanos.record(elapsed.as_nanos() as u64);
+    }
+
     /// Records a finished request.
     pub fn record_completion(&self, planned: &PlannedUpdate) {
         self.completed.inc();
@@ -217,6 +260,13 @@ impl EngineMetrics {
                 issued: self.certs_issued.get(),
                 failed: self.certs_failed.get(),
                 skipped: self.certs_skipped.get(),
+            },
+            slack: SlackStats {
+                certified: self.slack_certified.get(),
+                dilated: self.slack_dilated.get(),
+                target_missed: self.slack_target_missed.get(),
+                uncertifiable: self.slack_uncertifiable.get(),
+                schedules_checked: self.slack_schedules_checked.get(),
             },
             submitted: self.submitted.get(),
             completed: self.completed.get(),
@@ -270,6 +320,25 @@ pub struct CertStats {
     pub skipped: u64,
 }
 
+/// Snapshot of the slack stage's counters across completed requests
+/// (all zero unless the engine was configured with a
+/// [`crate::SlackPolicy`]).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SlackStats {
+    /// Timed plans shipped with a slack certificate.
+    pub certified: u64,
+    /// Plans whose schedule was dilated (factor > 1) to buy slack.
+    pub dilated: u64,
+    /// Plans that shipped below the policy's slack target even at the
+    /// maximum dilation factor.
+    pub target_missed: u64,
+    /// Slack stages where even the undilated winner failed to
+    /// re-certify.
+    pub uncertifiable: u64,
+    /// Perturbed schedules certified across all slack searches.
+    pub schedules_checked: u64,
+}
+
 /// Point-in-time engine report: per-stage latencies and win counts,
 /// cache effectiveness, queue pressure and deadline casualties.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -286,6 +355,8 @@ pub struct PlanReport {
     pub gate: GateStats,
     /// Independent-certifier counters across completed requests.
     pub certs: CertStats,
+    /// Slack-stage counters across completed requests.
+    pub slack: SlackStats,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests fully planned.
@@ -356,6 +427,18 @@ impl fmt::Display for PlanReport {
             "  certifier: {} issued, {} failed, {} skipped",
             self.certs.issued, self.certs.failed, self.certs.skipped
         )?;
+        if self.slack != SlackStats::default() {
+            writeln!(
+                f,
+                "  slack: {} certified ({} dilated, {} below target, \
+                 {} uncertifiable), {} perturbed schedules checked",
+                self.slack.certified,
+                self.slack.dilated,
+                self.slack.target_missed,
+                self.slack.uncertifiable,
+                self.slack.schedules_checked
+            )?;
+        }
         writeln!(
             f,
             "  exact gate: {} incremental / {} full checks, \

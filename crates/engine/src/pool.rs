@@ -6,7 +6,7 @@
 #![allow(clippy::expect_used)]
 
 use crate::cache::TimeNetCache;
-use crate::fallback::{plan_with_chain_cfg, PlannedUpdate};
+use crate::fallback::{plan_with_chain_slack, PlannedUpdate, SlackPolicy};
 use crate::metrics::{EngineMetrics, PlanReport};
 use crate::request::UpdateRequest;
 use chronus_net::UpdateInstance;
@@ -28,6 +28,12 @@ pub struct EngineConfig {
     /// Enabled by default; benchmarks measuring raw planning latency
     /// can opt out with [`VerifyConfig::disabled`].
     pub verify: VerifyConfig,
+    /// Slack policy for timed winners: when set, every timed plan is
+    /// shipped with a slack certificate, dilating the schedule within
+    /// the policy's factor cap until the certified tolerance meets the
+    /// target. `None` (the default) skips the stage — plans ship
+    /// exactly as the planners produced them.
+    pub slack: Option<SlackPolicy>,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +42,7 @@ impl Default for EngineConfig {
             workers: thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             default_deadline: Duration::from_secs(5),
             verify: VerifyConfig::default(),
+            slack: None,
         }
     }
 }
@@ -47,6 +54,13 @@ impl EngineConfig {
             workers,
             ..EngineConfig::default()
         }
+    }
+
+    /// Enables the slack stage with `policy` (builder style).
+    #[must_use]
+    pub fn with_slack(mut self, policy: SlackPolicy) -> Self {
+        self.slack = Some(policy);
+        self
     }
 }
 
@@ -98,6 +112,7 @@ impl Engine {
                 let cache = cache.clone();
                 let metrics = metrics.clone();
                 let verify = config.verify;
+                let slack = config.slack;
                 thread::Builder::new()
                     .name(format!("chronus-engine-{i}"))
                     .spawn(move || {
@@ -114,12 +129,13 @@ impl Engine {
                                 request = job.request.id.0
                             )
                             .entered();
-                            let planned = plan_with_chain_cfg(
+                            let planned = plan_with_chain_slack(
                                 &job.request,
                                 &cache,
                                 &metrics,
                                 &mut ws,
                                 &verify,
+                                slack.as_ref(),
                             );
                             // A dead reply channel means the batch was
                             // abandoned; planning the rest of the queue
@@ -267,5 +283,56 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn rejects_zero_workers() {
         let _ = Engine::new(EngineConfig::with_workers(0));
+    }
+
+    #[test]
+    fn slack_policy_dilates_plans_to_the_target() {
+        use crate::fallback::SlackPolicy;
+        let engine = Engine::new(EngineConfig::with_workers(2).with_slack(SlackPolicy::default()));
+        let inst = Arc::new(motivating_example());
+        let plans = engine.plan_instances(vec![inst.clone(); 4]);
+        for p in &plans {
+            assert_eq!(p.winner, Stage::Greedy);
+            let slack = p.slack.as_ref().expect("slack certificate attached");
+            assert!(
+                slack.slack_steps >= 1,
+                "policy target reached: {}",
+                slack.slack_steps
+            );
+            // The greedy packing is tight (slack 0); reaching the
+            // target takes an actual dilation.
+            assert!(p.dilation > 1, "dilated by {}", p.dilation);
+            // The shipped (dilated) schedule still certifies and the
+            // consistency certificate matches it.
+            let schedule = p.timed_schedule().expect("timed plan");
+            let report = FluidSimulator::check(&inst, schedule);
+            assert_eq!(report.verdict(), Verdict::Consistent);
+            let cert = p.certificate.as_ref().expect("certified");
+            assert_eq!(cert.check(&inst), Ok(()));
+            // The slack budget is honored end to end: a watchdog built
+            // from this certificate tolerates a sub-Δ delay.
+            let wd =
+                crate::watchdog::UpdateWatchdog::from_certificate(slack, 100_000_000, 1_000_000);
+            assert!(wd.slack().covers(50_000_000));
+        }
+        let report = engine.report();
+        assert_eq!(report.slack.certified, 4);
+        assert_eq!(report.slack.dilated, 4);
+        assert_eq!(report.slack.target_missed, 0);
+        assert_eq!(report.slack.uncertifiable, 0);
+        assert!(report.slack.schedules_checked > 0);
+        assert!(report.to_string().contains("slack: 4 certified"));
+    }
+
+    #[test]
+    fn without_slack_policy_plans_ship_undilated() {
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let inst = Arc::new(motivating_example());
+        let plans = engine.plan_instances(vec![inst]);
+        assert!(plans[0].slack.is_none());
+        assert_eq!(plans[0].dilation, 1);
+        let report = engine.report();
+        assert_eq!(report.slack, crate::metrics::SlackStats::default());
+        assert!(!report.to_string().contains("slack:"));
     }
 }

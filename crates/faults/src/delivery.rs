@@ -1,0 +1,333 @@
+//! Reliable control-plane delivery: acks, per-message retransmission
+//! timers with exponential backoff, and epoch numbers for receiver
+//! dedup.
+//!
+//! The protocol is a pure state machine over simulated timestamps —
+//! no I/O, no wall clock — so it is unit-testable without the
+//! emulator and reusable by any transport the emulator models:
+//!
+//! - The **sender** ([`ReliableOutbox`]) assigns each logical message
+//!   a fresh [`MsgId`] and an attempt *epoch*, hands the caller an
+//!   [`Envelope`] to put on the (lossy) wire, and tells it when to
+//!   check back ([`ReliableOutbox::send`] returns the timeout
+//!   deadline). On a timeout the caller asks
+//!   [`ReliableOutbox::on_timeout`]: either the message was acked in
+//!   the meantime, or a retransmission envelope (epoch + 1) comes back
+//!   with a doubled timeout, or the retry budget is exhausted and
+//!   recovery escalates to the watchdog.
+//! - The **receiver** ([`DedupFilter`]) accepts each `MsgId` once;
+//!   retransmissions and wire duplicates are acked again (acks can be
+//!   lost too) but not re-executed.
+
+use chronus_clock::Nanos;
+use std::collections::HashMap;
+
+/// Identity of one logical control-plane message. Retransmissions
+/// reuse the id (with a bumped epoch); the receiver dedups on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u64);
+
+/// One transmission attempt of a logical message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<P> {
+    /// Logical message identity (stable across retransmissions).
+    pub id: MsgId,
+    /// Attempt number: 0 for the first send, +1 per retransmission.
+    pub epoch: u32,
+    /// The payload.
+    pub payload: P,
+}
+
+/// Retransmission-policy knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Initial ack timeout (ns); doubles per retransmission.
+    pub ack_timeout_ns: Nanos,
+    /// Retransmissions allowed before a message is declared dead
+    /// (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// How long before its scheduled execution time the controller
+    /// starts distributing a timed update (ns).
+    pub lead_time_ns: Nanos,
+    /// One-way base delay of the control channel (ns).
+    pub base_delay_ns: Nanos,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            ack_timeout_ns: 5_000_000,   // 5 ms: ≫ 2× base delay
+            max_retries: 10,             // survives sustained 20 % loss
+            lead_time_ns: 1_000_000_000, // distribute 1 s ahead
+            base_delay_ns: 1_000_000,    // 1 ms one-way
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Timeout for attempt `epoch` (exponential backoff, capped so the
+    /// shift cannot overflow).
+    pub fn timeout_for(&self, epoch: u32) -> Nanos {
+        self.ack_timeout_ns.saturating_mul(1 << epoch.min(20))
+    }
+}
+
+/// Verdict of a retransmission-timer expiry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimeoutVerdict<P> {
+    /// The message was acked before the timer fired; nothing to do.
+    AlreadyAcked,
+    /// Retransmit: put `envelope` on the wire and check back at
+    /// `next_timeout_at`.
+    Retransmit {
+        /// The retransmission attempt (same id, epoch + 1).
+        envelope: Envelope<P>,
+        /// True time at which to re-check this message (ns).
+        next_timeout_at: Nanos,
+    },
+    /// Retry budget exhausted: the message is dead; recovery must
+    /// escalate (watchdog re-arm or rollback).
+    Exhausted,
+}
+
+struct Pending<P> {
+    payload: P,
+    epoch: u32,
+}
+
+/// Sender half of the reliable channel: tracks un-acked messages and
+/// drives retransmission.
+pub struct ReliableOutbox<P> {
+    cfg: ReliableConfig,
+    next_id: u64,
+    pending: HashMap<MsgId, Pending<P>>,
+    acked: u64,
+    retransmits: u64,
+    exhausted: u64,
+}
+
+impl<P: Clone> ReliableOutbox<P> {
+    /// An empty outbox with the given policy.
+    pub fn new(cfg: ReliableConfig) -> Self {
+        ReliableOutbox {
+            cfg,
+            next_id: 0,
+            pending: HashMap::new(),
+            acked: 0,
+            retransmits: 0,
+            exhausted: 0,
+        }
+    }
+
+    /// The retransmission policy.
+    pub fn config(&self) -> &ReliableConfig {
+        &self.cfg
+    }
+
+    /// Registers a new logical message at true time `now`; returns the
+    /// first-attempt envelope and the time at which to call
+    /// [`ReliableOutbox::on_timeout`] if no ack arrived.
+    pub fn send(&mut self, payload: P, now: Nanos) -> (Envelope<P>, Nanos) {
+        let id = MsgId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(
+            id,
+            Pending {
+                payload: payload.clone(),
+                epoch: 0,
+            },
+        );
+        let envelope = Envelope {
+            id,
+            epoch: 0,
+            payload,
+        };
+        (envelope, now + self.cfg.timeout_for(0))
+    }
+
+    /// Processes an ack for `id`; returns `true` on the first ack
+    /// (later duplicates are ignored).
+    pub fn on_ack(&mut self, id: MsgId) -> bool {
+        let was_pending = self.pending.remove(&id).is_some();
+        if was_pending {
+            self.acked += 1;
+        }
+        was_pending
+    }
+
+    /// Handles the retransmission timer for `id` firing at `now`.
+    pub fn on_timeout(&mut self, id: MsgId, now: Nanos) -> TimeoutVerdict<P> {
+        let Some(pending) = self.pending.get_mut(&id) else {
+            return TimeoutVerdict::AlreadyAcked;
+        };
+        if pending.epoch >= self.cfg.max_retries {
+            self.pending.remove(&id);
+            self.exhausted += 1;
+            return TimeoutVerdict::Exhausted;
+        }
+        pending.epoch += 1;
+        self.retransmits += 1;
+        let envelope = Envelope {
+            id,
+            epoch: pending.epoch,
+            payload: pending.payload.clone(),
+        };
+        let next_timeout_at = now + self.cfg.timeout_for(pending.epoch);
+        TimeoutVerdict::Retransmit {
+            envelope,
+            next_timeout_at,
+        }
+    }
+
+    /// Messages still awaiting an ack.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Logical messages acked so far.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Retransmission attempts so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Messages that exhausted their retry budget.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
+    }
+}
+
+/// Receiver half: accepts each logical message once.
+#[derive(Clone, Debug, Default)]
+pub struct DedupFilter {
+    seen: std::collections::HashSet<MsgId>,
+    duplicates: u64,
+}
+
+impl DedupFilter {
+    /// An empty filter.
+    pub fn new() -> Self {
+        DedupFilter::default()
+    }
+
+    /// Returns `true` the first time `id` is seen (execute the
+    /// payload), `false` for retransmissions and wire duplicates
+    /// (re-ack but do not re-execute).
+    pub fn accept(&mut self, id: MsgId) -> bool {
+        let fresh = self.seen.insert(id);
+        if !fresh {
+            self.duplicates += 1;
+        }
+        fresh
+    }
+
+    /// Duplicate receptions suppressed so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ReliableConfig {
+        ReliableConfig {
+            ack_timeout_ns: 1_000,
+            max_retries: 2,
+            lead_time_ns: 10_000,
+            base_delay_ns: 100,
+        }
+    }
+
+    #[test]
+    fn ack_before_timeout_settles_the_message() {
+        let mut out = ReliableOutbox::new(cfg());
+        let (env, deadline) = out.send("arm", 0);
+        assert_eq!(env.epoch, 0);
+        assert_eq!(deadline, 1_000);
+        assert_eq!(out.outstanding(), 1);
+        assert!(out.on_ack(env.id));
+        assert!(!out.on_ack(env.id), "duplicate ack is ignored");
+        assert_eq!(out.outstanding(), 0);
+        assert_eq!(out.on_timeout(env.id, 1_000), TimeoutVerdict::AlreadyAcked);
+        assert_eq!(out.acked(), 1);
+    }
+
+    #[test]
+    fn timeouts_back_off_exponentially_then_exhaust() {
+        let mut out = ReliableOutbox::new(cfg());
+        let (env, t1) = out.send("arm", 0);
+        let TimeoutVerdict::Retransmit {
+            envelope,
+            next_timeout_at,
+        } = out.on_timeout(env.id, t1)
+        else {
+            panic!("expected first retransmission");
+        };
+        assert_eq!(envelope.epoch, 1);
+        assert_eq!(next_timeout_at, t1 + 2_000, "timeout doubled");
+        let TimeoutVerdict::Retransmit {
+            envelope,
+            next_timeout_at,
+        } = out.on_timeout(env.id, next_timeout_at)
+        else {
+            panic!("expected second retransmission");
+        };
+        assert_eq!(envelope.epoch, 2);
+        let final_deadline = next_timeout_at;
+        assert_eq!(
+            out.on_timeout(env.id, final_deadline),
+            TimeoutVerdict::Exhausted
+        );
+        assert_eq!(out.outstanding(), 0);
+        assert_eq!(out.retransmits(), 2);
+        assert_eq!(out.exhausted(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut out = ReliableOutbox::new(cfg());
+        let (a, _) = out.send(1, 0);
+        let (b, _) = out.send(2, 0);
+        assert!(a.id < b.id);
+    }
+
+    #[test]
+    fn dedup_accepts_once() {
+        let mut f = DedupFilter::new();
+        assert!(f.accept(MsgId(5)));
+        assert!(!f.accept(MsgId(5)));
+        assert!(!f.accept(MsgId(5)));
+        assert!(f.accept(MsgId(6)));
+        assert_eq!(f.duplicates(), 2);
+    }
+
+    #[test]
+    fn retransmission_after_late_ack_is_a_noop() {
+        let mut out = ReliableOutbox::new(cfg());
+        let (env, t1) = out.send("arm", 0);
+        assert!(matches!(
+            out.on_timeout(env.id, t1),
+            TimeoutVerdict::Retransmit { .. }
+        ));
+        // Ack for the slow first attempt lands after the retransmit.
+        assert!(out.on_ack(env.id));
+        assert_eq!(
+            out.on_timeout(env.id, t1 + 2_000),
+            TimeoutVerdict::AlreadyAcked
+        );
+    }
+
+    #[test]
+    fn survives_sustained_loss_within_budget() {
+        // 11 attempts at 20 % loss: P(all lost) = 0.2^11 ≈ 2e-8.
+        let cfg = ReliableConfig::default();
+        assert_eq!(cfg.max_retries, 10);
+        // Backoff caps instead of overflowing.
+        assert!(cfg.timeout_for(60) > 0);
+    }
+}

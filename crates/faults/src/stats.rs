@@ -1,0 +1,303 @@
+//! Fault/recovery observability: `chronus_faults_*` instruments over a
+//! `chronus-trace` [`MetricsRegistry`], following the engine-metrics
+//! pattern — cached lock-free handles on the hot path, exportable as a
+//! Prometheus dump or absorbed into the global registry, plus a plain
+//! [`FaultSummary`] value for reports and assertions.
+
+use chronus_clock::Nanos;
+use chronus_trace::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use std::fmt;
+
+/// Shared instruments for one faulty run (or one engine's lifetime).
+pub struct FaultStats {
+    registry: MetricsRegistry,
+    drops: Counter,
+    dups: Counter,
+    delays: Counter,
+    straggler_installs: Counter,
+    retransmits: Counter,
+    acks: Counter,
+    exhausted: Counter,
+    reboots: Counter,
+    spikes: Counter,
+    triggers_armed: Counter,
+    triggers_fired: Counter,
+    triggers_lost: Counter,
+    rearms: Counter,
+    rollbacks: Counter,
+    outstanding: Gauge,
+    fire_deviation_ns: Histogram,
+    max_fire_deviation_ns: Gauge,
+}
+
+impl Default for FaultStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultStats")
+            .field("summary", &self.summary())
+            .finish()
+    }
+}
+
+impl FaultStats {
+    /// Fresh, zeroed instruments over a new scoped registry.
+    pub fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let counter = |name: &str| registry.counter(name);
+        FaultStats {
+            drops: counter("chronus_faults_injected_drops_total"),
+            dups: counter("chronus_faults_injected_dups_total"),
+            delays: counter("chronus_faults_injected_delays_total"),
+            straggler_installs: counter("chronus_faults_straggler_installs_total"),
+            retransmits: counter("chronus_faults_retransmits_total"),
+            acks: counter("chronus_faults_acks_total"),
+            exhausted: counter("chronus_faults_retry_exhausted_total"),
+            reboots: counter("chronus_faults_switch_reboots_total"),
+            spikes: counter("chronus_faults_clock_spikes_total"),
+            triggers_armed: counter("chronus_faults_triggers_armed_total"),
+            triggers_fired: counter("chronus_faults_triggers_fired_total"),
+            triggers_lost: counter("chronus_faults_triggers_lost_total"),
+            rearms: counter("chronus_faults_watchdog_rearms_total"),
+            rollbacks: counter("chronus_faults_watchdog_rollbacks_total"),
+            outstanding: registry.gauge("chronus_faults_outstanding_msgs"),
+            fire_deviation_ns: registry.histogram("chronus_faults_fire_deviation_ns"),
+            max_fire_deviation_ns: registry.gauge("chronus_faults_max_fire_deviation_ns"),
+            registry,
+        }
+    }
+
+    /// The scoped registry backing every instrument here.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Point-in-time snapshot of every `chronus_faults_*` instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Records an injected message drop.
+    pub fn record_drop(&self) {
+        self.drops.inc();
+    }
+
+    /// Records an injected duplicate delivery.
+    pub fn record_dup(&self) {
+        self.dups.inc();
+    }
+
+    /// Records an injected extra delay.
+    pub fn record_delay(&self) {
+        self.delays.inc();
+    }
+
+    /// Records a rule install stretched by a straggler switch.
+    pub fn record_straggler_install(&self) {
+        self.straggler_installs.inc();
+    }
+
+    /// Records a retransmission attempt.
+    pub fn record_retransmit(&self) {
+        self.retransmits.inc();
+    }
+
+    /// Records a first ack for a logical message.
+    pub fn record_ack(&self) {
+        self.acks.inc();
+    }
+
+    /// Records a message that exhausted its retry budget.
+    pub fn record_exhausted(&self) {
+        self.exhausted.inc();
+    }
+
+    /// Records a switch reboot losing `lost_triggers` armed triggers.
+    pub fn record_reboot(&self, lost_triggers: u64) {
+        self.reboots.inc();
+        self.triggers_lost.add(lost_triggers);
+    }
+
+    /// Records a clock-desync spike.
+    pub fn record_spike(&self) {
+        self.spikes.inc();
+    }
+
+    /// Records a trigger armed on a switch.
+    pub fn record_armed(&self) {
+        self.triggers_armed.inc();
+    }
+
+    /// Records a trigger firing with the given deviation from its
+    /// nominal instant (true ns; positive = late).
+    pub fn record_fired(&self, deviation_ns: Nanos) {
+        self.triggers_fired.inc();
+        let abs = deviation_ns.unsigned_abs().min(u64::MAX as u128) as u64;
+        self.fire_deviation_ns.record(abs);
+        self.max_fire_deviation_ns
+            .max(abs.min(i64::MAX as u64) as i64);
+    }
+
+    /// Records a watchdog re-arm within certified slack.
+    pub fn record_rearm(&self) {
+        self.rearms.inc();
+    }
+
+    /// Records a watchdog fallback to the two-phase rollback path.
+    pub fn record_rollback(&self) {
+        self.rollbacks.inc();
+    }
+
+    /// Adjusts the outstanding (un-acked) message gauge.
+    pub fn outstanding_add(&self, d: i64) {
+        self.outstanding.add(d);
+    }
+
+    /// Derives the plain-value summary for reports and assertions.
+    pub fn summary(&self) -> FaultSummary {
+        FaultSummary {
+            drops: self.drops.get(),
+            dups: self.dups.get(),
+            delays: self.delays.get(),
+            straggler_installs: self.straggler_installs.get(),
+            retransmits: self.retransmits.get(),
+            acks: self.acks.get(),
+            exhausted: self.exhausted.get(),
+            reboots: self.reboots.get(),
+            spikes: self.spikes.get(),
+            triggers_armed: self.triggers_armed.get(),
+            triggers_fired: self.triggers_fired.get(),
+            triggers_lost: self.triggers_lost.get(),
+            rearms: self.rearms.get(),
+            rollbacks: self.rollbacks.get(),
+            outstanding: self.outstanding.get().max(0) as u64,
+            max_fire_deviation_ns: self.max_fire_deviation_ns.get().max(0) as u64,
+        }
+    }
+}
+
+/// Plain-value view of a run's fault and recovery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Control-plane messages lost by injection.
+    pub drops: u64,
+    /// Duplicate deliveries injected.
+    pub dups: u64,
+    /// Extra-delay injections.
+    pub delays: u64,
+    /// Rule installs stretched by straggler switches.
+    pub straggler_installs: u64,
+    /// Retransmission attempts by the reliable channel.
+    pub retransmits: u64,
+    /// Logical messages acknowledged.
+    pub acks: u64,
+    /// Messages that exhausted their retry budget.
+    pub exhausted: u64,
+    /// Switch reboots injected.
+    pub reboots: u64,
+    /// Clock-desync spikes injected.
+    pub spikes: u64,
+    /// Triggers armed on switches.
+    pub triggers_armed: u64,
+    /// Triggers that fired.
+    pub triggers_fired: u64,
+    /// Armed triggers lost to reboots.
+    pub triggers_lost: u64,
+    /// Watchdog re-arms within certified slack.
+    pub rearms: u64,
+    /// Watchdog fallbacks to the two-phase rollback path.
+    pub rollbacks: u64,
+    /// Messages still un-acked at snapshot time.
+    pub outstanding: u64,
+    /// Largest |firing deviation| observed (ns).
+    pub max_fire_deviation_ns: u64,
+}
+
+impl fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "faults: {} drops, {} dups, {} delays, {} straggler installs, \
+             {} reboots, {} spikes",
+            self.drops, self.dups, self.delays, self.straggler_installs, self.reboots, self.spikes
+        )?;
+        writeln!(
+            f,
+            "  delivery: {} acks, {} retransmits, {} exhausted, {} outstanding",
+            self.acks, self.retransmits, self.exhausted, self.outstanding
+        )?;
+        write!(
+            f,
+            "  triggers: {}/{} fired ({} lost to reboots), {} rearms, {} rollbacks, \
+             max deviation {} ns",
+            self.triggers_fired,
+            self.triggers_armed,
+            self.triggers_lost,
+            self.rearms,
+            self.rollbacks,
+            self.max_fire_deviation_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_flow_into_summary_and_registry() {
+        let s = FaultStats::new();
+        s.record_drop();
+        s.record_drop();
+        s.record_dup();
+        s.record_retransmit();
+        s.record_ack();
+        s.record_reboot(3);
+        s.record_armed();
+        s.record_fired(-2_500);
+        s.record_fired(700);
+        s.record_rearm();
+        s.outstanding_add(2);
+        s.outstanding_add(-1);
+
+        let sum = s.summary();
+        assert_eq!(sum.drops, 2);
+        assert_eq!(sum.dups, 1);
+        assert_eq!(sum.retransmits, 1);
+        assert_eq!(sum.acks, 1);
+        assert_eq!(sum.reboots, 1);
+        assert_eq!(sum.triggers_lost, 3);
+        assert_eq!(sum.triggers_fired, 2);
+        assert_eq!(sum.rearms, 1);
+        assert_eq!(sum.outstanding, 1);
+        assert_eq!(sum.max_fire_deviation_ns, 2_500);
+
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("chronus_faults_injected_drops_total"), Some(2));
+        assert_eq!(
+            snap.histogram("chronus_faults_fire_deviation_ns"),
+            Some((3_200, 2))
+        );
+        let prom = s.registry().to_prometheus();
+        assert!(
+            prom.contains("chronus_faults_injected_drops_total 2"),
+            "{prom}"
+        );
+
+        let text = sum.to_string();
+        assert!(text.contains("2 drops"), "{text}");
+        assert!(text.contains("max deviation 2500 ns"), "{text}");
+    }
+
+    #[test]
+    fn registries_are_isolated() {
+        let a = FaultStats::new();
+        a.record_drop();
+        let b = FaultStats::new();
+        assert_eq!(b.summary().drops, 0);
+    }
+}

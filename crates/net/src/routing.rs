@@ -136,8 +136,23 @@ pub fn k_shortest_paths(net: &Network, src: SwitchId, dst: SwitchId, k: usize) -
         if candidates.is_empty() {
             break;
         }
-        candidates.sort_by_key(|(d, p)| (*d, p.hops().to_vec()));
-        let (_, best) = candidates.remove(0);
+        // Tie-break equal-delay candidates on fewest hops first, then
+        // lexicographic switch ids. Comparing hop ids alone let a
+        // longer path whose first hops had smaller ids win over a
+        // shorter one (0→2→3→9 beat 0→5→9), inverting the canonical
+        // Yen order; a single min-select also avoids re-sorting the
+        // whole pool every iteration.
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, (da, pa)), (_, (db, pb))| {
+                da.cmp(db)
+                    .then(pa.len().cmp(&pb.len()))
+                    .then_with(|| pa.hops().cmp(pb.hops()))
+            })
+            .map(|(idx, _)| idx)
+            .expect("candidates is non-empty");
+        let (_, best) = candidates.swap_remove(best_idx);
         result.push(best);
     }
     result
@@ -373,6 +388,38 @@ mod tests {
             for j in i + 1..ps.len() {
                 assert_ne!(ps[i], ps[j], "paths must be distinct");
             }
+        }
+    }
+
+    #[test]
+    fn yen_breaks_equal_delay_ties_on_hop_count_then_ids() {
+        // Diamond with a tail: after the unique shortest path
+        // A = 0→1→3 (delay 2), the very first Yen iteration puts TWO
+        // equal-delay(4) candidates in the pool at once —
+        //   B: 0→2→3    (spur at 0; 3 hops)
+        //   E: 0→1→4→3  (spur at 1; 4 hops, but smaller second-hop id)
+        // Comparing hop ids lexicographically picked E first (1 < 2);
+        // the canonical order is fewest hops first.
+        let mut b = NetworkBuilder::with_switches(5);
+        b.add_link(SwitchId(0), SwitchId(1), 10, 1).unwrap();
+        b.add_link(SwitchId(1), SwitchId(3), 10, 1).unwrap();
+        b.add_link(SwitchId(0), SwitchId(2), 10, 2).unwrap();
+        b.add_link(SwitchId(2), SwitchId(3), 10, 2).unwrap();
+        b.add_link(SwitchId(1), SwitchId(4), 10, 1).unwrap();
+        b.add_link(SwitchId(4), SwitchId(3), 10, 2).unwrap();
+        let net = b.build();
+        let ps = k_shortest_paths(&net, SwitchId(0), SwitchId(3), 3);
+        let hops: Vec<&[SwitchId]> = ps.iter().map(|p| p.hops()).collect();
+        assert_eq!(
+            hops,
+            vec![
+                &[SwitchId(0), SwitchId(1), SwitchId(3)][..],
+                &[SwitchId(0), SwitchId(2), SwitchId(3)][..],
+                &[SwitchId(0), SwitchId(1), SwitchId(4), SwitchId(3)][..],
+            ]
+        );
+        for p in &ps {
+            assert!(p.validate(&net).is_ok());
         }
     }
 

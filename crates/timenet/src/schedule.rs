@@ -156,6 +156,30 @@ impl Schedule {
         self.shift(-min);
         -min
     }
+
+    /// Multiplies every assigned step by `factor`, stretching the gaps
+    /// between dependent updates — the slack-buying transform. A plan
+    /// whose dependencies sit exactly one step apart certifies zero
+    /// timing tolerance; dilating it trades makespan for certified
+    /// slack (every ordering constraint that held at gap 1 holds at
+    /// gap `factor`, with `factor − 1` spare steps in between).
+    ///
+    /// # Panics
+    /// Panics if `factor < 1` (a factor of 1 is the identity).
+    pub fn dilate(&mut self, factor: TimeStep) {
+        assert!(factor >= 1, "dilation factor must be >= 1");
+        for t in self.times.values_mut() {
+            *t *= factor;
+        }
+    }
+
+    /// A dilated copy (see [`Schedule::dilate`]).
+    #[must_use]
+    pub fn dilated(&self, factor: TimeStep) -> Self {
+        let mut s = self.clone();
+        s.dilate(factor);
+        s
+    }
 }
 
 impl fmt::Display for Schedule {
@@ -236,6 +260,26 @@ mod tests {
         assert_eq!(s.get(FlowId(0), sid(2)), Some(2));
         let mut empty = Schedule::new();
         assert_eq!(empty.normalize(), 0);
+    }
+
+    #[test]
+    fn dilate_stretches_gaps_preserving_order() {
+        let s = Schedule::from_pairs(FlowId(0), [(sid(1), 0), (sid(2), 1), (sid(3), 2)]);
+        let d = s.dilated(3);
+        assert_eq!(d.get(FlowId(0), sid(1)), Some(0));
+        assert_eq!(d.get(FlowId(0), sid(2)), Some(3));
+        assert_eq!(d.get(FlowId(0), sid(3)), Some(6));
+        assert_eq!(d.makespan(), Some(6));
+        assert_eq!(d.distinct_steps(), s.distinct_steps());
+        // Factor 1 is the identity.
+        assert_eq!(s.dilated(1), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation factor")]
+    fn dilate_rejects_zero_factor() {
+        let mut s = Schedule::from_pairs(FlowId(0), [(sid(1), 1)]);
+        s.dilate(0);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 mod boundary;
 mod certificate;
 mod mutate;
+mod slack;
 mod sweep;
 mod trace;
 
@@ -43,6 +44,9 @@ pub use certificate::{
     BoundaryOrder, BoundaryWitness, Certificate, IntervalLoad, LinkBound, Violation,
 };
 pub use mutate::{apply_mutation, find_rejected_mutant, mutations, Mutation};
+pub use slack::{
+    certify_with_slack, check_slack, slack_certificate, SlackCertificate, SlackConfig,
+};
 pub use trace::{analyze, analyze_two_phase, Analysis};
 
 use chronus_net::{SwitchId, TimeStep, UpdateInstance};

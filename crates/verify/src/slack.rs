@@ -1,0 +1,434 @@
+//! Slack certificates: how much per-switch timing error a certified
+//! schedule tolerates.
+//!
+//! A timed schedule assigns each `(flow, switch)` update a step
+//! `t`; in deployment the switch fires at true time
+//! `update_at + t·step ± δ`, where δ collects the post-sync residual
+//! clock error, control-channel jitter and install latency. A
+//! [`SlackCertificate`] proves a *uniform tolerance*: as long as every
+//! trigger fires within `±Δ` of its nominal instant, the schedule
+//! remains loop- and congestion-free.
+//!
+//! ## Why a finite check suffices
+//!
+//! The certifier's fluid model observes the data plane at integer
+//! steps. A rule change displaced by a real offset δ is
+//! indistinguishable, at that granularity, from an integer
+//! re-scheduling of the same switch:
+//!
+//! - firing **early** by δ ∈ (0, step) changes nothing — no arrival
+//!   between the perturbed and nominal instants — and early by
+//!   δ ∈ [j·step, (j+1)·step) behaves exactly like step `t − j`;
+//! - firing **late** by δ ∈ ((j−1)·step, j·step] behaves exactly like
+//!   step `t + j`.
+//!
+//! Hence every real perturbation vector with `|δ_i| < k·step` maps to
+//! an integer schedule with each entry displaced within
+//! `{−(k−1), …, +k}`. Certifying that finite hypercube (entries below
+//! step 0 are clamped out — the model starts at "now") certifies the
+//! whole continuous box, soundly. The certificate reports
+//! `slack_steps = k` for the largest fully-certified hypercube, i.e.
+//! a guaranteed tolerance of `Δ = k·step − 1 ns` for any step length.
+//!
+//! The check is exhaustive and exponential in the number of schedule
+//! entries, so a `budget` caps the certifications spent; a budget
+//! exhaustion stops *growth* but never weakens what was already
+//! certified.
+
+use crate::VerifyConfig;
+use crate::{certify_with, Certificate, Violation};
+use chronus_net::{FlowId, SwitchId, TimeStep, UpdateInstance};
+use chronus_timenet::Schedule;
+use std::collections::BTreeMap;
+
+/// Knobs for the slack search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlackConfig {
+    /// Largest tolerance (in steps) to attempt to certify.
+    pub max_steps: TimeStep,
+    /// Cap on perturbed-schedule certifications across the search.
+    pub budget: usize,
+}
+
+impl Default for SlackConfig {
+    fn default() -> Self {
+        SlackConfig {
+            max_steps: 4,
+            budget: 4_096,
+        }
+    }
+}
+
+/// Proof that a schedule tolerates uniform per-switch timing error.
+#[derive(Clone, Debug)]
+pub struct SlackCertificate {
+    /// Largest `k` such that every perturbation of every entry within
+    /// `{−(k−1), …, +k}` steps certifies. `0` means only exact firing
+    /// is certified (some single-step lateness already violates).
+    pub slack_steps: TimeStep,
+    /// Perturbed schedules certified during the search.
+    pub schedules_checked: usize,
+    /// The search stopped growing `k` because the certification
+    /// budget ran out (the reported `slack_steps` is still sound).
+    pub budget_exhausted: bool,
+    /// Per-switch diagnostic tolerances: the largest single-switch
+    /// displacement each switch individually survives (min over its
+    /// schedule entries), independent of the others. Always ≥ the
+    /// uniform `slack_steps`.
+    pub per_switch: Vec<(SwitchId, TimeStep)>,
+    /// The perturbed schedule and violation that blocked
+    /// `slack_steps + 1`, when the search got that far.
+    pub counterexample: Option<(Schedule, Violation)>,
+}
+
+impl SlackCertificate {
+    /// The certified tolerance in nanoseconds for an emulation with
+    /// the given step length: any firing within ±Δ of nominal is
+    /// covered. Zero when only exact firing is certified.
+    pub fn delta_ns(&self, step_ns: i128) -> i128 {
+        if self.slack_steps <= 0 {
+            0
+        } else {
+            (self.slack_steps as i128) * step_ns - 1
+        }
+    }
+
+    /// Does the certificate cover a measured deviation — e.g. the
+    /// post-sync residual clock error from `two_way_sync` — under the
+    /// given step length?
+    pub fn covers_residual(&self, residual_ns: i128, step_ns: i128) -> bool {
+        residual_ns.abs() <= self.delta_ns(step_ns)
+    }
+}
+
+impl std::fmt::Display for SlackCertificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "slack certificate: ±{} step(s) ({} schedules checked{})",
+            self.slack_steps,
+            self.schedules_checked,
+            if self.budget_exhausted {
+                ", budget exhausted"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Certifies the largest uniform timing tolerance for `schedule`.
+///
+/// Returns `Err` only when the *nominal* schedule itself fails
+/// certification; otherwise the certificate reports the largest
+/// fully-certified hypercube (possibly `slack_steps = 0`).
+pub fn slack_certificate(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+    config: &SlackConfig,
+) -> Result<SlackCertificate, Violation> {
+    let mut span = chronus_trace::span!(
+        "verify.slack",
+        entries = schedule.len() as u64,
+        max_steps = config.max_steps
+    )
+    .entered();
+    // Load bounds and witnesses are irrelevant here; only the verdict
+    // matters, for every perturbed variant.
+    let quick = VerifyConfig {
+        enabled: true,
+        witnesses: false,
+    };
+    certify_with(instance, schedule, &quick)?;
+
+    let entries: Vec<(FlowId, SwitchId, TimeStep)> = schedule.iter().collect();
+    let mut checked = 0usize;
+    let mut slack: TimeStep = 0;
+    let mut budget_exhausted = false;
+    let mut counterexample = None;
+
+    'grow: for k in 1..=config.max_steps.max(0) {
+        // Displacement menu per entry for tolerance k: −(k−1)…+k,
+        // clamped so no entry moves below step 0.
+        let menus: Vec<Vec<TimeStep>> = entries
+            .iter()
+            .map(|&(_, _, t)| ((-(k - 1)).max(-t)..=k).collect())
+            .collect();
+        let cube: usize = menus.iter().map(Vec::len).product();
+        if checked + cube > config.budget {
+            budget_exhausted = true;
+            break;
+        }
+        // Odometer over the hypercube.
+        let mut digits = vec![0usize; menus.len()];
+        loop {
+            let mut perturbed = schedule.clone();
+            for (idx, &(flow, switch, t)) in entries.iter().enumerate() {
+                let menu = match menus.get(idx) {
+                    Some(m) => m,
+                    None => continue,
+                };
+                let offset = digits
+                    .get(idx)
+                    .and_then(|&d| menu.get(d))
+                    .copied()
+                    .unwrap_or(0);
+                perturbed.set(flow, switch, t + offset);
+            }
+            checked += 1;
+            if let Err(violation) = certify_with(instance, &perturbed, &quick) {
+                counterexample = Some((perturbed, violation));
+                break 'grow;
+            }
+            // Advance the odometer.
+            let mut pos = 0usize;
+            while let (Some(d), Some(menu)) = (digits.get_mut(pos), menus.get(pos)) {
+                *d += 1;
+                if *d < menu.len() {
+                    break;
+                }
+                *d = 0;
+                pos += 1;
+            }
+            if pos >= menus.len() {
+                break;
+            }
+        }
+        slack = k;
+    }
+
+    let per_switch = per_switch_tolerances(instance, schedule, &entries, config, &quick);
+
+    if span.is_recording() {
+        span.record("slack_steps", slack);
+        span.record("schedules_checked", checked as u64);
+    }
+    Ok(SlackCertificate {
+        slack_steps: slack,
+        schedules_checked: checked,
+        budget_exhausted,
+        per_switch,
+        counterexample,
+    })
+}
+
+/// For each switch: the largest single-switch displacement tolerance
+/// (min over that switch's entries), holding every other entry at its
+/// nominal step.
+fn per_switch_tolerances(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+    entries: &[(FlowId, SwitchId, TimeStep)],
+    config: &SlackConfig,
+    quick: &VerifyConfig,
+) -> Vec<(SwitchId, TimeStep)> {
+    let mut by_switch: BTreeMap<SwitchId, TimeStep> = BTreeMap::new();
+    for &(flow, switch, t) in entries {
+        let mut tol: TimeStep = 0;
+        'single: for j in 1..=config.max_steps.max(0) {
+            for offset in (-(j - 1)).max(-t)..=j {
+                if offset == 0 {
+                    continue;
+                }
+                let mut perturbed = schedule.clone();
+                perturbed.set(flow, switch, t + offset);
+                if certify_with(instance, &perturbed, quick).is_err() {
+                    break 'single;
+                }
+            }
+            tol = j;
+        }
+        by_switch
+            .entry(switch)
+            .and_modify(|cur| *cur = (*cur).min(tol))
+            .or_insert(tol);
+    }
+    by_switch.into_iter().collect()
+}
+
+/// Re-validates a slack certificate the cheap way: spot-checks that
+/// the certified hypercube's corner schedules still certify. Full
+/// re-validation is re-running [`slack_certificate`].
+pub fn check_slack(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+    cert: &SlackCertificate,
+) -> Result<(), Violation> {
+    if cert.slack_steps <= 0 {
+        return Ok(());
+    }
+    let quick = VerifyConfig {
+        enabled: true,
+        witnesses: false,
+    };
+    let k = cert.slack_steps;
+    for corner in [-(k - 1), k] {
+        let mut perturbed = schedule.clone();
+        for (flow, switch, t) in schedule.iter() {
+            perturbed.set(flow, switch, (t + corner).max(0));
+        }
+        certify_with(instance, &perturbed, &quick)?;
+    }
+    Ok(())
+}
+
+/// Convenience: the certificate for the nominal schedule, if the
+/// caller also wants the load bounds alongside the slack result.
+pub fn certify_with_slack(
+    instance: &UpdateInstance,
+    schedule: &Schedule,
+    config: &SlackConfig,
+) -> Result<(Certificate, SlackCertificate), Violation> {
+    let cert = certify_with(instance, schedule, &VerifyConfig::default())?;
+    let slack = slack_certificate(instance, schedule, config)?;
+    Ok((cert, slack))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_net::motivating_example;
+
+    fn sid(i: u32) -> SwitchId {
+        SwitchId(i)
+    }
+
+    fn staged() -> Schedule {
+        Schedule::from_pairs(
+            FlowId(0),
+            [(sid(1), 0), (sid(2), 1), (sid(0), 2), (sid(3), 2)],
+        )
+    }
+
+    #[test]
+    fn nominal_violation_propagates() {
+        let inst = motivating_example();
+        let naive = Schedule::all_at_zero(&inst);
+        assert!(slack_certificate(&inst, &naive, &SlackConfig::default()).is_err());
+    }
+
+    #[test]
+    fn staged_plan_has_positive_slack_or_a_counterexample() {
+        let inst = motivating_example();
+        let cert = slack_certificate(&inst, &staged(), &SlackConfig::default())
+            .expect("staged plan certifies");
+        assert!(cert.schedules_checked > 0);
+        // Either some tolerance was certified, or the blocking
+        // perturbation is reported.
+        if cert.slack_steps == 0 {
+            let (bad, violation) = cert
+                .counterexample
+                .clone()
+                .expect("k=1 failure names a witness");
+            assert!(certify_with(
+                &inst,
+                &bad,
+                &VerifyConfig {
+                    enabled: true,
+                    witnesses: false
+                }
+            )
+            .is_err());
+            let _ = violation.to_string();
+        } else {
+            assert!(check_slack(&inst, &staged(), &cert).is_ok());
+        }
+        // Diagnostics cover every scheduled switch.
+        assert_eq!(cert.per_switch.len(), 4);
+        for &(_, tol) in &cert.per_switch {
+            assert!(tol >= cert.slack_steps, "per-switch ≥ uniform");
+        }
+        println!("{cert}");
+    }
+
+    #[test]
+    fn dilating_a_tight_plan_buys_slack() {
+        // The greedy staged plan is *tight*: each dependency is
+        // separated by exactly one step, so displacing e.g. switch 1
+        // onto switch 2's step re-creates the transient loop and the
+        // uniform slack is 0. Stretching every gap (t → 2t) trades
+        // makespan for tolerance: the dilated plan certifies ±1 step.
+        let inst = motivating_example();
+        let tight = slack_certificate(&inst, &staged(), &SlackConfig::default())
+            .expect("staged plan certifies");
+        assert_eq!(tight.slack_steps, 0, "{tight}");
+
+        let dilated = Schedule::from_pairs(
+            FlowId(0),
+            [(sid(1), 0), (sid(2), 2), (sid(0), 4), (sid(3), 4)],
+        );
+        let cert = slack_certificate(&inst, &dilated, &SlackConfig::default())
+            .expect("dilated plan certifies");
+        assert!(cert.slack_steps >= 1, "{cert}");
+        assert!(cert.delta_ns(100_000_000) >= 99_999_999);
+        assert!(check_slack(&inst, &dilated, &cert).is_ok());
+    }
+
+    #[test]
+    fn delta_ns_converts_steps_to_time() {
+        let cert = SlackCertificate {
+            slack_steps: 2,
+            schedules_checked: 1,
+            budget_exhausted: false,
+            per_switch: Vec::new(),
+            counterexample: None,
+        };
+        let step = 100_000_000i128; // 100 ms
+        assert_eq!(cert.delta_ns(step), 199_999_999);
+        assert!(cert.covers_residual(1_000, step));
+        assert!(cert.covers_residual(-199_999_999, step));
+        assert!(!cert.covers_residual(200_000_000, step));
+
+        let zero = SlackCertificate {
+            slack_steps: 0,
+            ..cert
+        };
+        assert_eq!(zero.delta_ns(step), 0);
+        assert!(zero.covers_residual(0, step));
+        assert!(!zero.covers_residual(1, step));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_fatal() {
+        let inst = motivating_example();
+        let cfg = SlackConfig {
+            max_steps: 4,
+            budget: 3, // can't even finish k = 1
+        };
+        let cert = slack_certificate(&inst, &staged(), &cfg).expect("nominal certifies");
+        assert_eq!(cert.slack_steps, 0);
+        assert!(cert.budget_exhausted);
+    }
+
+    #[test]
+    fn single_entry_schedule_slack() {
+        // Old 0→1→2→3 shortcut to 0→2→3: only the source flips its
+        // next hop, every downstream switch keeps its old rule, and
+        // capacities are ample — moving the single update around can
+        // neither loop, blackhole, nor congest, so the slack reaches
+        // max_steps.
+        let mut b = chronus_net::NetworkBuilder::with_switches(4);
+        b.add_link(sid(0), sid(1), 10, 1).unwrap();
+        b.add_link(sid(1), sid(2), 10, 1).unwrap();
+        b.add_link(sid(2), sid(3), 10, 1).unwrap();
+        b.add_link(sid(0), sid(2), 10, 1).unwrap();
+        let net = b.build();
+        let flow = chronus_net::Flow::new(
+            FlowId(0),
+            1,
+            chronus_net::Path::new(vec![sid(0), sid(1), sid(2), sid(3)]),
+            chronus_net::Path::new(vec![sid(0), sid(2), sid(3)]),
+        )
+        .unwrap();
+        let inst = UpdateInstance::single(net, flow).unwrap();
+        let s = Schedule::from_pairs(FlowId(0), [(sid(0), 1)]);
+        let cfg = SlackConfig {
+            max_steps: 3,
+            budget: 1_000,
+        };
+        let cert = slack_certificate(&inst, &s, &cfg).expect("certifies");
+        assert_eq!(cert.slack_steps, 3, "{cert}");
+        assert!(!cert.budget_exhausted);
+        assert!(check_slack(&inst, &s, &cert).is_ok());
+    }
+}

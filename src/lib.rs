@@ -29,7 +29,12 @@
 //! - [`trace`] — the observability layer: structured spans across
 //!   every solver/engine/emulator hot path, a lock-free metrics
 //!   registry with Prometheus/JSON encoders, and a Chrome trace-event
-//!   timeline exporter (load `trace.json` in Perfetto).
+//!   timeline exporter (load `trace.json` in Perfetto);
+//! - [`faults`] — fault injection and failure recovery: seeded
+//!   fault plans (message loss/duplication/delay, install stragglers,
+//!   clock-desync spikes, switch reboots), a reliable-delivery
+//!   protocol with acks and exponential-backoff retransmission, and
+//!   the slack-certified re-arm / two-phase-rollback recovery policy.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +78,7 @@ pub use chronus_clock as clock;
 pub use chronus_core as core;
 pub use chronus_emu as emu;
 pub use chronus_engine as engine;
+pub use chronus_faults as faults;
 pub use chronus_net as net;
 pub use chronus_openflow as openflow;
 pub use chronus_opt as opt;
