@@ -1,0 +1,107 @@
+//! `chronusd` — the long-running Chronus update-service daemon.
+//!
+//! ```text
+//! chronusd [--config FILE] [--socket PATH] [--workers N]
+//!          [--snapshot-dir DIR] [--snapshot-interval-ms MS]
+//!          [--queue-bound N] [--tenant-rate R] [--tenant-burst B]
+//!          [--step-ns NS] [--base-epoch-ns NS]
+//! ```
+//!
+//! A `--config` JSON file is applied first; individual flags override
+//! it. The daemon restores armed schedules from its journal, serves
+//! line-JSON IPC on the socket until a client sends `drain`, then
+//! drains gracefully and prints the shutdown report.
+
+#![forbid(unsafe_code)]
+
+use chronus_daemon::{run_server, Daemon, DaemonConfig};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig::default();
+    // First pass: the config file layer.
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--config" {
+            let path = args
+                .get(i + 1)
+                .ok_or_else(|| "--config needs a path".to_string())?;
+            config = DaemonConfig::from_file(Path::new(path))?;
+        }
+        i += 1;
+    }
+    // Second pass: flag overrides.
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}`"));
+        };
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        if key != "config" {
+            config.apply_flag(&key.replace('-', "_"), value)?;
+        }
+        i += 2;
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "chronusd — Chronus update-service daemon\n\n\
+             flags: --config FILE --socket PATH --workers N --queue-bound N\n\
+             \x20      --tenant-rate R --tenant-burst B --snapshot-dir DIR\n\
+             \x20      --snapshot-interval-ms MS --step-ns NS --rearm-margin-ns NS\n\
+             \x20      --base-epoch-ns NS --cache-windows N --default-deadline-ms MS"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chronusd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let socket = config.socket.clone();
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("chronusd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let restore = daemon.restore_report().clone();
+    println!(
+        "chronusd: restored {} armed update(s): {} re-armed, {} rolled back, \
+         {} lost, {} corrupt journal line(s)",
+        restore.live_found,
+        restore.rearmed,
+        restore.rolled_back,
+        restore.lost,
+        restore.corrupt_lines
+    );
+    println!("chronusd: serving on {}", socket.display());
+    match run_server(daemon) {
+        Ok(report) => {
+            println!(
+                "chronusd: drained — {} planned by the engine, {} shed, \
+                 {} armed update(s) persisted, snapshot wrote {} record(s)",
+                report.engine_planned,
+                report.engine_leftovers,
+                report.armed_remaining,
+                report.snapshot_live
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chronusd: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

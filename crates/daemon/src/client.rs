@@ -1,0 +1,156 @@
+//! `chronusctl`'s client half of the IPC protocol: a blocking
+//! line-JSON call helper over a Unix stream, plus typed convenience
+//! wrappers for every command.
+
+use crate::admission::Priority;
+use chronus_net::codec::instance_to_value;
+use chronus_net::UpdateInstance;
+use serde_json::{Map, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected control client. Each [`CtlClient::call`] writes one
+/// request line and blocks for one response line; the connection is
+/// reusable across calls.
+pub struct CtlClient {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+fn io_err(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+impl CtlClient {
+    /// Connects to a `chronusd` socket.
+    pub fn connect(socket: &Path) -> std::io::Result<Self> {
+        let stream = UnixStream::connect(socket)?;
+        let writer = stream.try_clone()?;
+        Ok(CtlClient {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request object and returns the response object.
+    pub fn call(&mut self, request: &Value) -> std::io::Result<Value> {
+        let line = serde_json::to_string(request).map_err(|e| io_err(e.to_string()))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io_err("daemon closed the connection".to_string()));
+        }
+        serde_json::from_str(&response).map_err(|e| io_err(e.to_string()))
+    }
+
+    fn cmd(name: &str) -> Map {
+        let mut obj = Map::new();
+        obj.insert("cmd".to_string(), Value::from(name));
+        obj
+    }
+
+    /// Checks whether a response succeeded, extracting the error.
+    fn expect_ok(response: Value) -> std::io::Result<Value> {
+        if response.get("ok") == Some(&Value::Bool(true)) {
+            Ok(response)
+        } else {
+            let msg = response
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("daemon refused the request")
+                .to_string();
+            Err(io_err(msg))
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        Self::expect_ok(self.call(&Value::Object(Self::cmd("ping")))?).map(|_| ())
+    }
+
+    /// Submits an instance; returns the assigned update id, or the
+    /// daemon's refusal (sheds surface as errors here — inspect the
+    /// raw response via [`CtlClient::call`] to tell sheds apart).
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+        instance: &UpdateInstance,
+    ) -> std::io::Result<u64> {
+        let mut obj = Self::cmd("submit");
+        obj.insert("tenant".to_string(), Value::from(tenant));
+        obj.insert("priority".to_string(), Value::from(priority.as_str()));
+        if let Some(ms) = deadline_ms {
+            obj.insert("deadline_ms".to_string(), Value::from_u64_exact(ms));
+        }
+        obj.insert("instance".to_string(), instance_to_value(instance));
+        let response = Self::expect_ok(self.call(&Value::Object(obj))?)?;
+        response
+            .get("id")
+            .and_then(Value::as_u64_exact)
+            .ok_or_else(|| io_err("submit response missing id".to_string()))
+    }
+
+    /// Status of one update.
+    pub fn status(&mut self, id: u64) -> std::io::Result<Value> {
+        let mut obj = Self::cmd("status");
+        obj.insert("id".to_string(), Value::from_u64_exact(id));
+        let response = Self::expect_ok(self.call(&Value::Object(obj))?)?;
+        response
+            .get("status")
+            .cloned()
+            .ok_or_else(|| io_err("status response missing status".to_string()))
+    }
+
+    /// Aggregate status counts.
+    pub fn status_all(&mut self) -> std::io::Result<Value> {
+        Self::expect_ok(self.call(&Value::Object(Self::cmd("status")))?)
+    }
+
+    /// Blocks until update `id` settles (or the daemon-side timeout
+    /// elapses); returns the last observed status object.
+    pub fn watch(&mut self, id: u64, timeout_ms: u64) -> std::io::Result<Value> {
+        let mut obj = Self::cmd("watch");
+        obj.insert("id".to_string(), Value::from_u64_exact(id));
+        obj.insert("timeout_ms".to_string(), Value::from_u64_exact(timeout_ms));
+        let response = Self::expect_ok(self.call(&Value::Object(obj))?)?;
+        response
+            .get("status")
+            .cloned()
+            .ok_or_else(|| io_err("watch response missing status".to_string()))
+    }
+
+    /// Confirms an armed update as executed.
+    pub fn confirm(&mut self, id: u64) -> std::io::Result<()> {
+        let mut obj = Self::cmd("confirm");
+        obj.insert("id".to_string(), Value::from_u64_exact(id));
+        Self::expect_ok(self.call(&Value::Object(obj))?).map(|_| ())
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn drain(&mut self) -> std::io::Result<()> {
+        Self::expect_ok(self.call(&Value::Object(Self::cmd("drain")))?).map(|_| ())
+    }
+
+    /// Forces a journal compaction; returns the live record count.
+    pub fn snapshot(&mut self) -> std::io::Result<u64> {
+        let response = Self::expect_ok(self.call(&Value::Object(Self::cmd("snapshot")))?)?;
+        response
+            .get("live")
+            .and_then(Value::as_u64_exact)
+            .ok_or_else(|| io_err("snapshot response missing live".to_string()))
+    }
+
+    /// The daemon's Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let response = Self::expect_ok(self.call(&Value::Object(Self::cmd("metrics")))?)?;
+        response
+            .get("text")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| io_err("metrics response missing text".to_string()))
+    }
+}

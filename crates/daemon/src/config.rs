@@ -1,0 +1,212 @@
+//! Daemon configuration: a JSON file layer overridden by CLI flags.
+//!
+//! Every knob has a default, so `chronusd` starts with no arguments;
+//! a `--config file.json` layer is applied first and individual
+//! `--key value` flags override it (see [`DaemonConfig::apply_flag`]
+//! for the accepted keys — they match the JSON field names).
+
+use crate::admission::AdmissionConfig;
+use chronus_clock::Nanos;
+use chronus_engine::{EngineConfig, SlackPolicy};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Complete `chronusd` configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonConfig {
+    /// Unix socket path the server listens on.
+    pub socket: PathBuf,
+    /// Daemon worker threads (and engine worker threads below them).
+    pub workers: usize,
+    /// Bound on each priority class's admission queue.
+    pub queue_bound: usize,
+    /// Default per-tenant token-bucket refill rate (requests/second).
+    pub tenant_rate: f64,
+    /// Default per-tenant token-bucket burst capacity.
+    pub tenant_burst: f64,
+    /// Per-tenant `(rate, burst)` overrides by tenant name.
+    pub tenant_overrides: BTreeMap<String, (f64, f64)>,
+    /// Directory holding the write-ahead journal and snapshots.
+    pub snapshot_dir: PathBuf,
+    /// Interval between automatic journal compactions; `0` disables
+    /// the background snapshotter (explicit `snapshot` requests and
+    /// the final shutdown snapshot still run).
+    pub snapshot_interval_ms: u64,
+    /// True-time length of one schedule step, used to convert slack
+    /// certificates (±k steps) into nanosecond budgets at restore.
+    pub step_ns: Nanos,
+    /// Re-arm margin handed to the recovery policy: a missed trigger
+    /// is re-armed no earlier than `now + margin`.
+    pub rearm_margin_ns: Nanos,
+    /// Epoch anchor for the daemon's monotonic clock; `None` anchors
+    /// to the wall clock at startup. Tests pin this for determinism.
+    pub base_epoch_ns: Option<Nanos>,
+    /// Bound on the engine's memoized time-extended-network cache.
+    pub cache_windows: usize,
+    /// Default planning deadline for submissions that carry none.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            socket: PathBuf::from("/tmp/chronusd.sock"),
+            workers: 2,
+            queue_bound: 64,
+            tenant_rate: 50.0,
+            tenant_burst: 10.0,
+            tenant_overrides: BTreeMap::new(),
+            snapshot_dir: PathBuf::from("chronusd-state"),
+            snapshot_interval_ms: 5_000,
+            step_ns: 1_000_000, // 1 ms per schedule step
+            rearm_margin_ns: 100_000,
+            base_epoch_ns: None,
+            cache_windows: 256,
+            default_deadline_ms: 5_000,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Loads a JSON config file; unknown keys are rejected so typos
+    /// fail loudly at startup instead of silently keeping defaults.
+    pub fn from_file(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("config {}: {e}", path.display()))?;
+        let v =
+            serde_json::from_str(&text).map_err(|e| format!("config {}: {e}", path.display()))?;
+        Self::from_value(&v)
+    }
+
+    /// Builds a config from a parsed JSON object over the defaults.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "config root must be an object".to_string())?;
+        let mut cfg = DaemonConfig::default();
+        for (key, val) in obj {
+            if key == "tenants" {
+                let tenants = val
+                    .as_object()
+                    .ok_or_else(|| "`tenants` must be an object".to_string())?;
+                for (tenant, limits) in tenants {
+                    let rate = limits
+                        .get("rate")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("tenant `{tenant}` missing numeric `rate`"))?;
+                    let burst = limits
+                        .get("burst")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("tenant `{tenant}` missing numeric `burst`"))?;
+                    cfg.tenant_overrides.insert(tenant.clone(), (rate, burst));
+                }
+                continue;
+            }
+            let rendered = match val {
+                Value::String(s) => s.clone(),
+                other => serde_json::to_string(other).map_err(|e| e.to_string())?,
+            };
+            cfg.apply_flag(key, &rendered)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Applies one `--key value` override; `key` matches the JSON
+    /// field names.
+    pub fn apply_flag(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let bad = |what: &str| format!("--{key}: expected {what}, got `{value}`");
+        match key {
+            "socket" => self.socket = PathBuf::from(value),
+            "snapshot_dir" => self.snapshot_dir = PathBuf::from(value),
+            "workers" => self.workers = value.parse().map_err(|_| bad("a count"))?,
+            "queue_bound" => self.queue_bound = value.parse().map_err(|_| bad("a count"))?,
+            "tenant_rate" => self.tenant_rate = value.parse().map_err(|_| bad("a rate"))?,
+            "tenant_burst" => self.tenant_burst = value.parse().map_err(|_| bad("a burst"))?,
+            "snapshot_interval_ms" => {
+                self.snapshot_interval_ms = value.parse().map_err(|_| bad("milliseconds"))?
+            }
+            "step_ns" => self.step_ns = value.parse().map_err(|_| bad("nanoseconds"))?,
+            "rearm_margin_ns" => {
+                self.rearm_margin_ns = value.parse().map_err(|_| bad("nanoseconds"))?
+            }
+            "base_epoch_ns" => {
+                self.base_epoch_ns = Some(value.parse().map_err(|_| bad("nanoseconds"))?)
+            }
+            "cache_windows" => self.cache_windows = value.parse().map_err(|_| bad("a count"))?,
+            "default_deadline_ms" => {
+                self.default_deadline_ms = value.parse().map_err(|_| bad("milliseconds"))?
+            }
+            other => return Err(format!("unknown config key `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// The journal file inside [`DaemonConfig::snapshot_dir`].
+    pub fn journal_path(&self) -> PathBuf {
+        self.snapshot_dir.join("journal.jsonl")
+    }
+
+    /// Default planning deadline as a [`Duration`].
+    pub fn default_deadline(&self) -> Duration {
+        Duration::from_millis(self.default_deadline_ms.max(1))
+    }
+
+    /// The admission layer's view of this config.
+    pub fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            queue_bound: self.queue_bound.max(1),
+            default_rate: self.tenant_rate,
+            default_burst: self.tenant_burst,
+            overrides: self.tenant_overrides.clone(),
+        }
+    }
+
+    /// The engine configuration the daemon boots its resident engine
+    /// with: slack certification on (the journal stores the certified
+    /// tolerance) and a bounded warm cache.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig::with_workers(self.workers.max(1))
+            .with_slack(SlackPolicy::default())
+            .with_cache_capacity(self.cache_windows.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_layer_then_flags_override() {
+        let v = serde_json::from_str(
+            r#"{
+                "workers": 4,
+                "queue_bound": 8,
+                "socket": "/tmp/x.sock",
+                "tenants": {"gold": {"rate": 100.0, "burst": 20.0}}
+            }"#,
+        )
+        .unwrap();
+        let mut cfg = DaemonConfig::from_value(&v).unwrap();
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.queue_bound, 8);
+        assert_eq!(cfg.socket, PathBuf::from("/tmp/x.sock"));
+        assert_eq!(cfg.tenant_overrides["gold"], (100.0, 20.0));
+        // Flags override the file layer.
+        cfg.apply_flag("workers", "2").unwrap();
+        cfg.apply_flag("base_epoch_ns", "123456789").unwrap();
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.base_epoch_ns, Some(123_456_789));
+        assert!(cfg.apply_flag("wrokers", "2").is_err(), "typos fail loudly");
+        assert!(cfg.apply_flag("workers", "lots").is_err());
+    }
+
+    #[test]
+    fn unknown_file_keys_are_rejected() {
+        let v = serde_json::from_str(r#"{"wrokers": 4}"#).unwrap();
+        assert!(DaemonConfig::from_value(&v)
+            .unwrap_err()
+            .contains("wrokers"));
+    }
+}

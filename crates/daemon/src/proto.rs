@@ -1,0 +1,187 @@
+//! The `chronusd` IPC protocol: one JSON object per line, both ways.
+//!
+//! Requests carry a `"cmd"` discriminator; responses always carry
+//! `"ok"` (and, for refusals, `"error"` plus `"shed": true` when the
+//! refusal is an admission shed rather than a malformed request).
+//! The protocol is deliberately line-oriented so `chronusctl`, shell
+//! scripts and tests can speak it with nothing but a socket.
+
+use crate::admission::Priority;
+use serde_json::{Map, Value};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered `{"ok":true,"pong":true}`.
+    Ping,
+    /// Submit one update instance for planning.
+    Submit {
+        /// Submitting tenant (rate-limit key); defaults to `default`.
+        tenant: String,
+        /// Priority class; defaults to `normal`.
+        priority: Priority,
+        /// Optional planning deadline override, in milliseconds.
+        deadline_ms: Option<u64>,
+        /// The encoded update instance
+        /// (see `chronus_net::codec::instance_from_value`).
+        instance: Value,
+    },
+    /// Status of one update (`id`) or counts of all of them (`None`).
+    Status {
+        /// The update to describe, or `None` for the aggregate view.
+        id: Option<u64>,
+    },
+    /// Block until update `id` settles (or `timeout_ms` elapses).
+    Watch {
+        /// The update to wait on.
+        id: u64,
+        /// Give up after this many milliseconds (default 10 000).
+        timeout_ms: u64,
+    },
+    /// Confirm an armed update as executed: journals the completion
+    /// tombstone and frees its journal slot.
+    Confirm {
+        /// The armed update being confirmed.
+        id: u64,
+    },
+    /// Gracefully drain the daemon and exit.
+    Drain,
+    /// Force a journal compaction now.
+    Snapshot,
+    /// Prometheus text exposition of daemon + engine metrics.
+    Metrics,
+}
+
+/// Parses one request line.
+pub fn request_from_line(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "request missing string `cmd`".to_string())?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "submit" => {
+            let tenant = v
+                .get("tenant")
+                .and_then(Value::as_str)
+                .unwrap_or("default")
+                .to_string();
+            let priority = match v.get("priority").and_then(Value::as_str) {
+                Some(p) => Priority::parse(p)?,
+                None => Priority::Normal,
+            };
+            let deadline_ms = v.get("deadline_ms").and_then(Value::as_u64_exact);
+            let instance = v
+                .get("instance")
+                .cloned()
+                .ok_or_else(|| "submit missing `instance`".to_string())?;
+            Ok(Request::Submit {
+                tenant,
+                priority,
+                deadline_ms,
+                instance,
+            })
+        }
+        "status" => Ok(Request::Status {
+            id: v.get("id").and_then(Value::as_u64_exact),
+        }),
+        "watch" => Ok(Request::Watch {
+            id: v
+                .get("id")
+                .and_then(Value::as_u64_exact)
+                .ok_or_else(|| "watch missing `id`".to_string())?,
+            timeout_ms: v
+                .get("timeout_ms")
+                .and_then(Value::as_u64_exact)
+                .unwrap_or(10_000),
+        }),
+        "confirm" => Ok(Request::Confirm {
+            id: v
+                .get("id")
+                .and_then(Value::as_u64_exact)
+                .ok_or_else(|| "confirm missing `id`".to_string())?,
+        }),
+        "drain" => Ok(Request::Drain),
+        "snapshot" => Ok(Request::Snapshot),
+        "metrics" => Ok(Request::Metrics),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+/// `{"ok":true, ...fields}`.
+pub fn ok_response(fields: Vec<(&str, Value)>) -> Value {
+    let mut obj = Map::new();
+    obj.insert("ok".to_string(), Value::Bool(true));
+    for (k, val) in fields {
+        obj.insert(k.to_string(), val);
+    }
+    Value::Object(obj)
+}
+
+/// `{"ok":false,"error":msg}` (+ `"shed":true` for admission sheds).
+pub fn err_response(msg: &str, shed: bool) -> Value {
+    let mut obj = Map::new();
+    obj.insert("ok".to_string(), Value::Bool(false));
+    obj.insert("error".to_string(), Value::from(msg));
+    if shed {
+        obj.insert("shed".to_string(), Value::Bool(true));
+    }
+    Value::Object(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(request_from_line(r#"{"cmd":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(request_from_line(r#"{"cmd":"drain"}"#), Ok(Request::Drain));
+        assert_eq!(
+            request_from_line(r#"{"cmd":"status"}"#),
+            Ok(Request::Status { id: None })
+        );
+        assert_eq!(
+            request_from_line(r#"{"cmd":"status","id":7}"#),
+            Ok(Request::Status { id: Some(7) })
+        );
+        assert_eq!(
+            request_from_line(r#"{"cmd":"watch","id":3}"#),
+            Ok(Request::Watch {
+                id: 3,
+                timeout_ms: 10_000
+            })
+        );
+        match request_from_line(r#"{"cmd":"submit","priority":"high","instance":{}}"#) {
+            Ok(Request::Submit {
+                tenant, priority, ..
+            }) => {
+                assert_eq!(tenant, "default");
+                assert_eq!(priority, Priority::High);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(request_from_line("not json").is_err());
+        assert!(request_from_line(r#"{"cmd":"warp"}"#).is_err());
+        assert!(request_from_line(r#"{"cmd":"submit"}"#).is_err());
+        assert!(request_from_line(r#"{"cmd":"watch"}"#).is_err());
+        assert!(
+            request_from_line(r#"{"cmd":"submit","priority":"urgent","instance":{}}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn response_shapes() {
+        let ok = ok_response(vec![("id", Value::from_u64_exact(9))]);
+        assert_eq!(ok.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(ok.get("id").and_then(Value::as_u64_exact), Some(9));
+        let err = err_response("queue full", true);
+        assert_eq!(err.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(err.get("shed"), Some(&Value::Bool(true)));
+    }
+}

@@ -1,0 +1,163 @@
+//! The Unix-socket IPC front end: one thread per connection, one JSON
+//! object per line in each direction (see [`crate::proto`]).
+
+use crate::proto::{self, Request};
+use crate::service::{Daemon, ShutdownReport};
+use chronus_net::codec::instance_from_value;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serves `daemon` on its configured Unix socket until a client sends
+/// `drain`, then gracefully shuts the daemon down and returns the
+/// shutdown report. A stale socket file is replaced.
+pub fn run_server(daemon: Daemon) -> std::io::Result<ShutdownReport> {
+    let socket_path = daemon.config().socket.clone();
+    let _ = std::fs::remove_file(&socket_path);
+    if let Some(dir) = socket_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let listener = UnixListener::bind(&socket_path)?;
+    let daemon = Arc::new(daemon);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    for connection in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match connection {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let daemon = Arc::clone(&daemon);
+        let stop = Arc::clone(&stop);
+        let socket_path = socket_path.clone();
+        let _ = std::thread::Builder::new()
+            .name("chronusd-conn".to_string())
+            .spawn(move || {
+                daemon.metrics().connections.inc();
+                let _ = serve_connection(&daemon, stream, &stop, || {
+                    // Drain: wake the accept loop with a throwaway
+                    // connection so it observes the stop flag.
+                    let _ = UnixStream::connect(&socket_path);
+                });
+            });
+    }
+    drop(listener);
+    let _ = std::fs::remove_file(&socket_path);
+    let report = daemon.shutdown();
+    Ok(report)
+}
+
+/// Handles one connection's request lines until EOF or `drain`.
+fn serve_connection(
+    daemon: &Daemon,
+    stream: UnixStream,
+    stop: &AtomicBool,
+    wake_accept: impl Fn(),
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        daemon.metrics().requests.inc();
+        let (response, drain) = match proto::request_from_line(&line) {
+            Ok(request) => {
+                let drain = request == Request::Drain;
+                (dispatch(daemon, request), drain)
+            }
+            Err(e) => {
+                daemon.metrics().proto_errors.inc();
+                (proto::err_response(&e, false), false)
+            }
+        };
+        let text = serde_json::to_string(&response)
+            .unwrap_or_else(|_| r#"{"ok":false,"error":"encode failed"}"#.to_string());
+        writeln!(writer, "{text}")?;
+        writer.flush()?;
+        if drain {
+            stop.store(true, Ordering::Release);
+            wake_accept();
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Executes one request against the daemon.
+fn dispatch(daemon: &Daemon, request: Request) -> Value {
+    match request {
+        Request::Ping => proto::ok_response(vec![("pong", Value::Bool(true))]),
+        Request::Submit {
+            tenant,
+            priority,
+            deadline_ms,
+            instance,
+        } => {
+            let decoded = match instance_from_value(&instance) {
+                Ok(inst) => inst,
+                Err(e) => {
+                    daemon.metrics().failed.inc();
+                    return proto::err_response(&format!("bad instance: {e}"), false);
+                }
+            };
+            let deadline = deadline_ms.map(Duration::from_millis);
+            match daemon.submit(&tenant, priority, deadline, Arc::new(decoded)) {
+                Ok(id) => proto::ok_response(vec![("id", Value::from_u64_exact(id))]),
+                Err(shed) => proto::err_response(&shed.to_string(), true),
+            }
+        }
+        Request::Status { id: Some(id) } => match daemon.status(id) {
+            Some(status) => proto::ok_response(vec![("status", status.to_value())]),
+            None => proto::err_response(&format!("unknown update {id}"), false),
+        },
+        Request::Status { id: None } => {
+            let counts = daemon.status_counts();
+            let mut obj = serde_json::Map::new();
+            for (state, count) in counts {
+                obj.insert(state.to_string(), Value::from_u64_exact(count));
+            }
+            proto::ok_response(vec![
+                ("counts", Value::Object(obj)),
+                (
+                    "queue_len",
+                    Value::from_u64_exact(daemon.queue_len() as u64),
+                ),
+                (
+                    "armed_len",
+                    Value::from_u64_exact(daemon.armed_len() as u64),
+                ),
+            ])
+        }
+        Request::Watch { id, timeout_ms } => {
+            match daemon.watch(id, Duration::from_millis(timeout_ms)) {
+                Some(status) => {
+                    let settled = status.state.is_settled();
+                    proto::ok_response(vec![
+                        ("status", status.to_value()),
+                        ("settled", Value::Bool(settled)),
+                    ])
+                }
+                None => proto::err_response(&format!("unknown update {id}"), false),
+            }
+        }
+        Request::Confirm { id } => match daemon.confirm(id) {
+            Ok(()) => proto::ok_response(vec![("id", Value::from_u64_exact(id))]),
+            Err(e) => proto::err_response(&e, false),
+        },
+        Request::Drain => proto::ok_response(vec![("draining", Value::Bool(true))]),
+        Request::Snapshot => match daemon.snapshot() {
+            Ok(live) => proto::ok_response(vec![("live", Value::from_u64_exact(live as u64))]),
+            Err(e) => proto::err_response(&format!("snapshot failed: {e}"), false),
+        },
+        Request::Metrics => proto::ok_response(vec![("text", Value::from(daemon.metrics_text()))]),
+    }
+}

@@ -1,0 +1,690 @@
+//! The daemon proper: admission queues feeding worker threads over a
+//! resident [`Engine`], a write-ahead journal of armed schedules, and
+//! the restore path that re-arms or rolls back after a crash.
+//!
+//! Locking story: the admission queues and the status table each sit
+//! behind a `std::sync::Mutex` + `Condvar` pair (the `parking_lot`
+//! shim has no condvar). Locks are never held across planning — a
+//! worker pops under the queue lock, releases it, and plans with only
+//! the engine's internal synchronization. Poisoned locks are
+//! recovered with `PoisonError::into_inner`: every protected value is
+//! a plain data structure that stays coherent even if a panicking
+//! thread abandoned it mid-update.
+
+use crate::admission::{AdmissionQueues, Priority, QueuedJob, Shed};
+use crate::config::DaemonConfig;
+use crate::journal::{ArmedRecord, Journal};
+use crate::metrics::DaemonMetrics;
+use chronus_clock::Nanos;
+use chronus_engine::{DrainReport, Engine, UpdateRequest};
+use chronus_faults::{RecoveryAction, RecoveryPolicy, SlackBudget};
+use chronus_net::UpdateInstance;
+use parking_lot::RwLock;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Lifecycle of one submitted update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateState {
+    /// Admitted, waiting for a planning worker.
+    Queued,
+    /// A worker is planning it.
+    Planning,
+    /// A certified timed schedule is armed and journaled; awaiting
+    /// operator confirmation.
+    Armed,
+    /// Settled successfully (uncertified/two-phase plans settle
+    /// directly; armed updates settle on confirm).
+    Completed,
+    /// Settled by rollback (restore found its certified window
+    /// unreachable).
+    RolledBack,
+    /// Settled by failure (e.g. the instance failed validation).
+    Failed,
+}
+
+impl UpdateState {
+    /// Wire name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UpdateState::Queued => "queued",
+            UpdateState::Planning => "planning",
+            UpdateState::Armed => "armed",
+            UpdateState::Completed => "completed",
+            UpdateState::RolledBack => "rolled_back",
+            UpdateState::Failed => "failed",
+        }
+    }
+
+    /// A settled update will never change state on its own again
+    /// (armed counts: it holds steady until confirmed or restored).
+    pub fn is_settled(self) -> bool {
+        !matches!(self, UpdateState::Queued | UpdateState::Planning)
+    }
+}
+
+/// Point-in-time view of one update's progress.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateStatus {
+    /// Daemon-assigned id.
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Priority class.
+    pub priority: Priority,
+    /// Current lifecycle state.
+    pub state: UpdateState,
+    /// Human-oriented detail (winning stage, rollback reason, …).
+    pub detail: String,
+    /// Whether a consistency certificate backs the plan.
+    pub certified: bool,
+    /// Daemon-clock arm epoch for armed updates.
+    pub epoch_ns: Option<Nanos>,
+}
+
+impl UpdateStatus {
+    /// Encodes the status for the IPC layer.
+    pub fn to_value(&self) -> Value {
+        let mut obj = Map::new();
+        obj.insert("id".to_string(), Value::from_u64_exact(self.id));
+        obj.insert("tenant".to_string(), Value::from(self.tenant.as_str()));
+        obj.insert("priority".to_string(), Value::from(self.priority.as_str()));
+        obj.insert("state".to_string(), Value::from(self.state.as_str()));
+        obj.insert("detail".to_string(), Value::from(self.detail.as_str()));
+        obj.insert("certified".to_string(), Value::Bool(self.certified));
+        obj.insert(
+            "epoch_ns".to_string(),
+            match self.epoch_ns {
+                Some(e) => Value::from_i128_exact(e),
+                None => Value::Null,
+            },
+        );
+        Value::Object(obj)
+    }
+}
+
+/// What the restore pass did with the journal's live records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Live (armed, unsettled) records found in the journal.
+    pub live_found: u64,
+    /// Records re-armed: certificate re-checked and every trigger
+    /// still reachable within its certified slack.
+    pub rearmed: u64,
+    /// Records rolled back: certificate broken or certified window
+    /// unreachable.
+    pub rolled_back: u64,
+    /// Records neither re-armed nor rolled back. Zero by
+    /// construction; reported so tests can pin it.
+    pub lost: u64,
+    /// Journal lines that failed to parse.
+    pub corrupt_lines: u64,
+}
+
+/// Outcome of a graceful [`Daemon::shutdown`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Requests the resident engine planned over its lifetime.
+    pub engine_planned: u64,
+    /// Engine-queue requests shed by the engine drain (always empty:
+    /// daemon workers plan synchronously).
+    pub engine_leftovers: usize,
+    /// Armed updates still live (persisted for the next restore).
+    pub armed_remaining: usize,
+    /// Live records written by the final snapshot.
+    pub snapshot_live: usize,
+}
+
+struct Inner {
+    config: DaemonConfig,
+    engine: RwLock<Option<Engine>>,
+    admission: Mutex<AdmissionQueues>,
+    work_cv: Condvar,
+    statuses: Mutex<BTreeMap<u64, UpdateStatus>>,
+    status_cv: Condvar,
+    journal: Mutex<Journal>,
+    armed: Mutex<BTreeMap<u64, ArmedRecord>>,
+    metrics: DaemonMetrics,
+    state: AtomicU8,
+    next_id: AtomicU64,
+    base_ns: Nanos,
+    started: Instant,
+    restore: RestoreReport,
+}
+
+impl Inner {
+    fn now_ns(&self) -> Nanos {
+        self.base_ns + self.started.elapsed().as_nanos() as Nanos
+    }
+
+    fn set_status(&self, status: UpdateStatus) {
+        lock(&self.statuses).insert(status.id, status);
+        self.status_cv.notify_all();
+    }
+
+    fn update_state(&self, id: u64, state: UpdateState, detail: &str) {
+        let mut map = lock(&self.statuses);
+        if let Some(s) = map.get_mut(&id) {
+            s.state = state;
+            s.detail = detail.to_string();
+        }
+        drop(map);
+        self.status_cv.notify_all();
+    }
+
+    fn publish_depths(&self, queues: &AdmissionQueues) {
+        let (h, n, l) = queues.depths();
+        self.metrics.set_queue_depths(h, n, l);
+    }
+
+    /// One worker's lifetime: pop by priority, plan, settle. Exits
+    /// when draining and the queues are empty, or immediately on
+    /// STOPPED (the crash-like drop path).
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut queues = lock(&self.admission);
+                loop {
+                    if self.state.load(Ordering::Acquire) == STOPPED {
+                        return;
+                    }
+                    if let Some(job) = queues.pop() {
+                        self.publish_depths(&queues);
+                        break job;
+                    }
+                    if self.state.load(Ordering::Acquire) == DRAINING {
+                        return;
+                    }
+                    let (guard, _) = self
+                        .work_cv
+                        .wait_timeout(queues, Duration::from_millis(50))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    queues = guard;
+                }
+            };
+            self.plan_job(job);
+        }
+    }
+
+    fn plan_job(&self, job: QueuedJob) {
+        let picked_up_ns = self.now_ns();
+        self.metrics
+            .queue_wait_ns
+            .record(picked_up_ns.saturating_sub(job.enqueued_ns).max(0) as u64);
+        self.update_state(job.id, UpdateState::Planning, "planning");
+
+        let engine_guard = self.engine.read();
+        let Some(engine) = engine_guard.as_ref() else {
+            self.metrics.failed.inc();
+            self.update_state(job.id, UpdateState::Failed, "engine stopped");
+            return;
+        };
+        let request = UpdateRequest::new(job.id, job.instance.clone(), job.deadline);
+        let planned = engine.plan_one(request);
+        drop(engine_guard);
+        self.metrics.planned.inc();
+        self.metrics
+            .plan_ns
+            .record(planned.elapsed.as_nanos() as u64);
+
+        match (planned.timed_schedule(), &planned.certificate) {
+            (Ok(schedule), Some(certificate)) => {
+                let epoch_ns = self.now_ns();
+                let record = ArmedRecord {
+                    id: job.id,
+                    tenant: job.tenant.clone(),
+                    priority: job.priority,
+                    epoch_ns,
+                    dilation: planned.dilation,
+                    instance: (*job.instance).clone(),
+                    schedule: schedule.clone(),
+                    certificate: certificate.clone(),
+                    slack: planned.slack.clone(),
+                };
+                // WAL discipline: the arm record is durable before the
+                // status (and hence any IPC acknowledgment) says so.
+                if let Err(e) = lock(&self.journal).append_arm(&record) {
+                    self.metrics.failed.inc();
+                    self.update_state(
+                        job.id,
+                        UpdateState::Failed,
+                        &format!("journal append failed: {e}"),
+                    );
+                    return;
+                }
+                self.metrics.journal_arm_records.inc();
+                self.metrics.armed.inc();
+                let live = {
+                    let mut armed = lock(&self.armed);
+                    armed.insert(job.id, record);
+                    armed.len()
+                };
+                self.metrics.journal_live.set(live as i64);
+                let mut map = lock(&self.statuses);
+                if let Some(s) = map.get_mut(&job.id) {
+                    s.state = UpdateState::Armed;
+                    s.detail = format!("armed ({} winner)", planned.winner);
+                    s.certified = true;
+                    s.epoch_ns = Some(epoch_ns);
+                }
+                drop(map);
+                self.status_cv.notify_all();
+            }
+            (Ok(_), None) => {
+                self.metrics.completed.inc();
+                self.update_state(job.id, UpdateState::Completed, "timed (uncertified)");
+            }
+            (Err(_), _) => {
+                self.metrics.completed.inc();
+                self.update_state(job.id, UpdateState::Completed, "two-phase fallback");
+            }
+        }
+        self.metrics
+            .submit_to_settle_ns
+            .record(self.now_ns().saturating_sub(job.enqueued_ns).max(0) as u64);
+    }
+
+    /// Compacts the journal down to the live armed set.
+    fn compact_journal(&self) -> std::io::Result<usize> {
+        let armed = lock(&self.armed);
+        let live: Vec<&ArmedRecord> = armed.values().collect();
+        let count = live.len();
+        lock(&self.journal).compact(&live)?;
+        self.metrics.snapshots.inc();
+        Ok(count)
+    }
+}
+
+/// The `chronusd` service: admission, planning workers, warm engine
+/// state and the write-ahead journal, behind a cloneable handle-free
+/// API (the IPC server shares it via `Arc<Daemon>` internally).
+pub struct Daemon {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    snapshotter: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Boots the daemon: opens (and replays) the journal, restores
+    /// armed updates through the re-arm-or-rollback policy, starts the
+    /// resident engine, the planning workers and (when configured) the
+    /// periodic snapshotter.
+    pub fn start(config: DaemonConfig) -> Result<Daemon, String> {
+        let journal_path = config.journal_path();
+        let replay = Journal::replay(&journal_path)
+            .map_err(|e| format!("journal replay {}: {e}", journal_path.display()))?;
+        let mut journal = Journal::open(&journal_path)
+            .map_err(|e| format!("journal open {}: {e}", journal_path.display()))?;
+
+        let base_ns = config.base_epoch_ns.unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos() as Nanos)
+        });
+        let started = Instant::now();
+        let now_ns = base_ns + started.elapsed().as_nanos() as Nanos;
+
+        let metrics = DaemonMetrics::new();
+        metrics.journal_corrupt_lines.add(replay.corrupt_lines);
+
+        // Restore pass: every live record is re-armed within its
+        // certified slack or rolled back — never silently dropped.
+        let policy = RecoveryPolicy::new(config.rearm_margin_ns);
+        let mut armed = BTreeMap::new();
+        let mut statuses = BTreeMap::new();
+        let mut restore = RestoreReport {
+            live_found: replay.live.len() as u64,
+            corrupt_lines: replay.corrupt_lines,
+            ..RestoreReport::default()
+        };
+        for record in replay.live {
+            let budget = record
+                .slack
+                .as_ref()
+                .map(|s| SlackBudget::new(s.delta_ns(config.step_ns)))
+                .unwrap_or_else(SlackBudget::zero);
+            let cert_ok = record.certificate.check(&record.instance).is_ok();
+            let reachable = record.schedule.iter().all(|(_, _, t)| {
+                let nominal = record.epoch_ns + (t as Nanos) * config.step_ns;
+                matches!(
+                    policy.decide(nominal, now_ns, budget),
+                    RecoveryAction::Rearm { .. }
+                )
+            });
+            let status = if cert_ok && reachable {
+                restore.rearmed += 1;
+                metrics.restore_rearmed.inc();
+                let status = UpdateStatus {
+                    id: record.id,
+                    tenant: record.tenant.clone(),
+                    priority: record.priority,
+                    state: UpdateState::Armed,
+                    detail: "re-armed within certified slack".to_string(),
+                    certified: true,
+                    epoch_ns: Some(record.epoch_ns),
+                };
+                armed.insert(record.id, record);
+                status
+            } else {
+                restore.rolled_back += 1;
+                metrics.restore_rolled_back.inc();
+                journal
+                    .append_rollback(record.id)
+                    .map_err(|e| format!("journal rollback: {e}"))?;
+                UpdateStatus {
+                    id: record.id,
+                    tenant: record.tenant.clone(),
+                    priority: record.priority,
+                    state: UpdateState::RolledBack,
+                    detail: if cert_ok {
+                        "certified window unreachable; rolled back".to_string()
+                    } else {
+                        "stored certificate no longer checks; rolled back".to_string()
+                    },
+                    certified: cert_ok,
+                    epoch_ns: Some(record.epoch_ns),
+                }
+            };
+            statuses.insert(status.id, status);
+        }
+        metrics.journal_live.set(armed.len() as i64);
+
+        let engine = Engine::new(config.engine());
+        let worker_count = config.workers.max(1);
+        let snapshot_interval_ms = config.snapshot_interval_ms;
+        let inner = Arc::new(Inner {
+            admission: Mutex::new(AdmissionQueues::new(config.admission())),
+            config,
+            engine: RwLock::new(Some(engine)),
+            work_cv: Condvar::new(),
+            statuses: Mutex::new(statuses),
+            status_cv: Condvar::new(),
+            journal: Mutex::new(journal),
+            armed: Mutex::new(armed),
+            metrics,
+            state: AtomicU8::new(RUNNING),
+            next_id: AtomicU64::new(replay.max_id),
+            base_ns,
+            started,
+            restore,
+        });
+
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("chronusd-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .map_err(|e| format!("spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let snapshotter = if snapshot_interval_ms > 0 {
+            let inner = Arc::clone(&inner);
+            let handle = thread::Builder::new()
+                .name("chronusd-snapshot".to_string())
+                .spawn(move || {
+                    let interval = Duration::from_millis(snapshot_interval_ms);
+                    let mut last = Instant::now();
+                    while inner.state.load(Ordering::Acquire) == RUNNING {
+                        thread::sleep(Duration::from_millis(20).min(interval));
+                        if last.elapsed() >= interval {
+                            let _ = inner.compact_journal();
+                            last = Instant::now();
+                        }
+                    }
+                })
+                .map_err(|e| format!("spawn snapshotter: {e}"))?;
+            Some(handle)
+        } else {
+            None
+        };
+
+        Ok(Daemon {
+            inner,
+            workers: Mutex::new(workers),
+            snapshotter: Mutex::new(snapshotter),
+        })
+    }
+
+    /// What the restore pass did at startup.
+    pub fn restore_report(&self) -> &RestoreReport {
+        &self.inner.restore
+    }
+
+    /// The configuration the daemon was started with.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.inner.config
+    }
+
+    /// The daemon's scoped metrics (crate-internal: the IPC layer
+    /// counts connections and protocol errors on it).
+    pub(crate) fn metrics(&self) -> &DaemonMetrics {
+        &self.inner.metrics
+    }
+
+    /// Daemon-clock now (ns since the configured epoch).
+    pub fn now_ns(&self) -> Nanos {
+        self.inner.now_ns()
+    }
+
+    /// Submits one update. Returns its id, or the admission shed.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        deadline: Option<Duration>,
+        instance: Arc<UpdateInstance>,
+    ) -> Result<u64, Shed> {
+        let inner = &self.inner;
+        inner.metrics.submitted.inc();
+        if inner.state.load(Ordering::Acquire) != RUNNING {
+            inner.metrics.shed_draining.inc();
+            return Err(Shed::Draining);
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let now = inner.now_ns();
+        let job = QueuedJob {
+            id,
+            tenant: tenant.to_string(),
+            priority,
+            instance,
+            deadline: deadline.unwrap_or_else(|| inner.config.default_deadline()),
+            enqueued_ns: now,
+        };
+        inner.set_status(UpdateStatus {
+            id,
+            tenant: tenant.to_string(),
+            priority,
+            state: UpdateState::Queued,
+            detail: "queued".to_string(),
+            certified: false,
+            epoch_ns: None,
+        });
+        let mut queues = lock(&inner.admission);
+        match queues.admit(job, now) {
+            Ok(()) => {
+                inner.publish_depths(&queues);
+                drop(queues);
+                inner.metrics.admitted.inc();
+                inner.work_cv.notify_one();
+                Ok(id)
+            }
+            Err(shed) => {
+                drop(queues);
+                match &shed {
+                    Shed::QueueFull { .. } => inner.metrics.shed_queue_full.inc(),
+                    Shed::RateLimited { .. } => inner.metrics.shed_rate_limited.inc(),
+                    Shed::Draining => inner.metrics.shed_draining.inc(),
+                }
+                lock(&inner.statuses).remove(&id);
+                Err(shed)
+            }
+        }
+    }
+
+    /// Current status of update `id`.
+    pub fn status(&self, id: u64) -> Option<UpdateStatus> {
+        lock(&self.inner.statuses).get(&id).cloned()
+    }
+
+    /// Count of updates per lifecycle state.
+    pub fn status_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for status in lock(&self.inner.statuses).values() {
+            *counts.entry(status.state.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Blocks until update `id` settles, up to `timeout`. Returns the
+    /// last observed status (settled or not); `None` for unknown ids.
+    pub fn watch(&self, id: u64, timeout: Duration) -> Option<UpdateStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut map = lock(&self.inner.statuses);
+        loop {
+            let current = map.get(&id).cloned()?;
+            if current.state.is_settled() {
+                return Some(current);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Some(current);
+            }
+            let (guard, _) = self
+                .inner
+                .status_cv
+                .wait_timeout(map, left.min(Duration::from_millis(50)))
+                .unwrap_or_else(PoisonError::into_inner);
+            map = guard;
+        }
+    }
+
+    /// Confirms an armed update as executed on the data plane:
+    /// journals the completion tombstone and frees its slot.
+    pub fn confirm(&self, id: u64) -> Result<(), String> {
+        let inner = &self.inner;
+        let removed = lock(&inner.armed).remove(&id);
+        if removed.is_none() {
+            return Err(format!("update {id} is not armed"));
+        }
+        lock(&inner.journal)
+            .append_complete(id)
+            .map_err(|e| format!("journal complete: {e}"))?;
+        inner.metrics.confirmed.inc();
+        inner
+            .metrics
+            .journal_live
+            .set(lock(&inner.armed).len() as i64);
+        inner.update_state(id, UpdateState::Completed, "confirmed");
+        Ok(())
+    }
+
+    /// Forces a journal compaction; returns the live record count.
+    pub fn snapshot(&self) -> std::io::Result<usize> {
+        self.inner.compact_journal()
+    }
+
+    /// Prometheus text exposition: the daemon's `chronus_daemon_*`
+    /// series (cache gauges refreshed from the engine) followed by the
+    /// engine's `chronus_engine_*` series.
+    pub fn metrics_text(&self) -> String {
+        let inner = &self.inner;
+        let engine_text = {
+            let guard = inner.engine.read();
+            match guard.as_ref() {
+                Some(engine) => {
+                    let report = engine.report();
+                    inner.metrics.set_cache(
+                        report.cache_hits,
+                        report.cache_misses,
+                        report.cache_evictions,
+                        report.cache_entries,
+                        report.cache_bytes,
+                    );
+                    engine.metrics().registry().to_prometheus()
+                }
+                None => String::new(),
+            }
+        };
+        let mut out = inner.metrics.registry().to_prometheus();
+        out.push_str(&engine_text);
+        out
+    }
+
+    /// The number of updates currently queued for planning.
+    pub fn queue_len(&self) -> usize {
+        lock(&self.inner.admission).len()
+    }
+
+    /// Armed updates currently live.
+    pub fn armed_len(&self) -> usize {
+        lock(&self.inner.armed).len()
+    }
+
+    /// Gracefully shuts down: stops intake, lets workers finish every
+    /// admitted job, drains the engine, takes a final snapshot.
+    /// Idempotent; callable through a shared handle (the IPC server's
+    /// drain command calls it from a connection thread).
+    pub fn shutdown(&self) -> ShutdownReport {
+        let inner = &self.inner;
+        inner.state.store(DRAINING, Ordering::Release);
+        {
+            // Wake sleepers so they observe the drain.
+            let _guard = lock(&inner.admission);
+            inner.work_cv.notify_all();
+        }
+        for handle in lock(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+        inner.state.store(STOPPED, Ordering::Release);
+        if let Some(handle) = lock(&self.snapshotter).take() {
+            let _ = handle.join();
+        }
+        let drain: DrainReport = inner
+            .engine
+            .write()
+            .take()
+            .map(Engine::drain)
+            .unwrap_or_default();
+        let snapshot_live = inner.compact_journal().unwrap_or(0);
+        ShutdownReport {
+            engine_planned: drain.planned,
+            engine_leftovers: drain.leftovers.len(),
+            armed_remaining: lock(&inner.armed).len(),
+            snapshot_live,
+        }
+    }
+}
+
+impl Drop for Daemon {
+    /// Crash-like teardown: workers stop where they are, no final
+    /// snapshot, no journal compaction — exactly what a `kill -9`
+    /// leaves behind, which is what the restore tests exercise. (A
+    /// prior [`Daemon::shutdown`] leaves nothing for this to do.)
+    fn drop(&mut self) {
+        self.inner.state.store(STOPPED, Ordering::Release);
+        {
+            let _guard = lock(&self.inner.admission);
+            self.inner.work_cv.notify_all();
+        }
+        for handle in lock(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = lock(&self.snapshotter).take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -6,6 +6,13 @@
 //! rebuild an identical window every time. The engine shares one
 //! [`TimeNetCache`] across all workers and memoizes the owned
 //! [`MaterializedTimeNet`] snapshot per key.
+//!
+//! A long-running service (the `chronusd` daemon) keeps one engine —
+//! and hence one cache — resident across its whole lifetime, so the
+//! cache optionally takes a capacity bound: when set, inserting past
+//! it evicts the oldest window (FIFO), counted by
+//! [`TimeNetCache::evictions`]. Unbounded remains the default for
+//! batch use.
 // `flows[0]`: the engine plans single-flow instances (the cache key
 // is per-flow by design).
 #![allow(clippy::indexing_slicing)]
@@ -13,7 +20,7 @@
 use chronus_net::{Flow, Network, TimeStep, UpdateInstance};
 use chronus_timenet::{MaterializedTimeNet, TimeExtendedNetwork};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -93,18 +100,43 @@ impl CacheKey {
     }
 }
 
-/// Shared, thread-safe memoization of materialized `G_T` windows.
+/// Map plus FIFO insertion order, under one lock so eviction and
+/// lookup agree on membership.
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<CacheKey, Arc<MaterializedTimeNet>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Shared, thread-safe memoization of materialized `G_T` windows,
+/// optionally bounded with FIFO eviction.
 #[derive(Default)]
 pub struct TimeNetCache {
-    entries: Mutex<HashMap<CacheKey, Arc<MaterializedTimeNet>>>,
+    entries: Mutex<CacheState>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl TimeNetCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         TimeNetCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` windows (clamped to
+    /// ≥ 1); the oldest window is evicted on overflow.
+    pub fn bounded(capacity: usize) -> Self {
+        TimeNetCache {
+            capacity: Some(capacity.max(1)),
+            ..TimeNetCache::default()
+        }
+    }
+
+    /// The capacity bound, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Returns the memoized window for `key`, materializing it from
@@ -114,7 +146,7 @@ impl TimeNetCache {
         key: CacheKey,
         instance: &UpdateInstance,
     ) -> (Arc<MaterializedTimeNet>, bool) {
-        if let Some(found) = self.entries.lock().get(&key) {
+        if let Some(found) = self.entries.lock().map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (found.clone(), true);
         }
@@ -125,7 +157,21 @@ impl TimeNetCache {
         let te = TimeExtendedNetwork::new(&instance.network, -reach, reach);
         let built = Arc::new(te.materialize());
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().insert(key, built.clone());
+        let mut state = self.entries.lock();
+        if state.map.insert(key, built.clone()).is_none() {
+            state.order.push_back(key);
+        }
+        if let Some(cap) = self.capacity {
+            while state.map.len() > cap {
+                match state.order.pop_front() {
+                    Some(oldest) => {
+                        state.map.remove(&oldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
         (built, false)
     }
 
@@ -139,9 +185,14 @@ impl TimeNetCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of windows evicted by the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct memoized windows.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().map.len()
     }
 
     /// `true` when nothing has been memoized yet.
@@ -151,7 +202,12 @@ impl TimeNetCache {
 
     /// Total approximate heap footprint of the memoized windows.
     pub fn approx_bytes(&self) -> usize {
-        self.entries.lock().values().map(|m| m.approx_bytes()).sum()
+        self.entries
+            .lock()
+            .map
+            .values()
+            .map(|m| m.approx_bytes())
+            .sum()
     }
 }
 
@@ -189,5 +245,28 @@ mod tests {
         assert_ne!(third.t_max(), first.t_max());
         assert_eq!(cache.len(), 2);
         assert!(cache.approx_bytes() > 0);
+        assert_eq!(cache.evictions(), 0, "unbounded caches never evict");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo() {
+        let inst = motivating_example();
+        let cache = TimeNetCache::bounded(2);
+        assert_eq!(cache.capacity(), Some(2));
+        for horizon in [3, 4, 5] {
+            let key = CacheKey::for_instance(&inst, horizon);
+            let (_, hit) = cache.get_or_materialize(key, &inst);
+            assert!(!hit);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Oldest (horizon 3) was evicted; newest two still hit.
+        let (_, hit) = cache.get_or_materialize(CacheKey::for_instance(&inst, 5), &inst);
+        assert!(hit);
+        let (_, hit) = cache.get_or_materialize(CacheKey::for_instance(&inst, 4), &inst);
+        assert!(hit);
+        let (_, miss) = cache.get_or_materialize(CacheKey::for_instance(&inst, 3), &inst);
+        assert!(!miss, "horizon 3 was evicted and re-materializes");
+        assert_eq!(cache.evictions(), 2);
     }
 }

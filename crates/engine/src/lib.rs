@@ -57,6 +57,6 @@ pub use fallback::{
     SlackPolicy, Stage, StageAttempt, StageOutcome, TpBatchPlan,
 };
 pub use metrics::{CertStats, EngineMetrics, PlanReport, SlackStats, StageStats};
-pub use pool::{Engine, EngineConfig};
+pub use pool::{DrainReport, Engine, EngineConfig, PlanTicket};
 pub use request::{RequestId, UpdateRequest};
 pub use watchdog::{UpdateWatchdog, WatchdogVerdict};

@@ -275,6 +275,7 @@ impl EngineMetrics {
             queue_peak: self.queue_peak.get().max(0) as u64,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
             cache_entries: cache.len() as u64,
             cache_bytes: cache.approx_bytes() as u64,
         }
@@ -372,6 +373,9 @@ pub struct PlanReport {
     pub cache_hits: u64,
     /// Time-extended-window cache misses (materializations).
     pub cache_misses: u64,
+    /// Windows evicted by the cache's capacity bound (zero when
+    /// unbounded).
+    pub cache_evictions: u64,
     /// Distinct memoized windows.
     pub cache_entries: u64,
     /// Approximate bytes held by the cache.
@@ -452,11 +456,13 @@ impl fmt::Display for PlanReport {
         )?;
         write!(
             f,
-            "  timenet cache: {} hits / {} misses ({:.0}% hit), {} windows, ~{} B",
+            "  timenet cache: {} hits / {} misses ({:.0}% hit), {} windows \
+             ({} evicted), ~{} B",
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate() * 100.0,
             self.cache_entries,
+            self.cache_evictions,
             self.cache_bytes
         )
     }

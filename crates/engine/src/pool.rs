@@ -8,11 +8,13 @@
 use crate::cache::TimeNetCache;
 use crate::fallback::{plan_with_chain_slack, PlannedUpdate, SlackPolicy};
 use crate::metrics::{EngineMetrics, PlanReport};
-use crate::request::UpdateRequest;
+use crate::request::{RequestId, UpdateRequest};
 use chronus_net::UpdateInstance;
 use chronus_timenet::SimWorkspace;
 use chronus_verify::VerifyConfig;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -34,6 +36,12 @@ pub struct EngineConfig {
     /// target. `None` (the default) skips the stage — plans ship
     /// exactly as the planners produced them.
     pub slack: Option<SlackPolicy>,
+    /// Bound on the shared time-extended-network cache, in windows;
+    /// the oldest window is evicted past it (see
+    /// [`TimeNetCache::bounded`]). `None` (the default) keeps the
+    /// cache unbounded, which suits batch runs; long-running services
+    /// should bound it.
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +51,7 @@ impl Default for EngineConfig {
             default_deadline: Duration::from_secs(5),
             verify: VerifyConfig::default(),
             slack: None,
+            cache_capacity: None,
         }
     }
 }
@@ -60,6 +69,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_slack(mut self, policy: SlackPolicy) -> Self {
         self.slack = Some(policy);
+        self
+    }
+
+    /// Bounds the time-extended-network cache (builder style).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, windows: usize) -> Self {
+        self.cache_capacity = Some(windows);
         self
     }
 }
@@ -94,6 +110,34 @@ pub struct Engine {
     cache: Arc<TimeNetCache>,
     metrics: Arc<EngineMetrics>,
     config: EngineConfig,
+    draining: Arc<AtomicBool>,
+    leftovers: Arc<Mutex<Vec<RequestId>>>,
+}
+
+/// Receipt for one asynchronously [`Engine::submit`]ted request.
+#[must_use = "dropping a ticket abandons its answer"]
+pub struct PlanTicket {
+    rx: Receiver<(usize, PlannedUpdate)>,
+}
+
+impl PlanTicket {
+    /// Blocks until the request is planned. Returns `None` when the
+    /// request was shed by a concurrent [`Engine::drain`] (it then
+    /// appears in the drain report's leftovers).
+    pub fn wait(self) -> Option<PlannedUpdate> {
+        self.rx.recv().ok().map(|(_, planned)| planned)
+    }
+}
+
+/// Outcome of a graceful [`Engine::drain`]: intake stopped, in-flight
+/// requests finished, queued-but-unstarted requests shed and reported.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests fully planned over the engine's lifetime.
+    pub planned: u64,
+    /// Requests that were still queued when the drain began; they
+    /// were never planned and their tickets resolve to `None`.
+    pub leftovers: Vec<RequestId>,
 }
 
 impl Engine {
@@ -104,8 +148,13 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         assert!(config.workers > 0, "engine needs at least one worker");
         let (tx, rx) = unbounded::<Job>();
-        let cache = Arc::new(TimeNetCache::new());
+        let cache = Arc::new(match config.cache_capacity {
+            Some(cap) => TimeNetCache::bounded(cap),
+            None => TimeNetCache::new(),
+        });
         let metrics = Arc::new(EngineMetrics::new());
+        let draining = Arc::new(AtomicBool::new(false));
+        let leftovers = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..config.workers)
             .map(|i| {
                 let rx: Receiver<Job> = rx.clone();
@@ -113,6 +162,8 @@ impl Engine {
                 let metrics = metrics.clone();
                 let verify = config.verify;
                 let slack = config.slack;
+                let draining = draining.clone();
+                let leftovers = leftovers.clone();
                 thread::Builder::new()
                     .name(format!("chronus-engine-{i}"))
                     .spawn(move || {
@@ -123,6 +174,13 @@ impl Engine {
                         let mut ws = SimWorkspace::default();
                         while let Ok(job) = rx.recv() {
                             metrics.record_dequeue();
+                            // A drain in progress sheds everything
+                            // still queued: record the id, drop the
+                            // reply channel unanswered.
+                            if draining.load(Ordering::Acquire) {
+                                leftovers.lock().push(job.request.id);
+                                continue;
+                            }
                             let _job_span = chronus_trace::span!(
                                 "engine.worker",
                                 worker = i,
@@ -152,6 +210,8 @@ impl Engine {
             cache,
             metrics,
             config,
+            draining,
+            leftovers,
         }
     }
 
@@ -216,6 +276,52 @@ impl Engine {
     /// The shared time-extended-network cache (for inspection).
     pub fn cache(&self) -> &TimeNetCache {
         &self.cache
+    }
+
+    /// Submits one request without blocking; the answer is claimed
+    /// later through the returned [`PlanTicket`]. This is the intake
+    /// the `chronusd` daemon streams through.
+    pub fn submit(&self, request: UpdateRequest) -> PlanTicket {
+        let (reply_tx, reply_rx) = unbounded();
+        self.metrics.record_enqueue();
+        self.tx
+            .as_ref()
+            .expect("engine running")
+            .send(Job {
+                seq: 0,
+                request,
+                reply: reply_tx,
+            })
+            .expect("workers alive while engine is alive");
+        PlanTicket { rx: reply_rx }
+    }
+
+    /// Requests currently queued (the `chronus_engine_queue_depth`
+    /// gauge).
+    pub fn queue_depth(&self) -> u64 {
+        self.report().queue_depth
+    }
+
+    /// Gracefully shuts the pool down: stops intake, lets every
+    /// worker finish the request it is planning, sheds whatever is
+    /// still queued and reports it. Consuming `self` means no other
+    /// caller can be blocked inside [`Engine::plan_batch`] while the
+    /// drain runs, so every outstanding request is either finished or
+    /// in the report's leftovers — never silently dropped.
+    pub fn drain(mut self) -> DrainReport {
+        // Flag first, then close the channel: workers observe the
+        // flag for everything they dequeue after this point.
+        self.draining.store(true, Ordering::Release);
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let mut leftovers = std::mem::take(&mut *self.leftovers.lock());
+        leftovers.sort_by_key(|id| id.0);
+        DrainReport {
+            planned: self.metrics.report(&self.cache).completed,
+            leftovers,
+        }
     }
 }
 
@@ -283,6 +389,87 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn rejects_zero_workers() {
         let _ = Engine::new(EngineConfig::with_workers(0));
+    }
+
+    #[test]
+    fn submit_tickets_resolve_out_of_band() {
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        let inst = Arc::new(motivating_example());
+        let deadline = engine.config().default_deadline;
+        let tickets: Vec<_> = (0..6)
+            .map(|i| engine.submit(UpdateRequest::new(i, inst.clone(), deadline)))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let planned = t.wait().expect("no drain in progress");
+            assert_eq!(planned.id.0, i as u64);
+        }
+        assert_eq!(engine.report().completed, 6);
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn drain_accounts_for_every_submitted_request() {
+        use chronus_net::reversal_instance;
+        let n = 24;
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let inst = Arc::new(reversal_instance(8, 2, 1));
+        let deadline = engine.config().default_deadline;
+        let tickets: Vec<_> = (0..n)
+            .map(|i| engine.submit(UpdateRequest::new(i, inst.clone(), deadline)))
+            .collect();
+        // Drain immediately: the single worker is mid-queue, so some
+        // requests finish and the rest come back as leftovers.
+        let report = engine.drain();
+        assert_eq!(
+            report.planned + report.leftovers.len() as u64,
+            n,
+            "planned + shed covers every submission"
+        );
+        let shed: Vec<_> = tickets
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.wait().is_none().then_some(i as u64))
+            .collect();
+        assert_eq!(
+            shed,
+            report.leftovers.iter().map(|id| id.0).collect::<Vec<_>>(),
+            "tickets and drain report agree on who was shed"
+        );
+    }
+
+    #[test]
+    fn drain_on_idle_engine_reports_no_leftovers() {
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        let inst = Arc::new(motivating_example());
+        let plans = engine.plan_instances(vec![inst; 3]);
+        assert_eq!(plans.len(), 3);
+        let report = engine.drain();
+        assert_eq!(report.planned, 3);
+        assert!(report.leftovers.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_keeps_resident_state_capped() {
+        use chronus_net::reversal_instance;
+        let engine = Engine::new(EngineConfig::with_workers(1).with_cache_capacity(2));
+        // Distinct topologies -> distinct cache keys.
+        for n in [4, 5, 6, 7] {
+            let inst = Arc::new(reversal_instance(n, 2, 1));
+            let plans = engine.plan_instances(vec![inst]);
+            assert_eq!(plans.len(), 1);
+        }
+        let report = engine.report();
+        assert!(
+            report.cache_entries <= 2,
+            "entries {}",
+            report.cache_entries
+        );
+        assert!(
+            report.cache_evictions >= 2,
+            "evictions {}",
+            report.cache_evictions
+        );
+        assert!(report.to_string().contains("evicted"));
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! JSON codec for the network model, on the `serde_json` value model.
+//!
+//! The workspace has no serde derives (the `serde_json` shim is a
+//! dynamic-[`Value`] parser only), so wire and journal formats are
+//! built by hand here: [`Network`], [`Flow`] and [`UpdateInstance`]
+//! each get an `encode`/`decode` pair with the invariant
+//! `decode(encode(x)) == x`. Decoding re-runs the model's own
+//! validation ([`NetworkBuilder`], [`Flow::new`],
+//! [`UpdateInstance::new`]), so a hand-edited or corrupted document
+//! can never materialize an instance the constructors would reject.
+//!
+//! Capacities and delays are `u64`; values above 2⁵³ are encoded as
+//! decimal strings ([`Value::from_u64_exact`]) to survive the shim's
+//! `f64` number model exactly.
+
+use crate::{Flow, FlowId, Network, NetworkBuilder, Path, SwitchId, UpdateInstance};
+use serde_json::{Map, Value};
+use std::fmt;
+
+/// A structural error while decoding a JSON document into a model
+/// type: a missing field, a type mismatch, or a document that fails
+/// the model's own validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    /// Creates an error with the given context message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CodecError(msg.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Shorthand: the `key` member of an object, or a decode error naming
+/// the missing field.
+pub fn member<'v>(v: &'v Value, key: &str) -> Result<&'v Value, CodecError> {
+    v.get(key)
+        .ok_or_else(|| CodecError(format!("missing field `{key}`")))
+}
+
+/// Decodes a `u64` field encoded by [`Value::from_u64_exact`].
+pub fn field_u64(v: &Value, key: &str) -> Result<u64, CodecError> {
+    member(v, key)?
+        .as_u64_exact()
+        .ok_or_else(|| CodecError(format!("field `{key}` is not a u64")))
+}
+
+/// Decodes an `i64` field encoded by [`Value::from_i64_exact`].
+pub fn field_i64(v: &Value, key: &str) -> Result<i64, CodecError> {
+    member(v, key)?
+        .as_i64_exact()
+        .ok_or_else(|| CodecError(format!("field `{key}` is not an i64")))
+}
+
+/// Decodes a `u32` id component.
+fn id_u32(v: &Value, what: &str) -> Result<u32, CodecError> {
+    let raw = v
+        .as_u64_exact()
+        .ok_or_else(|| CodecError(format!("{what} is not an integer")))?;
+    u32::try_from(raw).map_err(|_| CodecError(format!("{what} {raw} exceeds u32")))
+}
+
+fn hops_to_value(path: &Path) -> Value {
+    Value::Array(
+        path.hops()
+            .iter()
+            .map(|s| Value::Number(f64::from(s.0)))
+            .collect(),
+    )
+}
+
+fn hops_from_value(v: &Value, what: &str) -> Result<Path, CodecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| CodecError(format!("{what} is not an array")))?;
+    let hops = items
+        .iter()
+        .map(|h| id_u32(h, "path hop").map(SwitchId))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Path::new(hops))
+}
+
+/// Encodes a network as `{"switches": [names...], "links":
+/// [[src, dst, capacity, delay], ...]}`.
+pub fn network_to_value(net: &Network) -> Value {
+    let switches = net
+        .switches()
+        .map(|s| {
+            Value::String(
+                net.switch_name(s)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| s.to_string()),
+            )
+        })
+        .collect();
+    let links = net
+        .links()
+        .map(|l| {
+            Value::Array(vec![
+                Value::Number(f64::from(l.src.0)),
+                Value::Number(f64::from(l.dst.0)),
+                Value::from_u64_exact(l.capacity),
+                Value::from_u64_exact(l.delay),
+            ])
+        })
+        .collect();
+    let mut m = Map::new();
+    m.insert("switches".to_string(), Value::Array(switches));
+    m.insert("links".to_string(), Value::Array(links));
+    Value::Object(m)
+}
+
+/// Decodes a network written by [`network_to_value`], re-running
+/// [`NetworkBuilder`] validation (no self-loops, positive delays…).
+pub fn network_from_value(v: &Value) -> Result<Network, CodecError> {
+    let switches = member(v, "switches")?
+        .as_array()
+        .ok_or_else(|| CodecError("`switches` is not an array".into()))?;
+    let mut b = NetworkBuilder::new();
+    for s in switches {
+        let name = s
+            .as_str()
+            .ok_or_else(|| CodecError("switch name is not a string".into()))?;
+        b.add_switch(name);
+    }
+    let links = member(v, "links")?
+        .as_array()
+        .ok_or_else(|| CodecError("`links` is not an array".into()))?;
+    for l in links {
+        let quad = l
+            .as_array()
+            .filter(|a| a.len() == 4)
+            .ok_or_else(|| CodecError("link is not a [src, dst, capacity, delay] quad".into()))?;
+        let get = |i: usize, what: &str| {
+            quad.get(i)
+                .ok_or_else(|| CodecError(format!("link missing {what}")))
+        };
+        let src = SwitchId(id_u32(get(0, "src")?, "link src")?);
+        let dst = SwitchId(id_u32(get(1, "dst")?, "link dst")?);
+        let capacity = get(2, "capacity")?
+            .as_u64_exact()
+            .ok_or_else(|| CodecError("link capacity is not a u64".into()))?;
+        let delay = get(3, "delay")?
+            .as_u64_exact()
+            .ok_or_else(|| CodecError("link delay is not a u64".into()))?;
+        b.add_link(src, dst, capacity, delay)
+            .map_err(|e| CodecError(format!("invalid link: {e}")))?;
+    }
+    Ok(b.build())
+}
+
+/// Encodes a flow as `{"id", "demand", "initial", "final"}`.
+pub fn flow_to_value(flow: &Flow) -> Value {
+    let mut m = Map::new();
+    m.insert("id".to_string(), Value::Number(f64::from(flow.id.0)));
+    m.insert("demand".to_string(), Value::from_u64_exact(flow.demand));
+    m.insert("initial".to_string(), hops_to_value(&flow.initial));
+    m.insert("final".to_string(), hops_to_value(&flow.fin));
+    Value::Object(m)
+}
+
+/// Decodes a flow written by [`flow_to_value`], re-running
+/// [`Flow::new`] validation.
+pub fn flow_from_value(v: &Value) -> Result<Flow, CodecError> {
+    let id = FlowId(id_u32(member(v, "id")?, "flow id")?);
+    let demand = field_u64(v, "demand")?;
+    let initial = hops_from_value(member(v, "initial")?, "`initial`")?;
+    let fin = hops_from_value(member(v, "final")?, "`final`")?;
+    Flow::new(id, demand, initial, fin).map_err(|e| CodecError(format!("invalid flow: {e}")))
+}
+
+/// Encodes an update instance as `{"network", "flows"}`.
+pub fn instance_to_value(instance: &UpdateInstance) -> Value {
+    let mut m = Map::new();
+    m.insert("network".to_string(), network_to_value(&instance.network));
+    m.insert(
+        "flows".to_string(),
+        Value::Array(instance.flows.iter().map(flow_to_value).collect()),
+    );
+    Value::Object(m)
+}
+
+/// Decodes an instance written by [`instance_to_value`], re-validating
+/// every flow against the decoded network.
+pub fn instance_from_value(v: &Value) -> Result<UpdateInstance, CodecError> {
+    let network = network_from_value(member(v, "network")?)?;
+    let flows = member(v, "flows")?
+        .as_array()
+        .ok_or_else(|| CodecError("`flows` is not an array".into()))?
+        .iter()
+        .map(flow_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    UpdateInstance::new(network, flows).map_err(|e| CodecError(format!("invalid instance: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{motivating_example, reversal_instance};
+
+    #[test]
+    fn instance_round_trips_exactly() {
+        for inst in [
+            motivating_example(),
+            reversal_instance(5, u64::MAX, u64::MAX / 2),
+        ] {
+            let v = instance_to_value(&inst);
+            let text = serde_json::to_string(&v).unwrap();
+            let back = instance_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back.flows, inst.flows);
+            assert_eq!(
+                back.network.switch_count(),
+                inst.network.switch_count(),
+                "switch arena preserved"
+            );
+            let (a, b): (Vec<_>, Vec<_>) = (
+                back.network.links().collect(),
+                inst.network.links().collect(),
+            );
+            assert_eq!(a, b, "link arena preserved in canonical order");
+            for s in inst.network.switches() {
+                assert_eq!(back.network.switch_name(s), inst.network.switch_name(s));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_structural_garbage() {
+        let v = serde_json::from_str(r#"{"network": {"switches": []}}"#).unwrap();
+        assert!(instance_from_value(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("links"));
+        // A link quad referencing a missing switch fails builder
+        // validation, not just shape checks.
+        let v = serde_json::from_str(r#"{"switches": ["a"], "links": [[0, 9, 1, 1]]}"#).unwrap();
+        assert!(network_from_value(&v).is_err());
+        // Zero demand is rejected by Flow::new.
+        let v =
+            serde_json::from_str(r#"{"id": 0, "demand": 0, "initial": [0, 1], "final": [0, 1]}"#)
+                .unwrap();
+        assert!(flow_from_value(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("invalid flow"));
+    }
+}

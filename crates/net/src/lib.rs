@@ -43,6 +43,7 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
 )]
 
+pub mod codec;
 mod error;
 pub mod export;
 mod flow;

@@ -1,0 +1,124 @@
+//! JSON codec for timed schedules.
+//!
+//! A [`Schedule`] is encoded as `{"entries": [[flow, switch, t],
+//! ...]}` in the map's canonical `(flow, switch)` order, so equal
+//! schedules always serialize to byte-identical documents. Steps are
+//! `i64` and may exceed the `serde_json` shim's exact-`f64` range, so
+//! they go through [`Value::from_i64_exact`]; the decode side accepts
+//! either form and rebuilds through [`Schedule::set`], giving the
+//! round-trip invariant `decode(encode(s)) == s` for *every*
+//! schedule (pinned by a proptest in `tests/codec_props.rs`).
+
+use crate::Schedule;
+use chronus_net::{FlowId, SwitchId};
+use serde_json::{Map, Value};
+use std::fmt;
+
+/// A structural error while decoding a schedule document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleCodecError(String);
+
+impl ScheduleCodecError {
+    fn new(msg: impl Into<String>) -> Self {
+        ScheduleCodecError(msg.into())
+    }
+}
+
+impl fmt::Display for ScheduleCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleCodecError {}
+
+/// Encodes a schedule; see the module docs for the format.
+pub fn schedule_to_value(schedule: &Schedule) -> Value {
+    let entries = schedule
+        .iter()
+        .map(|(flow, switch, t)| {
+            Value::Array(vec![
+                Value::Number(f64::from(flow.0)),
+                Value::Number(f64::from(switch.0)),
+                Value::from_i64_exact(t),
+            ])
+        })
+        .collect();
+    let mut m = Map::new();
+    m.insert("entries".to_string(), Value::Array(entries));
+    Value::Object(m)
+}
+
+/// Decodes a schedule written by [`schedule_to_value`]. Duplicate
+/// `(flow, switch)` keys are rejected rather than last-write-wins, so
+/// a decoded schedule always has the same entry count as the source
+/// document.
+pub fn schedule_from_value(v: &Value) -> Result<Schedule, ScheduleCodecError> {
+    let entries = v
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ScheduleCodecError::new("missing `entries` array"))?;
+    let mut schedule = Schedule::new();
+    for e in entries {
+        let triple = e
+            .as_array()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| ScheduleCodecError::new("entry is not a [flow, switch, t] triple"))?;
+        let int = |i: usize, what: &str| {
+            triple
+                .get(i)
+                .and_then(Value::as_u64_exact)
+                .and_then(|raw| u32::try_from(raw).ok())
+                .ok_or_else(|| ScheduleCodecError::new(format!("{what} is not a u32")))
+        };
+        let flow = FlowId(int(0, "flow id")?);
+        let switch = SwitchId(int(1, "switch id")?);
+        let t = triple
+            .get(2)
+            .and_then(Value::as_i64_exact)
+            .ok_or_else(|| ScheduleCodecError::new("step is not an i64"))?;
+        if schedule.get(flow, switch).is_some() {
+            return Err(ScheduleCodecError::new(format!(
+                "duplicate entry for flow {} switch {}",
+                flow.0, switch.0
+            )));
+        }
+        schedule.set(flow, switch, t);
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_including_extreme_steps() {
+        let mut s = Schedule::new();
+        s.set(FlowId(0), SwitchId(1), 0);
+        s.set(FlowId(0), SwitchId(2), -3);
+        s.set(FlowId(7), SwitchId(0), i64::MAX);
+        s.set(FlowId(7), SwitchId(3), i64::MIN);
+        let text = serde_json::to_string(&schedule_to_value(&s)).unwrap();
+        let back = schedule_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_schedule_round_trips() {
+        let v = schedule_to_value(&Schedule::new());
+        assert_eq!(schedule_from_value(&v).unwrap(), Schedule::new());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        let v = serde_json::from_str(r#"{"entries": [[0, 1, 2], [0, 1, 3]]}"#).unwrap();
+        assert!(schedule_from_value(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        let v = serde_json::from_str(r#"{"entries": [[0, 1]]}"#).unwrap();
+        assert!(schedule_from_value(&v).is_err());
+        assert!(schedule_from_value(&Value::Null).is_err());
+    }
+}

@@ -27,6 +27,7 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
 )]
 
+pub mod codec;
 mod extended;
 mod incremental;
 mod ledger;
@@ -35,6 +36,7 @@ mod report;
 mod schedule;
 mod simulate;
 
+pub use codec::{schedule_from_value, schedule_to_value, ScheduleCodecError};
 pub use extended::{MaterializedTimeNet, TeLink, TeNode, TimeExtendedNetwork};
 pub use incremental::{Delta, GateStats, IncrementalSimulator, SimWorkspace};
 pub use ledger::{InternedLink, LinkInterner, LoadLedger};

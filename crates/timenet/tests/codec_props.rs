@@ -1,0 +1,54 @@
+//! Property tests pinning the schedule codec's round-trip invariant:
+//! `decode(encode(s)) == s` through both the value model and the
+//! serialized text, for arbitrary entry sets including steps far
+//! outside the `f64`-exact integer range.
+
+use chronus_net::{FlowId, SwitchId};
+use chronus_timenet::{schedule_from_value, schedule_to_value, Schedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    fn schedule_round_trips(
+        entries in prop::collection::vec(
+            (0u32..16, 0u32..64, i64::MIN..i64::MAX),
+            0..48,
+        ),
+    ) {
+        let mut schedule = Schedule::new();
+        for &(flow, switch, t) in &entries {
+            schedule.set(FlowId(flow), SwitchId(switch), t);
+        }
+        // Value-level round trip.
+        let v = schedule_to_value(&schedule);
+        let back = schedule_from_value(&v);
+        prop_assert!(back.is_ok(), "decode failed: {back:?}");
+        prop_assert_eq!(back.unwrap(), schedule.clone());
+        // Text-level round trip (through the strict parser).
+        let text = serde_json::to_string(&v).unwrap();
+        let reparsed = serde_json::from_str(&text).unwrap();
+        let back = schedule_from_value(&reparsed).unwrap();
+        prop_assert_eq!(back, schedule);
+    }
+
+    fn encoding_is_canonical(
+        entries in prop::collection::vec((0u32..8, 0u32..8, -100i64..100), 0..20),
+    ) {
+        // Insertion order never leaks into the document: building the
+        // same entry set in reverse yields byte-identical JSON.
+        let mut fwd = Schedule::new();
+        for &(f, s, t) in &entries {
+            fwd.set(FlowId(f), SwitchId(s), t);
+        }
+        let mut rev = Schedule::new();
+        for &(f, s, t) in entries.iter().rev() {
+            rev.set(FlowId(f), SwitchId(s), t);
+        }
+        if fwd == rev {
+            let a = serde_json::to_string(&schedule_to_value(&fwd)).unwrap();
+            let b = serde_json::to_string(&schedule_to_value(&rev)).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 mod boundary;
 mod certificate;
+pub mod codec;
 mod mutate;
 mod slack;
 mod sweep;
@@ -42,6 +43,10 @@ mod trace;
 
 pub use certificate::{
     BoundaryOrder, BoundaryWitness, Certificate, IntervalLoad, LinkBound, Violation,
+};
+pub use codec::{
+    certificate_from_value, certificate_to_value, slack_from_value, slack_to_value,
+    violation_from_value, violation_to_value, CertCodecError,
 };
 pub use mutate::{apply_mutation, find_rejected_mutant, mutations, Mutation};
 pub use slack::{

@@ -60,7 +60,7 @@ impl Default for SlackConfig {
 }
 
 /// Proof that a schedule tolerates uniform per-switch timing error.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SlackCertificate {
     /// Largest `k` such that every perturbation of every entry within
     /// `{−(k−1), …, +k}` steps certifies. `0` means only exact firing

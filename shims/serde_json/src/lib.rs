@@ -114,6 +114,95 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Largest integer magnitude an `f64` (and hence a shim
+    /// [`Value::Number`]) represents exactly: 2⁵³.
+    pub const EXACT_INT_MAX: u64 = 1 << 53;
+
+    /// Encodes a `u64` without loss: a [`Value::Number`] when the
+    /// value fits `f64` exactly, a decimal [`Value::String`]
+    /// otherwise. Paired with [`Value::as_u64_exact`]; workspace
+    /// extension (the real crate keeps integers arbitrary-precision).
+    pub fn from_u64_exact(v: u64) -> Value {
+        if v <= Self::EXACT_INT_MAX {
+            Value::Number(v as f64)
+        } else {
+            Value::String(v.to_string())
+        }
+    }
+
+    /// Encodes an `i64` without loss; see [`Value::from_u64_exact`].
+    pub fn from_i64_exact(v: i64) -> Value {
+        if v.unsigned_abs() <= Self::EXACT_INT_MAX {
+            Value::Number(v as f64)
+        } else {
+            Value::String(v.to_string())
+        }
+    }
+
+    /// Encodes an `i128` without loss; see [`Value::from_u64_exact`].
+    pub fn from_i128_exact(v: i128) -> Value {
+        if v.unsigned_abs() <= u128::from(Self::EXACT_INT_MAX) {
+            Value::Number(v as f64)
+        } else {
+            Value::String(v.to_string())
+        }
+    }
+
+    /// Decodes a `u64` written by [`Value::from_u64_exact`]: accepts
+    /// an integral number or a decimal string.
+    pub fn as_u64_exact(&self) -> Option<u64> {
+        match self {
+            Value::String(s) => s.parse().ok(),
+            _ => self.as_u64(),
+        }
+    }
+
+    /// Decodes an `i64` written by [`Value::from_i64_exact`].
+    pub fn as_i64_exact(&self) -> Option<i64> {
+        match self {
+            Value::String(s) => s.parse().ok(),
+            _ => self.as_i64(),
+        }
+    }
+
+    /// Decodes an `i128` written by [`Value::from_i128_exact`].
+    pub fn as_i128_exact(&self) -> Option<i128> {
+        match self {
+            Value::String(s) => s.parse().ok(),
+            _ => self.as_i64().map(i128::from),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
 }
 
 /// Parse or serialization error, with the byte offset where parsing
@@ -543,5 +632,29 @@ mod tests {
         assert_eq!(items[1].as_i64(), Some(-5));
         assert_eq!(items[1].as_u64(), None);
         assert_eq!(items[2].as_i64(), None);
+    }
+
+    #[test]
+    fn exact_integers_survive_past_2_53() {
+        for v in [0u64, 7, Value::EXACT_INT_MAX, u64::MAX] {
+            assert_eq!(Value::from_u64_exact(v).as_u64_exact(), Some(v));
+        }
+        for v in [0i64, -7, i64::MIN, i64::MAX] {
+            assert_eq!(Value::from_i64_exact(v).as_i64_exact(), Some(v));
+        }
+        for v in [0i128, -1_700_000_000_000_000_000i128, i128::MIN, i128::MAX] {
+            assert_eq!(Value::from_i128_exact(v).as_i128_exact(), Some(v));
+        }
+        // Small values stay plain JSON numbers; huge ones go through
+        // strings, and both forms survive a text round trip.
+        assert!(matches!(Value::from_u64_exact(42), Value::Number(_)));
+        assert!(matches!(Value::from_u64_exact(u64::MAX), Value::String(_)));
+        let v = Value::Array(vec![
+            Value::from_i128_exact(i128::MAX),
+            Value::from_u64_exact(3),
+        ]);
+        let back = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back.get("0").unwrap().as_i128_exact(), Some(i128::MAX));
+        assert_eq!(back.get("1").unwrap().as_u64_exact(), Some(3));
     }
 }

@@ -34,7 +34,14 @@
 //!   fault plans (message loss/duplication/delay, install stragglers,
 //!   clock-desync spikes, switch reboots), a reliable-delivery
 //!   protocol with acks and exponential-backoff retransmission, and
-//!   the slack-certified re-arm / two-phase-rollback recovery policy.
+//!   the slack-certified re-arm / two-phase-rollback recovery policy;
+//! - [`daemon`] — `chronusd`, the long-running update service: a
+//!   Unix-socket line-JSON IPC server wrapping the engine with
+//!   priority-class admission queues, per-tenant token-bucket rate
+//!   limits, a warm resident planning cache, and a write-ahead
+//!   journal of certified armed schedules that the restart path
+//!   re-arms within certified slack or rolls back (plus the
+//!   `chronusctl` CLI client).
 //!
 //! ## Quickstart
 //!
@@ -76,6 +83,7 @@
 pub use chronus_baselines as baselines;
 pub use chronus_clock as clock;
 pub use chronus_core as core;
+pub use chronus_daemon as daemon;
 pub use chronus_emu as emu;
 pub use chronus_engine as engine;
 pub use chronus_faults as faults;
