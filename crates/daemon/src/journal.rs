@@ -134,12 +134,26 @@ pub struct Replay {
     pub max_id: u64,
 }
 
-/// Append-only journal handle. All appends flush before returning, so
-/// an acknowledged arm survives a crash on the very next instruction.
+/// Append-only journal handle. All appends flush and `fsync` before
+/// returning, so an acknowledged arm survives a process crash, power
+/// loss or host crash on the very next instruction.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     writer: BufWriter<File>,
+}
+
+/// Fsyncs the directory holding `path`, making a just-renamed file
+/// durable against power loss (no-op on non-Unix targets, where
+/// directories cannot be opened for syncing).
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 fn tombstone(op: &str, id: u64) -> Value {
@@ -174,7 +188,10 @@ impl Journal {
         let line = serde_json::to_string(v)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         writeln!(self.writer, "{line}")?;
-        self.writer.flush()
+        self.writer.flush()?;
+        // Push past the OS page cache: an acknowledged record must
+        // survive power loss, not just a process crash.
+        self.writer.get_ref().sync_data()
     }
 
     /// Appends an arm record. Must complete before the arm is
@@ -262,9 +279,15 @@ impl Journal {
                 writeln!(w, "{line}")?;
             }
             w.flush()?;
+            // The temp file's contents must be durable before the
+            // rename publishes it as the journal.
+            w.get_ref().sync_all()?;
         }
         self.writer.flush()?;
         fs::rename(&tmp, &self.path)?;
+        // Persist the rename itself: without the directory fsync a
+        // power loss can roll back to the old (or no) journal file.
+        sync_parent_dir(&self.path)?;
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
         Ok(())

@@ -254,23 +254,29 @@ impl Inner {
                     slack: planned.slack.clone(),
                 };
                 // WAL discipline: the arm record is durable before the
-                // status (and hence any IPC acknowledgment) says so.
-                if let Err(e) = lock(&self.journal).append_arm(&record) {
-                    self.metrics.failed.inc();
-                    self.update_state(
-                        job.id,
-                        UpdateState::Failed,
-                        &format!("journal append failed: {e}"),
-                    );
-                    return;
-                }
-                self.metrics.journal_arm_records.inc();
-                self.metrics.armed.inc();
+                // status (and hence any IPC acknowledgment) says so. The
+                // `armed` lock is held across both the append and the map
+                // insert so a concurrent compaction (which snapshots the
+                // map and rewrites the file under the same lock) cannot
+                // interleave between them and drop the fresh record from
+                // disk. Lock order is `armed` → `journal` everywhere.
                 let live = {
                     let mut armed = lock(&self.armed);
+                    if let Err(e) = lock(&self.journal).append_arm(&record) {
+                        drop(armed);
+                        self.metrics.failed.inc();
+                        self.update_state(
+                            job.id,
+                            UpdateState::Failed,
+                            &format!("journal append failed: {e}"),
+                        );
+                        return;
+                    }
                     armed.insert(job.id, record);
                     armed.len()
                 };
+                self.metrics.journal_arm_records.inc();
+                self.metrics.armed.inc();
                 self.metrics.journal_live.set(live as i64);
                 let mut map = lock(&self.statuses);
                 if let Some(s) = map.get_mut(&job.id) {
@@ -296,7 +302,10 @@ impl Inner {
             .record(self.now_ns().saturating_sub(job.enqueued_ns).max(0) as u64);
     }
 
-    /// Compacts the journal down to the live armed set.
+    /// Compacts the journal down to the live armed set. Holds the
+    /// `armed` lock for the whole rewrite so arm/confirm (which mutate
+    /// the map and the journal under the same lock) cannot interleave
+    /// and have their records dropped from the rewritten file.
     fn compact_journal(&self) -> std::io::Result<usize> {
         let armed = lock(&self.armed);
         let live: Vec<&ArmedRecord> = armed.values().collect();
@@ -514,6 +523,16 @@ impl Daemon {
             epoch_ns: None,
         });
         let mut queues = lock(&inner.admission);
+        // Re-check under the admission lock: shutdown() flips the state
+        // while holding it, so a submission that raced past the fast
+        // check above cannot be enqueued after the workers were told to
+        // drain (it would be acknowledged but never popped).
+        if inner.state.load(Ordering::Acquire) != RUNNING {
+            drop(queues);
+            lock(&inner.statuses).remove(&id);
+            inner.metrics.shed_draining.inc();
+            return Err(Shed::Draining);
+        }
         match queues.admit(job, now) {
             Ok(()) => {
                 inner.publish_depths(&queues);
@@ -576,18 +595,23 @@ impl Daemon {
     /// journals the completion tombstone and frees its slot.
     pub fn confirm(&self, id: u64) -> Result<(), String> {
         let inner = &self.inner;
-        let removed = lock(&inner.armed).remove(&id);
-        if removed.is_none() {
+        // Tombstone first, removal second, both under the `armed` lock:
+        // if the append fails the record stays live in memory and in the
+        // journal (a restart re-arms it, never re-executes it), and a
+        // concurrent compaction cannot observe the removal before the
+        // tombstone is on disk.
+        let mut armed = lock(&inner.armed);
+        if !armed.contains_key(&id) {
             return Err(format!("update {id} is not armed"));
         }
         lock(&inner.journal)
             .append_complete(id)
             .map_err(|e| format!("journal complete: {e}"))?;
+        armed.remove(&id);
+        let live = armed.len();
+        drop(armed);
         inner.metrics.confirmed.inc();
-        inner
-            .metrics
-            .journal_live
-            .set(lock(&inner.armed).len() as i64);
+        inner.metrics.journal_live.set(live as i64);
         inner.update_state(id, UpdateState::Completed, "confirmed");
         Ok(())
     }
@@ -640,10 +664,14 @@ impl Daemon {
     /// drain command calls it from a connection thread).
     pub fn shutdown(&self) -> ShutdownReport {
         let inner = &self.inner;
-        inner.state.store(DRAINING, Ordering::Release);
         {
-            // Wake sleepers so they observe the drain.
+            // Flip to draining under the admission lock: submit()
+            // re-checks the state under the same lock, so after this
+            // block no new job can be acknowledged into the queues the
+            // workers are about to drain. Also wakes sleepers so they
+            // observe the drain.
             let _guard = lock(&inner.admission);
+            inner.state.store(DRAINING, Ordering::Release);
             inner.work_cv.notify_all();
         }
         for handle in lock(&self.workers).drain(..) {

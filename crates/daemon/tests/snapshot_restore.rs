@@ -162,6 +162,66 @@ fn armed_schedules_survive_a_crash_and_rearm_within_slack() {
     let _ = std::fs::remove_dir_all(snapshot_dir);
 }
 
+/// Regression: compaction snapshots the live `armed` set and rewrites
+/// the journal to exactly that set. Arms and confirms must be atomic
+/// with respect to it — a record journaled but not yet in the map (or
+/// removed from the map before its tombstone landed) would be silently
+/// dropped from (or resurrected into) the rewritten file. Hammer
+/// compactions from two sides while arming and confirming, then audit
+/// the journal a crash would leave behind.
+#[test]
+fn compaction_racing_arms_and_confirms_loses_nothing() {
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let snapshot_dir = temp_state_dir("race");
+    let mut cfg = config(&snapshot_dir, BASE);
+    // Background snapshotter at the tightest interval, on top of the
+    // explicit snapshot() hammer below.
+    cfg.snapshot_interval_ms = 1;
+    let journal_path = cfg.journal_path();
+    let daemon = Arc::new(Daemon::start(cfg).expect("start"));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let snapper = {
+        let daemon = Arc::clone(&daemon);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                daemon.snapshot().expect("forced compaction");
+            }
+        })
+    };
+
+    let ids = arm_batch(&daemon, 30);
+    let mut confirmed = BTreeSet::new();
+    for &id in ids.iter().step_by(3) {
+        daemon.confirm(id).expect("confirm");
+        confirmed.insert(id);
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    snapper.join().expect("snapper thread");
+
+    let expected: BTreeSet<u64> = ids
+        .iter()
+        .copied()
+        .filter(|id| !confirmed.contains(id))
+        .collect();
+    assert_eq!(daemon.armed_len(), expected.len());
+
+    // Crash: drop without drain, then audit the journal on disk.
+    drop(daemon);
+    let replay = Journal::replay(&journal_path).expect("replay journal");
+    assert_eq!(replay.corrupt_lines, 0);
+    let live: BTreeSet<u64> = replay.live.iter().map(|r| r.id).collect();
+    assert_eq!(
+        live, expected,
+        "journal live set diverged from the acknowledged armed set"
+    );
+    let _ = std::fs::remove_dir_all(snapshot_dir);
+}
+
 #[test]
 fn a_long_outage_rolls_back_every_missed_window() {
     let snapshot_dir = temp_state_dir("rollback");
