@@ -1,23 +1,36 @@
-//! CI gate over `BENCH_incremental.json`: turns the bench-smoke job
+//! CI gate over the committed bench JSONs: turns the bench-smoke job
 //! from "print the numbers" into an assertion.
 //!
-//! Usage: `bench_check <baseline.json> <fresh.json>`
+//! Usage:
+//! `bench_check <baseline.json> <fresh.json> [<sim_baseline.json> <sim_fresh.json>]`
 //!
-//! Two checks, exit code 1 on any failure:
+//! Over `BENCH_incremental.json` (the first pair), two checks, exit
+//! code 1 on any failure:
 //!
 //! 1. **Speedup floor** — the fresh run's `gate_speedup` must be ≥ 1.0
 //!    at every size where the incremental ledger is supposed to win
-//!    (n ∈ {64, 512, 2048}). The n=8 point is deliberately excluded:
-//!    at toy scale the ledger's construction cost dominates the
-//!    handful of checks it accelerates (the committed baseline records
-//!    0.47× there), and gating on it would only pin noise.
+//!    (n ∈ {64, 512, 2048}). The n=8 point is deliberately excluded
+//!    from the *gate* comparison: below `incremental_cutoff` the gate
+//!    now runs the full backend on both arms (the raw ledger recorded
+//!    0.58× there before the cutoff landed), so the ratio is ~1 noise.
 //! 2. **Makespan pin** — each size's greedy `makespan` must equal the
 //!    committed baseline's. Timing numbers drift with hardware;
 //!    schedule *quality* must not. A makespan change means the greedy
 //!    scheduler's behaviour changed, which a perf-smoke job must not
 //!    let slide through silently.
 //!
-//! A third series is printed but never gated: per-size `gate_nanos`
+//! Over `BENCH_simulate.json` (the optional second pair), the same two
+//! shapes for the flat-scan optimization:
+//!
+//! 3. **End-to-end speedup floor** — `e2e_speedup` (legacy scan ÷ flat
+//!    scan, whole `greedy_schedule` wall clock) must clear per-size
+//!    floors well below the committed numbers but high enough to catch
+//!    a real regression: ≥1.2× at 64, ≥3× at 512, ≥5× at 2048 (the
+//!    committed run records 1.7×/6.8×/29×).
+//! 4. **Makespan pin** — as above, at every emitted size; the flat
+//!    scan must be behaviourally invisible.
+//!
+//! A further series is printed but never gated: per-size `gate_nanos`
 //! deltas against the baseline (gate wall-clock drifts with hardware,
 //! so it is CI-log information, not an assertion).
 //!
@@ -30,8 +43,11 @@ use std::process::ExitCode;
 /// n=8 is excluded).
 const GATED_SIZES: &[usize] = &[64, 512, 2048];
 
-/// All sizes the bench emits; makespans are pinned at every one.
+/// All sizes the benches emit; makespans are pinned at every one.
 const ALL_SIZES: &[usize] = &[8, 64, 512, 2048];
+
+/// Per-size floors for the flat-scan end-to-end speedup (size, floor).
+const E2E_FLOORS: &[(usize, f64)] = &[(64, 1.2), (512, 3.0), (2048, 5.0)];
 
 /// Extracts `field` from the flat JSON object that follows `"key":`.
 /// Returns `None` when the key or field is missing — the caller
@@ -55,10 +71,14 @@ fn lookup(json: &str, key: &str, field: &str) -> Option<f64> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let (baseline_path, fresh_path) = match args.as_slice() {
-        [_, b, f] => (b.clone(), f.clone()),
+    let (baseline_path, fresh_path, sim_paths) = match args.as_slice() {
+        [_, b, f] => (b.clone(), f.clone(), None),
+        [_, b, f, sb, sf] => (b.clone(), f.clone(), Some((sb.clone(), sf.clone()))),
         _ => {
-            eprintln!("usage: bench_check <baseline.json> <fresh.json>");
+            eprintln!(
+                "usage: bench_check <baseline.json> <fresh.json> \
+                 [<sim_baseline.json> <sim_fresh.json>]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -109,6 +129,55 @@ fn main() -> ExitCode {
             (_, None) => {
                 eprintln!("FAIL: {key} makespan missing from {fresh_path}");
                 failures += 1;
+            }
+        }
+    }
+
+    if let Some((sim_baseline_path, sim_fresh_path)) = &sim_paths {
+        let (Some(sim_baseline), Some(sim_fresh)) = (read(sim_baseline_path), read(sim_fresh_path))
+        else {
+            return ExitCode::FAILURE;
+        };
+
+        for &(n, floor) in E2E_FLOORS {
+            let key = format!("summary/{n}");
+            match lookup(&sim_fresh, &key, "e2e_speedup") {
+                Some(s) if s >= floor => {
+                    println!("ok: sim {key} e2e_speedup {s:.2} >= {floor:.1}");
+                }
+                Some(s) => {
+                    eprintln!(
+                        "FAIL: sim {key} e2e_speedup {s:.2} < {floor:.1} — \
+                         flat-scan greedy regressed"
+                    );
+                    failures += 1;
+                }
+                None => {
+                    eprintln!("FAIL: sim {key} e2e_speedup missing from {sim_fresh_path}");
+                    failures += 1;
+                }
+            }
+        }
+
+        for &n in ALL_SIZES {
+            let key = format!("summary/{n}");
+            match (
+                lookup(&sim_baseline, &key, "makespan"),
+                lookup(&sim_fresh, &key, "makespan"),
+            ) {
+                (Some(b), Some(f)) if b == f => println!("ok: sim {key} makespan {f} unchanged"),
+                (Some(b), Some(f)) => {
+                    eprintln!("FAIL: sim {key} makespan changed: baseline {b}, fresh {f}");
+                    failures += 1;
+                }
+                (None, _) => {
+                    eprintln!("FAIL: sim {key} makespan missing from baseline {sim_baseline_path}");
+                    failures += 1;
+                }
+                (_, None) => {
+                    eprintln!("FAIL: sim {key} makespan missing from {sim_fresh_path}");
+                    failures += 1;
+                }
             }
         }
     }

@@ -15,6 +15,11 @@
 //!
 //! Writes `BENCH_incremental.json`; CI runs this as a smoke job and
 //! DESIGN.md §9 quotes the committed numbers.
+//!
+//! Note on n=8: it sits below the default
+//! `GreedyConfig::incremental_cutoff` (32), so the "incremental" arm
+//! actually runs the full backend there too — its speedup is timing
+//! noise around 1.0 and `bench_check` does not gate it.
 
 use chronus_bench::fig10::scale_instance;
 use chronus_core::greedy::{greedy_schedule_in, GreedyConfig, GreedyOutcome};

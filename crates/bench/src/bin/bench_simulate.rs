@@ -1,0 +1,115 @@
+//! Flat-scan end-to-end greedy benchmark, machine readable.
+//!
+//! `bench_incremental` isolates the exact *gate*; this bench measures
+//! what the gate numbers cannot: the whole `greedy_schedule` wall
+//! clock, where profiling showed the per-step candidate scan
+//! (Algorithm 3 dependency sets + Algorithm 4 loop walks over
+//! `Path` primitives) dominating once the gate went incremental. It
+//! times the default flat [`FlowScan`]-based scan against the legacy
+//! path-walking scan (`legacy_scan: true`) on the same fig10-scale
+//! instances, in the same process — both arms share every other
+//! optimization, so `e2e_speedup` attributes to the scan alone.
+//!
+//! Per size it emits `flat_ns_per_op`, `legacy_ns_per_op`, their ratio
+//! `e2e_speedup`, the (asserted-identical) `makespan`, and the arena
+//! high-water mark. Writes `BENCH_simulate.json`; `bench_check` gates
+//! `e2e_speedup` floors at n ∈ {64, 512, 2048} and pins makespans.
+//!
+//! [`FlowScan`]: chronus_core::greedy::GreedyConfig::legacy_scan
+
+use chronus_bench::fig10::scale_instance;
+use chronus_core::greedy::{greedy_schedule_in, GreedyConfig, GreedyOutcome};
+use chronus_core::ScheduleError;
+use chronus_net::UpdateInstance;
+use chronus_timenet::SimWorkspace;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Repeats one configuration until 400 ms or 20 reps, whichever first
+/// (always at least once).
+fn time_scan(
+    inst: &UpdateInstance,
+    legacy_scan: bool,
+) -> (f64, Result<GreedyOutcome, ScheduleError>) {
+    // Certification off: both arms pay it identically, and this bench
+    // isolates planning cost.
+    let cfg = GreedyConfig {
+        legacy_scan,
+        verify: chronus_verify::VerifyConfig::disabled(),
+        ..Default::default()
+    };
+    let mut ws = SimWorkspace::default();
+    let mut reps = 0u32;
+    let mut total = Duration::ZERO;
+    let mut last = None;
+    while reps == 0 || (total < Duration::from_millis(400) && reps < 20) {
+        let t0 = Instant::now();
+        let out = greedy_schedule_in(inst, cfg, &mut ws);
+        total += t0.elapsed();
+        reps += 1;
+        last = Some(out);
+    }
+    (
+        total.as_nanos() as f64 / f64::from(reps),
+        last.expect("at least one rep"),
+    )
+}
+
+fn main() {
+    let sizes: &[usize] = &[8, 64, 512, 2048];
+    let mut rows = String::new();
+    let mut summaries = String::new();
+
+    for &n in sizes {
+        // Same seeds as bench_incremental so makespans line up across
+        // the two JSON files.
+        let inst = (0..8)
+            .find_map(|s| scale_instance(n, 20170605 + 977 + s))
+            .unwrap_or_else(|| panic!("no fig10-scale instance at n={n}"));
+
+        let mut per_arm = Vec::new();
+        let mut makespans = Vec::new();
+        let mut arena_bytes = 0u64;
+        for (name, legacy) in [("flat", false), ("legacy", true)] {
+            let (ns, out) = time_scan(&inst, legacy);
+            match &out {
+                Ok(o) => {
+                    makespans.push(o.makespan);
+                    if !legacy {
+                        arena_bytes = o.arena_bytes;
+                    }
+                }
+                Err(e) => panic!("greedy failed on bench instance n={n}: {e}"),
+            }
+            println!("greedy_scan/{name}/{n}: {ns:.0} ns/op");
+            per_arm.push(ns);
+        }
+        assert_eq!(
+            makespans[0], makespans[1],
+            "flat and legacy scans must schedule identically at n={n}"
+        );
+        let makespan = makespans[0];
+        let (flat, legacy) = (per_arm[0], per_arm[1]);
+        let speedup = legacy / flat;
+        println!(
+            "  -> n={n}: end-to-end speedup {speedup:.1}x, makespan {makespan}, \
+             arena ~{arena_bytes} B"
+        );
+        let _ = write!(
+            rows,
+            "{}\n  \"greedy_scan/{n}\": {{\"flat_ns_per_op\": {flat:.1}, \
+             \"legacy_ns_per_op\": {legacy:.1}, \"arena_bytes\": {arena_bytes}}}",
+            if rows.is_empty() { "" } else { "," },
+        );
+        let _ = write!(
+            summaries,
+            ",\n  \"summary/{n}\": {{\"e2e_speedup\": {speedup:.2}, \
+             \"makespan\": {makespan}}}"
+        );
+    }
+
+    let json = format!("{{{rows}{summaries}\n}}\n");
+    let path = "BENCH_simulate.json";
+    std::fs::write(path, &json).expect("write BENCH_simulate.json");
+    println!("(json: {path})");
+}

@@ -1,0 +1,99 @@
+//! Counting-allocator regression test for the greedy hot path.
+//!
+//! The flat-arena work exists to take per-candidate heap traffic out
+//! of the planning loop: simulation state lives in pooled
+//! `SimArena` buffers, gate deltas recycle their undo vectors, and the
+//! flat scan's tables are built once per run. This test pins that
+//! property with a counting global allocator: after one warm-up run
+//! has populated the workspace pools, a second run over the same
+//! workspace must average **fewer than 150 heap allocations per
+//! greedy step** — headroom for the per-step dependency-set build
+//! (`build_set`'s BTreeMaps and chain vectors), candidate/heads
+//! vectors, `Schedule` BTreeMap node churn and trace bookkeeping, but
+//! far below what a reintroduced per-candidate-*evaluation* allocation
+//! costs: evaluations run per pending switch per step, so even one
+//! stray `Vec` per evaluation multiplies the per-step count several
+//! times over and trips the bound. (The committed run measures
+//! ~96/step; the report also emits per-candidate and per-gate-check
+//! rates for eyeballing in CI logs.)
+//!
+//! (An integration test gets its own binary, so the global allocator
+//! here cannot interfere with any other test.)
+
+use chronus_bench::fig10::scale_instance;
+use chronus_core::greedy::{greedy_schedule_in, GreedyConfig};
+use chronus_timenet::SimWorkspace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates allocation to `System` unchanged; the counter is a
+// relaxed atomic side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_greedy_runs_nearly_allocation_free() {
+    let inst = (0..8)
+        .find_map(|s| scale_instance(512, 20170605 + 977 + s))
+        .expect("fig10-scale instance at n=512");
+    let cfg = GreedyConfig {
+        verify: chronus_verify::VerifyConfig::disabled(),
+        ..Default::default()
+    };
+
+    // Warm-up: populates the workspace arena pools, sizes the ledger
+    // rows, and leaves every reusable buffer parked.
+    let mut ws = SimWorkspace::default();
+    let warm = greedy_schedule_in(&inst, cfg, &mut ws).expect("feasible");
+    assert!(warm.simulator_calls > 0);
+
+    // Measured run: same workspace, so only per-run state (schedule
+    // nodes, round traces, scan tables) may touch the allocator.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = greedy_schedule_in(&inst, cfg, &mut ws).expect("feasible");
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    let checks = out.simulator_calls as u64;
+    let committed: u64 = out.rounds.iter().map(|r| r.committed.len() as u64).sum();
+    let per_candidate = allocs as f64 / committed.max(1) as f64;
+    println!(
+        "warm greedy @512: {allocs} allocations over {committed} committed \
+         candidates ({per_candidate:.1} per candidate; {checks} gate checks, \
+         {:.1} per check; {} steps, {:.1} per step), arena high-water {} B",
+        allocs as f64 / checks.max(1) as f64,
+        out.rounds.len(),
+        allocs as f64 / out.rounds.len().max(1) as f64,
+        out.arena_bytes
+    );
+    assert_eq!(
+        out.makespan, warm.makespan,
+        "warm run must not change the schedule"
+    );
+    let _ = per_candidate;
+    let per_step = allocs as f64 / out.rounds.len().max(1) as f64;
+    assert!(
+        per_step < 150.0,
+        "warm greedy run allocated {per_step:.1} times per step (≥ 150): \
+         a hot-path allocation crept back in"
+    );
+}

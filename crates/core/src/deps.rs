@@ -226,7 +226,13 @@ pub fn dependency_set(
 
 /// Merges raw edges into chains and detects cycles (the paper's
 /// "merge the dependency relation set with the common element").
-fn build_set(edges: Vec<(SwitchId, SwitchId)>, pending: &BTreeSet<SwitchId>) -> DependencySet {
+/// Shared with the flat scan in [`crate::scan`], which produces the
+/// same edge list from dense tables — chain construction is therefore
+/// byte-identical between the two scan paths by construction.
+pub(crate) fn build_set(
+    edges: Vec<(SwitchId, SwitchId)>,
+    pending: &BTreeSet<SwitchId>,
+) -> DependencySet {
     // Union-find over involved switches to group components.
     let involved: BTreeSet<SwitchId> = edges
         .iter()

@@ -49,11 +49,13 @@
 
 use crate::deps::{dependency_set, DependencySet};
 use crate::loopcheck::creates_forwarding_loop;
+use crate::par::ParallelScorer;
+use crate::scan::FlowScan;
 use crate::{MutpProblem, ScheduleError};
 use chronus_net::{FlowId, SwitchId, TimeStep, UpdateInstance};
 use chronus_timenet::{
-    FluidSimulator, GateStats, IncrementalSimulator, Schedule, SimWorkspace, SimulatorConfig,
-    Verdict,
+    Delta, FluidSimulator, GateBackendKind, GateStats, IncrementalSimulator, Schedule,
+    SimWorkspace, SimulatorConfig, Verdict,
 };
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -80,6 +82,25 @@ pub struct GreedyConfig {
     /// Both backends return identical verdicts — this knob exists for
     /// the differential benches and as an escape hatch.
     pub incremental_gate: bool,
+    /// Below this many switches the incremental backend's bookkeeping
+    /// costs more than it saves (BENCH_incremental.json shows a 0.58×
+    /// *slowdown* at n=8), so the gate falls back to full resimulation
+    /// even when [`GreedyConfig::incremental_gate`] is set. Both
+    /// backends produce byte-identical schedules; `GateStats::backend`
+    /// records which one ran. Set to 0 to always go incremental.
+    pub incremental_cutoff: usize,
+    /// Use the legacy per-candidate dependency/loop scan (Path walks +
+    /// hash lookups per check) instead of the flat [`FlowScan`]
+    /// tables. The two are proven schedule-identical by differential
+    /// proptests; the flag exists for ablation benches. Default false.
+    pub legacy_scan: bool,
+    /// Score each round's candidate batch on this many worker threads
+    /// (default 1 = sequential). Workers hold mirror simulators and
+    /// verdicts are merged deterministically in candidate order, so
+    /// schedules are byte-identical at any worker count. Only the
+    /// incremental gate backend parallelizes; other configurations
+    /// silently run sequentially.
+    pub parallel_candidates: usize,
     /// Fail immediately when Algorithm 3 reports a dependency cycle
     /// (the paper's Algorithm 2 lines 7–8). Default false: cycles are
     /// often transient (they dissolve as old flow drains), so the
@@ -101,6 +122,9 @@ impl Default for GreedyConfig {
             heads_only: true,
             exact_gate: true,
             incremental_gate: true,
+            incremental_cutoff: 32,
+            legacy_scan: false,
+            parallel_candidates: 1,
             fail_on_cycle: false,
             verify: chronus_verify::VerifyConfig::default(),
         }
@@ -131,6 +155,8 @@ enum GateBackend<'a> {
 /// parallel tests) never share counters.
 struct ExactGate<'a> {
     backend: GateBackend<'a>,
+    /// Pooled delta scratch for `try_extend` (no per-candidate alloc).
+    deltas: Vec<Delta>,
     registry: chronus_trace::MetricsRegistry,
     calls: chronus_trace::Counter,
     incremental_checks: chronus_trace::Counter,
@@ -169,6 +195,7 @@ impl<'a> ExactGate<'a> {
         gate_ns.record(t0.elapsed().as_nanos() as u64);
         ExactGate {
             backend,
+            deltas: Vec::new(),
             registry,
             calls,
             incremental_checks,
@@ -183,7 +210,8 @@ impl<'a> ExactGate<'a> {
     fn mirror_set(&mut self, flow: FlowId, switch: SwitchId, t: TimeStep) {
         if let GateBackend::Incremental(inc) = &mut self.backend {
             let t0 = Instant::now();
-            let _ = inc.apply(flow, switch, t); // committed: delta never undone
+            let d = inc.apply(flow, switch, t);
+            inc.commit(d); // never undone: recycle its undo buffers
             self.gate_ns.record(t0.elapsed().as_nanos() as u64);
         }
     }
@@ -231,12 +259,17 @@ impl<'a> ExactGate<'a> {
             GateBackend::Incremental(inc) => {
                 self.incremental_checks.inc();
                 self.full_equivalent_cells.add(inc.live_cells());
-                let mut deltas = Vec::with_capacity(switches.len());
+                let deltas = &mut self.deltas;
+                debug_assert!(deltas.is_empty());
                 for &v in switches {
                     deltas.push(inc.apply(flow, v, t));
                 }
                 let ok = inc.verdict() == Verdict::Consistent;
-                if !ok {
+                if ok {
+                    for d in deltas.drain(..) {
+                        inc.commit(d); // accepted: never undone
+                    }
+                } else {
                     while let Some(d) = deltas.pop() {
                         inc.undo(d);
                     }
@@ -267,6 +300,10 @@ impl<'a> ExactGate<'a> {
         let cells_touched = self
             .registry
             .counter("chronus_core_gate_cells_touched_total");
+        let backend_kind = match &self.backend {
+            GateBackend::Full { .. } => GateBackendKind::Full,
+            GateBackend::Incremental(_) => GateBackendKind::Incremental,
+        };
         let ws = match self.backend {
             GateBackend::Full { ws, .. } => ws,
             GateBackend::Incremental(inc) => {
@@ -277,6 +314,7 @@ impl<'a> ExactGate<'a> {
             }
         };
         let stats = GateStats {
+            backend: backend_kind,
             incremental_checks: self.incremental_checks.get(),
             full_checks: self.full_checks.get(),
             ledger_applies: ledger_applies.get(),
@@ -319,6 +357,16 @@ pub struct GreedyOutcome {
     /// The independent certifier's proof of consistency, when
     /// certification was enabled (see [`GreedyConfig::verify`]).
     pub certificate: Option<chronus_verify::Certificate>,
+    /// High-water mark, in bytes, of the run's [`SimArena`] pools
+    /// (the flat backing store every simulation path draws from).
+    /// Zero when the gate never ran or the workspace was not returned.
+    ///
+    /// [`SimArena`]: chronus_timenet::SimArena
+    pub arena_bytes: u64,
+    /// Worker threads that actually scored candidate waves: 1 for the
+    /// sequential path (including configs where parallelism silently
+    /// disengages — no incremental backend, gate disabled).
+    pub parallel_candidates: usize,
 }
 
 /// Runs Algorithm 2 with default configuration.
@@ -365,16 +413,42 @@ pub fn greedy_schedule_in(
         incremental = config.incremental_gate
     )
     .entered();
+    // Small-n cutoff: below `incremental_cutoff` switches the full
+    // resimulator is faster than incremental bookkeeping, and the two
+    // backends emit byte-identical schedules — fall back silently.
+    let incremental =
+        config.incremental_gate && instance.network.switch_count() >= config.incremental_cutoff;
     let mut gate = if config.exact_gate {
         Some(ExactGate::new(
             instance,
-            config.incremental_gate,
+            incremental,
             std::mem::take(workspace),
         ))
     } else {
         None
     };
-    let result = greedy_loop(instance, config, &mut gate);
+    // Parallel candidate scoring needs mirrorable per-worker simulator
+    // state, so it exists only for the incremental gate backend; other
+    // configurations silently run sequentially (same schedules either
+    // way — the workers only relocate rejected candidates' checks).
+    let parallel = if incremental && config.exact_gate {
+        config.parallel_candidates.max(1)
+    } else {
+        1
+    };
+    let result = if parallel > 1 {
+        rayon::scope(|s| {
+            let scorer = ParallelScorer::start(s, instance, parallel);
+            let mut scorer = Some(scorer);
+            let r = greedy_loop(instance, config, &mut gate, &mut scorer);
+            if let Some(sc) = scorer {
+                sc.shutdown();
+            }
+            r
+        })
+    } else {
+        greedy_loop(instance, config, &mut gate, &mut None)
+    };
     let (simulator_calls, gate_stats, gate_nanos) = match gate {
         Some(g) => {
             let (calls, stats, nanos, ws) = g.into_parts();
@@ -383,9 +457,12 @@ pub fn greedy_schedule_in(
         }
         None => (0, GateStats::default(), 0),
     };
+    let arena_bytes = workspace.arena_bytes();
     if span.is_recording() {
         span.record("simulator_calls", simulator_calls);
         span.record("gate_ns", gate_nanos);
+        span.record("arena_bytes", arena_bytes);
+        span.record("parallel_candidates", parallel as u64);
         span.record("feasible", result.is_ok());
     }
     let (schedule, rounds) = result?;
@@ -400,6 +477,8 @@ pub fn greedy_schedule_in(
         gate: gate_stats,
         gate_nanos,
         certificate,
+        arena_bytes,
+        parallel_candidates: parallel,
     })
 }
 
@@ -408,11 +487,26 @@ fn greedy_loop(
     instance: &UpdateInstance,
     config: GreedyConfig,
     gate: &mut Option<ExactGate<'_>>,
+    scorer: &mut Option<ParallelScorer>,
 ) -> Result<(Schedule, Vec<RoundTrace>), ScheduleError> {
     let problem = MutpProblem::new(instance)?;
 
     let mut schedule = Schedule::new();
     let mut rounds = Vec::new();
+
+    // Flat per-flow scan tables (see `scan`): built once per run,
+    // snapshotted per flow-turn. `legacy_scan` keeps the original
+    // Path-walking implementations around for ablation and the
+    // differential tests.
+    let mut scans: Vec<FlowScan> = if config.legacy_scan {
+        Vec::new()
+    } else {
+        instance
+            .flows
+            .iter()
+            .map(|f| FlowScan::build(instance, f))
+            .collect()
+    };
 
     // Per-flow pending sets.
     let mut pending: Vec<BTreeSet<SwitchId>> = (0..instance.flows.len())
@@ -427,6 +521,9 @@ fn greedy_loop(
             schedule.set(flow.id, v, 0);
             if let Some(g) = gate.as_mut() {
                 g.mirror_set(flow.id, v, 0);
+            }
+            if let Some(sc) = scorer.as_ref() {
+                sc.mirror(flow.id, v, 0);
             }
             pending[fi].remove(&v);
         }
@@ -464,13 +561,21 @@ fn greedy_loop(
             if pending[fi].is_empty() {
                 continue;
             }
-            let deps: DependencySet = dependency_set(instance, flow, &schedule, &pending[fi], t);
+            let mut deps: DependencySet = match scans.get_mut(fi) {
+                Some(scan) => {
+                    // Snapshot is valid for this whole flow-turn: all
+                    // commits for this flow happen after collection.
+                    scan.begin_step(&schedule, &pending[fi]);
+                    scan.dependency_set(&pending[fi], t)
+                }
+                None => dependency_set(instance, flow, &schedule, &pending[fi], t),
+            };
             if config.fail_on_cycle {
-                if let Some(cycle) = deps.cycle.clone() {
+                if let Some(cycle) = deps.cycle.take() {
                     return Err(ScheduleError::DependencyCycle(cycle));
                 }
             }
-            trace.chains.extend(deps.chains.iter().cloned());
+            let scan = scans.get(fi);
 
             // Single-pass candidate build: cooldown and Algorithm 4
             // filters are applied as each candidate is drawn, and the
@@ -482,7 +587,10 @@ fn greedy_loop(
                         .get(&(fi, v))
                         .is_none_or(|&ft| last_commit_t > ft || t >= ft + cooldown)
                     && !(config.loop_precheck
-                        && creates_forwarding_loop(instance, flow, schedule, v, t))
+                        && match scan {
+                            Some(s) => s.creates_loop(v, t),
+                            None => creates_forwarding_loop(instance, flow, schedule, v, t),
+                        })
             };
             let mut candidates: Vec<SwitchId> = Vec::new();
             if config.heads_only {
@@ -509,6 +617,9 @@ fn greedy_loop(
                     }
                 }
             }
+            // Chains are moved (not cloned) into the trace; `heads()`
+            // above was the last reader of `deps`.
+            trace.chains.append(&mut deps.chains);
             if candidates.is_empty() {
                 continue;
             }
@@ -522,6 +633,9 @@ fn greedy_loop(
                         for &v in &candidates {
                             pending[fi].remove(&v);
                             trace.committed.push((flow.id, v));
+                            if let Some(sc) = scorer.as_ref() {
+                                sc.mirror(flow.id, v, t);
+                            }
                         }
                         last_commit_t = t;
                         continue;
@@ -529,25 +643,67 @@ fn greedy_loop(
                 }
             }
 
-            for v in candidates {
-                if !pending[fi].contains(&v) {
-                    continue;
-                }
-                // Exact gate: commit only if the extended partial
-                // schedule simulates clean.
-                let ok = match gate.as_mut() {
-                    Some(g) => g.try_extend(&mut schedule, flow.id, std::slice::from_ref(&v), t),
-                    None => {
-                        schedule.set(flow.id, v, t);
-                        true
+            if let Some(sc) = scorer.as_mut() {
+                // Parallel wave scoring: all candidates share the same
+                // simulator base until something commits, so one wave
+                // scores the whole remaining suffix on the worker
+                // mirrors; only predicted-accepts touch the main gate
+                // (which stays authoritative). Merging in candidate
+                // order keeps the schedule byte-identical to the
+                // sequential path at any worker count.
+                let g = gate
+                    .as_mut()
+                    .expect("parallel scoring only runs with the gate enabled");
+                let mut remaining = candidates.as_slice();
+                'waves: while !remaining.is_empty() {
+                    let verdicts = sc.score(flow.id, remaining, t);
+                    for (i, &v) in remaining.iter().enumerate() {
+                        if !verdicts[i] {
+                            failed_at.insert((fi, v), t);
+                            continue;
+                        }
+                        if g.try_extend(&mut schedule, flow.id, std::slice::from_ref(&v), t) {
+                            pending[fi].remove(&v);
+                            trace.committed.push((flow.id, v));
+                            last_commit_t = t;
+                            sc.mirror(flow.id, v, t);
+                            // The base changed: the rest of this wave's
+                            // verdicts are dead. Re-score the suffix.
+                            remaining = &remaining[i + 1..];
+                            continue 'waves;
+                        }
+                        // Mirror/gate divergence (should not happen):
+                        // the gate's answer wins, and since a rejection
+                        // leaves the base unchanged, the rest of the
+                        // wave is still valid.
+                        debug_assert!(false, "worker mirror diverged from the main gate");
+                        failed_at.insert((fi, v), t);
                     }
-                };
-                if ok {
-                    pending[fi].remove(&v);
-                    trace.committed.push((flow.id, v));
-                    last_commit_t = t;
-                } else {
-                    failed_at.insert((fi, v), t);
+                    break;
+                }
+            } else {
+                for v in candidates {
+                    if !pending[fi].contains(&v) {
+                        continue;
+                    }
+                    // Exact gate: commit only if the extended partial
+                    // schedule simulates clean.
+                    let ok = match gate.as_mut() {
+                        Some(g) => {
+                            g.try_extend(&mut schedule, flow.id, std::slice::from_ref(&v), t)
+                        }
+                        None => {
+                            schedule.set(flow.id, v, t);
+                            true
+                        }
+                    };
+                    if ok {
+                        pending[fi].remove(&v);
+                        trace.committed.push((flow.id, v));
+                        last_commit_t = t;
+                    } else {
+                        failed_at.insert((fi, v), t);
+                    }
                 }
             }
         }

@@ -49,7 +49,9 @@ mod error;
 pub mod exec;
 pub mod greedy;
 pub mod loopcheck;
+pub(crate) mod par;
 mod problem;
+pub(crate) mod scan;
 pub mod sequential;
 pub mod tree;
 

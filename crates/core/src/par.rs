@@ -1,0 +1,169 @@
+//! Parallel candidate scoring for the greedy one-by-one fallback.
+//!
+//! When a round's joint batch fails, the sequential path gate-checks
+//! each candidate in order against the incremental simulator — each
+//! check an apply → verdict → undo round-trip on the *same* simulator
+//! state, so the checks within one "no commit yet" window are
+//! embarrassingly parallel. [`ParallelScorer`] exploits exactly that
+//! window and nothing more:
+//!
+//! - Each worker owns a full [`IncrementalSimulator`] *mirror* of the
+//!   main gate's state, kept in sync by [`Req::Mirror`] broadcasts for
+//!   every committed entry (the fresh pre-pass and every accepted
+//!   candidate). Worker channels are FIFO, so a mirror sent before a
+//!   scoring wave is always applied before it.
+//! - A **wave** ([`Req::Score`]) broadcasts the ordered remaining
+//!   candidate list; worker `w` of `W` scores indices `w, w+W, …`
+//!   (apply → verdict → undo, leaving its mirror unchanged) and sends
+//!   back `(wave, index, ok)`.
+//! - The caller merges verdicts **in candidate order**: rejections
+//!   become cooldown entries exactly as the sequential path records
+//!   them, and the first predicted-accept is re-checked on the main
+//!   gate, which stays authoritative. An accept invalidates the rest
+//!   of the wave (the simulator base changed), so the caller mirrors
+//!   the commit and starts a new wave over the remaining suffix; stale
+//!   wave results are discarded by wave number on receipt.
+//!
+//! Because verdicts against an identical base are deterministic and
+//! the merge consumes them in candidate order, the committed schedule
+//! is **byte-identical at any worker count** — pinned by the
+//! differential tests in `tests/scan_props.rs`. What parallelism
+//! changes is only *where* rejected candidates burn their simulator
+//! call: on a worker mirror instead of the main gate.
+
+// Strided wave indexing into the shared candidate list; channel sends
+// only fail when a worker died, which the scope turns into a panic.
+#![allow(clippy::indexing_slicing, clippy::expect_used)]
+
+use chronus_net::{FlowId, SwitchId, TimeStep, UpdateInstance};
+use chronus_timenet::{IncrementalSimulator, SimWorkspace, Verdict};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One request from the merge loop to a worker.
+enum Req {
+    /// A committed schedule entry: apply to the mirror, permanently.
+    Mirror(FlowId, SwitchId, TimeStep),
+    /// Score a candidate wave (worker takes its stride of `cands`).
+    Score {
+        wave: u64,
+        flow: FlowId,
+        t: TimeStep,
+        cands: Arc<Vec<SwitchId>>,
+    },
+    /// Tear down the worker loop.
+    Quit,
+}
+
+/// Handle owned by the greedy loop; workers live on the enclosing
+/// [`rayon::scope`] and are joined when the scope ends.
+pub(crate) struct ParallelScorer {
+    txs: Vec<mpsc::Sender<Req>>,
+    rx: mpsc::Receiver<(u64, usize, bool)>,
+    wave: u64,
+}
+
+impl ParallelScorer {
+    /// Spawns `workers` scoring threads on `scope`, each owning an
+    /// incremental-simulator mirror built over `instance`.
+    pub fn start<'scope, 'env>(
+        scope: &rayon::Scope<'scope, 'env>,
+        instance: &'env UpdateInstance,
+        workers: usize,
+    ) -> Self {
+        let workers = workers.max(1);
+        let (res_tx, rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, req_rx) = mpsc::channel::<Req>();
+            txs.push(tx);
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| worker_loop(instance, w, workers, &req_rx, &res_tx));
+        }
+        ParallelScorer { txs, rx, wave: 0 }
+    }
+
+    /// Broadcasts a committed schedule entry to every mirror.
+    pub fn mirror(&self, flow: FlowId, switch: SwitchId, t: TimeStep) {
+        for tx in &self.txs {
+            tx.send(Req::Mirror(flow, switch, t))
+                .expect("scorer worker exited early");
+        }
+    }
+
+    /// Scores `cands` (in order) against the mirrors' current state —
+    /// which equals the main gate's state, by the mirroring protocol —
+    /// and returns one verdict per candidate.
+    pub fn score(&mut self, flow: FlowId, cands: &[SwitchId], t: TimeStep) -> Vec<bool> {
+        self.wave += 1;
+        let wave = self.wave;
+        let shared = Arc::new(cands.to_vec());
+        for tx in &self.txs {
+            tx.send(Req::Score {
+                wave,
+                flow,
+                t,
+                cands: Arc::clone(&shared),
+            })
+            .expect("scorer worker exited early");
+        }
+        let mut verdicts = vec![false; cands.len()];
+        let mut got = 0;
+        while got < cands.len() {
+            let (w, i, ok) = self.rx.recv().expect("scorer worker exited early");
+            // Results from waves the merge loop abandoned mid-drain
+            // (an accept changed the base) are dead — drop them.
+            if w == wave {
+                verdicts[i] = ok;
+                got += 1;
+            }
+        }
+        verdicts
+    }
+
+    /// Sends every worker its quit message; the enclosing scope joins
+    /// the threads.
+    pub fn shutdown(self) {
+        for tx in &self.txs {
+            // A worker that already died will be surfaced by the
+            // scope's panic propagation; ignore the send error here.
+            let _ = tx.send(Req::Quit);
+        }
+    }
+}
+
+fn worker_loop(
+    instance: &UpdateInstance,
+    worker: usize,
+    stride: usize,
+    req_rx: &mpsc::Receiver<Req>,
+    res_tx: &mpsc::Sender<(u64, usize, bool)>,
+) {
+    let mut inc = IncrementalSimulator::with_workspace(instance, SimWorkspace::default());
+    while let Ok(req) = req_rx.recv() {
+        match req {
+            Req::Mirror(flow, switch, t) => {
+                let d = inc.apply(flow, switch, t);
+                inc.commit(d);
+            }
+            Req::Score {
+                wave,
+                flow,
+                t,
+                cands,
+            } => {
+                let mut i = worker;
+                while i < cands.len() {
+                    let d = inc.apply(flow, cands[i], t);
+                    let ok = inc.verdict() == Verdict::Consistent;
+                    inc.undo(d);
+                    if res_tx.send((wave, i, ok)).is_err() {
+                        return; // merge side gone: stop quietly
+                    }
+                    i += stride;
+                }
+            }
+            Req::Quit => return,
+        }
+    }
+}

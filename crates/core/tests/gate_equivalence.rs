@@ -24,7 +24,16 @@ fn run_both(
             ..Default::default()
         },
     );
-    let inc = greedy_schedule_with(inst, GreedyConfig::default());
+    // `incremental_cutoff: 0` forces the incremental backend even on
+    // instances below the small-n cutoff — this test exists precisely
+    // to differentially exercise that backend.
+    let inc = greedy_schedule_with(
+        inst,
+        GreedyConfig {
+            incremental_cutoff: 0,
+            ..Default::default()
+        },
+    );
     (full, inc)
 }
 
@@ -53,6 +62,34 @@ fn assert_equivalent(inst: &UpdateInstance) {
 #[test]
 fn motivating_example_equivalent() {
     assert_equivalent(&motivating_example());
+}
+
+/// Below `incremental_cutoff` the gate silently runs the full
+/// resimulator (incremental bookkeeping costs more than it saves at
+/// small n) and records which backend actually ran.
+#[test]
+fn small_instances_fall_back_to_full_backend() {
+    use chronus_timenet::GateBackendKind;
+    let inst = motivating_example();
+    let defaulted = greedy_schedule_with(&inst, GreedyConfig::default()).expect("feasible");
+    assert_eq!(defaulted.gate.backend, GateBackendKind::Full);
+    assert_eq!(defaulted.gate.incremental_checks, 0);
+    assert!(defaulted.gate.full_checks > 0);
+
+    let forced = greedy_schedule_with(
+        &inst,
+        GreedyConfig {
+            incremental_cutoff: 0,
+            ..Default::default()
+        },
+    )
+    .expect("feasible");
+    assert_eq!(forced.gate.backend, GateBackendKind::Incremental);
+    assert_eq!(forced.gate.full_checks, 0);
+    assert_eq!(
+        defaulted.schedule, forced.schedule,
+        "cutoff must not change schedules"
+    );
 }
 
 #[test]

@@ -1,0 +1,142 @@
+//! Differential proofs for the flat-scan and parallel-scoring paths.
+//!
+//! The perf work must be invisible in the output: the flat
+//! [`FlowScan`] tables and the parallel candidate scorer exist to make
+//! greedy *faster*, not different. These tests pin byte-identical
+//! schedules, traces and makespans between
+//!
+//! - the flat scan (default) and the legacy Path-walking scan
+//!   (`legacy_scan: true`), and
+//! - sequential scoring and parallel scoring at 2 and 4 workers
+//!   (`parallel_candidates`),
+//!
+//! across the fixed paper instances and hundreds of random generated
+//! instances.
+
+use chronus_core::greedy::{greedy_schedule_with, GreedyConfig, GreedyOutcome};
+use chronus_core::ScheduleError;
+use chronus_net::{
+    motivating_example, reversal_instance, InstanceGenerator, InstanceGeneratorConfig,
+    UpdateInstance,
+};
+use proptest::prelude::*;
+
+fn run(inst: &UpdateInstance, config: GreedyConfig) -> Result<GreedyOutcome, ScheduleError> {
+    greedy_schedule_with(inst, config)
+}
+
+/// Two outcomes must agree on everything the caller can observe from
+/// the schedule side: the schedule itself, its makespan, and the full
+/// per-round commit/chain trace. (Instrumentation like simulator-call
+/// counts is *allowed* to differ — parallel scoring relocates rejected
+/// candidates' checks onto worker mirrors.)
+fn assert_same_outcome(
+    tag: &str,
+    a: &Result<GreedyOutcome, ScheduleError>,
+    b: &Result<GreedyOutcome, ScheduleError>,
+) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.schedule, y.schedule, "{tag}: schedules diverged");
+            assert_eq!(x.makespan, y.makespan, "{tag}: makespans diverged");
+            let xr: Vec<_> = x
+                .rounds
+                .iter()
+                .map(|r| (r.time, r.chains.clone(), r.committed.clone()))
+                .collect();
+            let yr: Vec<_> = y
+                .rounds
+                .iter()
+                .map(|r| (r.time, r.chains.clone(), r.committed.clone()))
+                .collect();
+            assert_eq!(xr, yr, "{tag}: round traces diverged");
+        }
+        (Err(_), Err(_)) => {}
+        (x, y) => panic!("{tag}: feasibility diverged: {x:?} vs {y:?}"),
+    }
+}
+
+fn flat_vs_legacy(inst: &UpdateInstance) {
+    let flat = run(inst, GreedyConfig::default());
+    let legacy = run(
+        inst,
+        GreedyConfig {
+            legacy_scan: true,
+            ..Default::default()
+        },
+    );
+    assert_same_outcome("flat vs legacy scan", &flat, &legacy);
+}
+
+fn parallel_vs_sequential(inst: &UpdateInstance) {
+    // `incremental_cutoff: 0` forces the incremental backend so the
+    // parallel path actually engages on small instances.
+    let base = GreedyConfig {
+        incremental_cutoff: 0,
+        ..Default::default()
+    };
+    let seq = run(inst, base);
+    for workers in [2, 4] {
+        let par = run(
+            inst,
+            GreedyConfig {
+                parallel_candidates: workers,
+                ..base
+            },
+        );
+        assert_same_outcome(&format!("sequential vs {workers} workers"), &seq, &par);
+    }
+}
+
+#[test]
+fn fixed_instances_flat_equals_legacy() {
+    flat_vs_legacy(&motivating_example());
+    for n in 4..9 {
+        flat_vs_legacy(&reversal_instance(n, 2, 1));
+        flat_vs_legacy(&reversal_instance(n, 1, 1));
+    }
+}
+
+#[test]
+fn fixed_instances_parallel_equals_sequential() {
+    parallel_vs_sequential(&motivating_example());
+    for n in 4..9 {
+        parallel_vs_sequential(&reversal_instance(n, 2, 1));
+        parallel_vs_sequential(&reversal_instance(n, 1, 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// The tentpole equivalence: the flat scan must be schedule-,
+    /// trace- and makespan-identical to the legacy scan on random
+    /// paper-shaped instances.
+    #[test]
+    fn random_instances_flat_equals_legacy(
+        switches in 6usize..28,
+        seed in 0u64..100_000,
+    ) {
+        let cfg = InstanceGeneratorConfig::paper(switches, seed);
+        if let Some(inst) = InstanceGenerator::new(cfg).generate() {
+            flat_vs_legacy(&inst);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Worker count must never show up in the output (thread spawn per
+    /// case keeps this one smaller than the scan differential).
+    #[test]
+    fn random_instances_parallel_equals_sequential(
+        switches in 6usize..24,
+        seed in 0u64..100_000,
+    ) {
+        let cfg = InstanceGeneratorConfig::paper(switches, seed);
+        if let Some(inst) = InstanceGenerator::new(cfg).generate() {
+            parallel_vs_sequential(&inst);
+        }
+    }
+}

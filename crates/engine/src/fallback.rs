@@ -395,6 +395,7 @@ fn plan_chain_impl(
                 match greedy_schedule_in(instance, cfg, ws) {
                     Ok(out) => {
                         metrics.record_gate(&out.gate);
+                        metrics.record_greedy_resources(out.arena_bytes, out.parallel_candidates);
                         winner = Some((stage, PlanKind::Timed(out.schedule), out.certificate));
                         StageOutcome::Won
                     }

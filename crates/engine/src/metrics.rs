@@ -63,6 +63,10 @@ pub struct EngineMetrics {
     tp: StageHandles,
     gate_incremental_checks: Counter,
     gate_full_checks: Counter,
+    gate_incremental_runs: Counter,
+    gate_full_runs: Counter,
+    greedy_arena_bytes: Gauge,
+    greedy_parallel_candidates: Gauge,
     gate_ledger_applies: Counter,
     gate_ledger_undos: Counter,
     gate_cells_touched: Counter,
@@ -109,6 +113,10 @@ impl EngineMetrics {
             tp: StageHandles::new(&registry, "two_phase"),
             gate_incremental_checks: counter("chronus_engine_gate_incremental_checks_total"),
             gate_full_checks: counter("chronus_engine_gate_full_checks_total"),
+            gate_incremental_runs: counter("chronus_engine_gate_incremental_runs_total"),
+            gate_full_runs: counter("chronus_engine_gate_full_runs_total"),
+            greedy_arena_bytes: registry.gauge("chronus_engine_greedy_arena_bytes"),
+            greedy_parallel_candidates: registry.gauge("chronus_engine_greedy_parallel_candidates"),
             gate_ledger_applies: counter("chronus_engine_gate_ledger_applies_total"),
             gate_ledger_undos: counter("chronus_engine_gate_ledger_undos_total"),
             gate_cells_touched: counter("chronus_engine_gate_cells_touched_total"),
@@ -175,11 +183,25 @@ impl EngineMetrics {
     pub fn record_gate(&self, stats: &GateStats) {
         self.gate_incremental_checks.add(stats.incremental_checks);
         self.gate_full_checks.add(stats.full_checks);
+        match stats.backend {
+            chronus_timenet::GateBackendKind::Incremental => self.gate_incremental_runs.inc(),
+            chronus_timenet::GateBackendKind::Full => self.gate_full_runs.inc(),
+        }
         self.gate_ledger_applies.add(stats.ledger_applies);
         self.gate_ledger_undos.add(stats.ledger_undos);
         self.gate_cells_touched.add(stats.cells_touched);
         self.gate_full_equivalent_cells
             .add(stats.full_equivalent_cells);
+    }
+
+    /// Records one greedy run's resource telemetry: the simulation-
+    /// arena high-water mark (the gauge keeps the largest seen) and
+    /// the worker count that scored its candidate waves.
+    pub fn record_greedy_resources(&self, arena_bytes: u64, parallel_candidates: usize) {
+        self.greedy_arena_bytes
+            .max(arena_bytes.min(i64::MAX as u64) as i64);
+        self.greedy_parallel_candidates
+            .max(parallel_candidates.min(i64::MAX as usize) as i64);
     }
 
     /// Records one request's certification outcome: `skipped` when
@@ -249,6 +271,13 @@ impl EngineMetrics {
             tree: self.tree.stats(),
             two_phase: self.tp.stats(),
             gate: GateStats {
+                // A rollup has no single backend; report Full only
+                // when every recorded run used the full resimulator.
+                backend: if self.gate_full_runs.get() > 0 && self.gate_incremental_runs.get() == 0 {
+                    chronus_timenet::GateBackendKind::Full
+                } else {
+                    chronus_timenet::GateBackendKind::Incremental
+                },
                 incremental_checks: self.gate_incremental_checks.get(),
                 full_checks: self.gate_full_checks.get(),
                 ledger_applies: self.gate_ledger_applies.get(),
@@ -268,6 +297,8 @@ impl EngineMetrics {
                 uncertifiable: self.slack_uncertifiable.get(),
                 schedules_checked: self.slack_schedules_checked.get(),
             },
+            arena_bytes: self.greedy_arena_bytes.get().max(0) as u64,
+            parallel_candidates: self.greedy_parallel_candidates.get().max(0) as u64,
             submitted: self.submitted.get(),
             completed: self.completed.get(),
             timeouts: self.timeouts.get(),
@@ -358,6 +389,12 @@ pub struct PlanReport {
     pub certs: CertStats,
     /// Slack-stage counters across completed requests.
     pub slack: SlackStats,
+    /// Largest simulation-arena high-water mark (bytes) any greedy run
+    /// reported — the flat pool footprint of the planning hot path.
+    pub arena_bytes: u64,
+    /// Largest candidate-scoring worker count any greedy run used
+    /// (1 = sequential, 0 = no greedy run recorded yet).
+    pub parallel_candidates: u64,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests fully planned.
@@ -453,6 +490,12 @@ impl fmt::Display for PlanReport {
             self.gate.ledger_undos,
             self.gate.cells_touched,
             self.gate.full_equivalent_cells
+        )?;
+        writeln!(
+            f,
+            "  greedy resources: arena high-water ~{} B, \
+             {} candidate-scoring worker(s)",
+            self.arena_bytes, self.parallel_candidates
         )?;
         write!(
             f,

@@ -41,6 +41,7 @@
 // invariants the apply/undo pair maintains.
 #![allow(clippy::indexing_slicing, clippy::expect_used)]
 
+use crate::arena::{SimArena, StepCounts};
 use crate::ledger::{LinkInterner, LoadLedger};
 use crate::report::Verdict;
 use crate::Schedule;
@@ -166,10 +167,6 @@ pub(crate) struct VisitStamps {
 }
 
 impl VisitStamps {
-    pub fn new(switch_count: usize) -> Self {
-        Self::with_buffer(switch_count, Vec::new())
-    }
-
     pub fn with_buffer(switch_count: usize, mut buffer: Vec<u64>) -> Self {
         buffer.clear();
         buffer.resize(switch_count, 0);
@@ -177,6 +174,11 @@ impl VisitStamps {
             stamp: buffer,
             epoch: 0,
         }
+    }
+
+    /// Returns the stamp storage for arena reuse.
+    pub fn into_buffer(self) -> Vec<u64> {
+        self.stamp
     }
 
     #[inline]
@@ -398,17 +400,47 @@ struct RetraceRec {
 /// Reusable buffers for [`IncrementalSimulator`] (and, transitively,
 /// its ledger): an engine worker keeps one of these per thread so
 /// batch planning stops re-allocating the load surface per request.
+/// Since the arena rewrite this is a thin wrapper over [`SimArena`] —
+/// one parts-bin holding the load surface, occupancy bit rows, visit
+/// stamps, pooled hop vectors and the dense step multisets.
 #[derive(Debug, Default)]
 pub struct SimWorkspace {
-    loads: Vec<Capacity>,
-    stamps: Vec<u64>,
-    hops: Vec<HopRec>,
+    pub(crate) arena: SimArena,
+}
+
+impl SimWorkspace {
+    /// Byte high-water mark of the backing arena across every
+    /// simulator run that recycled this workspace.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena.high_water_bytes()
+    }
+
+    /// Occupancy-bitmap words (`u64`s across the ledger's loaded +
+    /// overloaded row sets) the most recent run returned.
+    pub fn occupancy_words(&self) -> u64 {
+        self.arena.occupancy_words()
+    }
+}
+
+/// Which exact-simulation backend a gate ran its checks on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GateBackendKind {
+    /// O(Δ) [`IncrementalSimulator`] apply/undo.
+    #[default]
+    Incremental,
+    /// Full re-simulation per check (ablation flag, or the automatic
+    /// small-instance cutoff where incremental bookkeeping costs more
+    /// than it saves).
+    Full,
 }
 
 /// Counters describing how an exact gate spent its checks; surfaced
 /// through `GreedyOutcome` and the engine's `PlanReport`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GateStats {
+    /// Backend the gate ran on (most recent gate wins under
+    /// [`GateStats::absorb`] aggregation).
+    pub backend: GateBackendKind,
     /// Gate checks answered incrementally (O(Δ)).
     pub incremental_checks: u64,
     /// Gate checks answered by a full simulator run.
@@ -427,6 +459,9 @@ pub struct GateStats {
 impl GateStats {
     /// Accumulates `other` into `self` (engine-side aggregation).
     pub fn absorb(&mut self, other: &GateStats) {
+        if other.incremental_checks + other.full_checks > 0 {
+            self.backend = other.backend;
+        }
         self.incremental_checks += other.incremental_checks;
         self.full_checks += other.full_checks;
         self.ledger_applies += other.ledger_applies;
@@ -448,19 +483,24 @@ pub struct IncrementalSimulator {
     flow_index: BTreeMap<FlowId, usize>,
     /// Multiset of scheduled times across all flows (for the global
     /// makespan, which couples every flow's horizon window).
-    sched_times: BTreeMap<TimeStep, usize>,
-    loop_times: BTreeMap<TimeStep, usize>,
-    blackhole_times: BTreeMap<TimeStep, usize>,
+    sched_times: StepCounts,
+    loop_times: StepCounts,
+    blackhole_times: StepCounts,
     loops: usize,
     blackholes: usize,
     undelivered: usize,
     max_hops: usize,
     slack: TimeStep,
     stamps: VisitStamps,
-    /// Recycled hop vectors: tracing pops one, retiring a cohort
-    /// pushes its storage back — the steady-state hot path allocates
-    /// nothing.
-    hop_pool: Vec<Vec<HopRec>>,
+    /// The parts-bin: while the simulator is live it serves as the hop
+    /// pool (tracing pops a buffer, retiring a cohort pushes its
+    /// storage back — the steady-state hot path allocates nothing);
+    /// at teardown every other buffer returns into it too.
+    arena: SimArena,
+    /// Recycled `Delta::retraced` record vectors.
+    retrace_pool: Vec<Vec<RetraceRec>>,
+    /// Scratch for [`Self::retrace_affected`]'s affected-slot list.
+    affected_scratch: Vec<(usize, TimeStep)>,
     depth: u64,
     applies: u64,
     undos: u64,
@@ -493,23 +533,30 @@ impl IncrementalSimulator {
             .map(|f| FlowTable::build(instance, &interner, f))
             .collect();
         let t_lo = tables.iter().map(|t| -t.phi_init).min().unwrap_or(0);
-        let ledger = LoadLedger::with_buffer(&interner, t_lo, workspace.loads);
-        let stamps = VisitStamps::with_buffer(net.switch_count(), workspace.stamps);
+        let mut arena = workspace.arena;
+        let ledger = LoadLedger::with_arena(&interner, t_lo, &mut arena);
+        let stamps =
+            VisitStamps::with_buffer(net.switch_count(), std::mem::take(&mut arena.stamps));
+        let sched_times = arena.take_step_counts();
+        let loop_times = arena.take_step_counts();
+        let blackhole_times = arena.take_step_counts();
         let mut sim = IncrementalSimulator {
             interner,
             ledger,
             flows: Vec::with_capacity(tables.len()),
             flow_index: BTreeMap::new(),
-            sched_times: BTreeMap::new(),
-            loop_times: BTreeMap::new(),
-            blackhole_times: BTreeMap::new(),
+            sched_times,
+            loop_times,
+            blackhole_times,
             loops: 0,
             blackholes: 0,
             undelivered: 0,
             max_hops: net.switch_count() + 2,
             slack: DEFAULT_SLACK,
             stamps,
-            hop_pool: vec![workspace.hops],
+            arena,
+            retrace_pool: Vec::new(),
+            affected_scratch: Vec::new(),
             depth: 0,
             applies: 0,
             undos: 0,
@@ -536,12 +583,36 @@ impl IncrementalSimulator {
     }
 
     /// Tears the simulator down, returning its buffers for reuse.
-    pub fn into_workspace(mut self) -> SimWorkspace {
-        SimWorkspace {
-            loads: self.ledger.into_buffer(),
-            stamps: self.stamps.stamp,
-            hops: self.hop_pool.pop().unwrap_or_default(),
+    pub fn into_workspace(self) -> SimWorkspace {
+        let IncrementalSimulator {
+            ledger,
+            flows,
+            stamps,
+            sched_times,
+            loop_times,
+            blackhole_times,
+            mut arena,
+            ..
+        } = self;
+        // Live trajectory storage (cohort hop vectors + visit rows) is
+        // dropped here, but its footprint counts toward the run's
+        // high-water mark.
+        let mut live_bytes = 0u64;
+        for fs in &flows {
+            for c in &fs.cohorts {
+                live_bytes += (c.hops.capacity() * std::mem::size_of::<HopRec>()) as u64;
+            }
+            for row in &fs.visit {
+                live_bytes += (row.capacity() * std::mem::size_of::<TimeStep>()) as u64;
+            }
         }
+        ledger.into_arena(&mut arena);
+        arena.stamps = stamps.stamp;
+        arena.put_step_counts(sched_times);
+        arena.put_step_counts(loop_times);
+        arena.put_step_counts(blackhole_times);
+        arena.note_bytes(live_bytes);
+        SimWorkspace { arena }
     }
 
     /// O(1) consistency verdict of the current schedule — identical to
@@ -564,19 +635,19 @@ impl IncrementalSimulator {
     /// `has_frozen_violation`).
     pub fn has_violation_at_or_before(&self, t: TimeStep) -> bool {
         self.ledger.has_overload_at_or_before(t)
-            || self.loop_times.range(..=t).next().is_some()
-            || self.blackhole_times.range(..=t).next().is_some()
+            || self.loop_times.any_at_or_before(t)
+            || self.blackhole_times.any_at_or_before(t)
     }
 
     /// The mirrored schedule's makespan, clamped at 0 like the full
     /// simulator's horizon computation.
     pub fn makespan(&self) -> TimeStep {
-        self.sched_times
-            .keys()
-            .next_back()
-            .copied()
-            .unwrap_or(0)
-            .max(0)
+        self.sched_times.max().unwrap_or(0).max(0)
+    }
+
+    /// Byte high-water mark of the backing arena so far.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena.high_water_bytes()
     }
 
     /// Number of `apply` calls so far.
@@ -634,9 +705,9 @@ impl IncrementalSimulator {
         }
         let prev_sched = rules[switch.index()].sched.replace(t);
         if let Some(p) = prev_sched {
-            Self::multiset_remove(&mut self.sched_times, p);
+            self.sched_times.dec(p);
         }
-        *self.sched_times.entry(t).or_insert(0) += 1;
+        self.sched_times.inc(t);
         let new_makespan = self.makespan();
 
         let mut delta = Delta {
@@ -647,7 +718,7 @@ impl IncrementalSimulator {
             prev_sched,
             grew: Vec::new(),
             shrunk: Vec::new(),
-            retraced: Vec::new(),
+            retraced: self.retrace_pool.pop().unwrap_or_default(),
         };
 
         if new_makespan != old_makespan {
@@ -661,7 +732,7 @@ impl IncrementalSimulator {
     ///
     /// # Panics
     /// Panics if deltas are undone out of LIFO order.
-    pub fn undo(&mut self, delta: Delta) {
+    pub fn undo(&mut self, mut delta: Delta) {
         assert_eq!(
             delta.seq, self.depth,
             "IncrementalSimulator deltas must be undone in LIFO order"
@@ -670,7 +741,9 @@ impl IncrementalSimulator {
         self.undos += 1;
 
         // 1. Reverse the retraces: swap the previous suffixes back in.
-        for rec in delta.retraced.into_iter().rev() {
+        //    (Popping walks the records newest-first, the required
+        //    reverse order, and leaves the vector empty for the pool.)
+        while let Some(rec) = delta.retraced.pop() {
             let fi = delta.flow;
             let slot = self.flows[fi].slot(rec.tau);
             self.unindex_suffix(fi, slot, rec.pos);
@@ -688,9 +761,10 @@ impl IncrementalSimulator {
                 }
                 fs.cohorts[slot].end = rec.old_end;
             }
-            self.hop_pool.push(rec.old_suffix);
+            self.arena.put_hops(rec.old_suffix);
             self.index_suffix(fi, slot, rec.pos);
         }
+        self.retrace_pool.push(delta.retraced);
 
         // 2. Reverse the window resize.
         for &(fi, n) in delta.grew.iter().rev() {
@@ -698,7 +772,7 @@ impl IncrementalSimulator {
                 self.pop_cohort(fi);
             }
         }
-        for (fi, removed) in delta.shrunk.into_iter().rev() {
+        while let Some((fi, removed)) = delta.shrunk.pop() {
             for cohort in removed {
                 let fs = &mut self.flows[fi];
                 fs.cohorts.push(cohort);
@@ -710,26 +784,33 @@ impl IncrementalSimulator {
         // 3. Restore the schedule entry.
         let rules = &mut self.flows[delta.flow].table.rules;
         rules[delta.switch.index()].sched = delta.prev_sched;
-        Self::multiset_remove(&mut self.sched_times, delta.time);
+        self.sched_times.dec(delta.time);
         if let Some(p) = delta.prev_sched {
-            *self.sched_times.entry(p).or_insert(0) += 1;
+            self.sched_times.inc(p);
         }
     }
 
-    fn multiset_remove(set: &mut BTreeMap<TimeStep, usize>, key: TimeStep) {
-        match set.get_mut(&key) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                set.remove(&key);
+    /// Declares `delta` final: its assignment will never be undone, so
+    /// the undo buffers it carries (retrace records, popped cohorts)
+    /// go back to the pools instead of being dropped. The state change
+    /// itself stays applied. Committing is optional — dropping a delta
+    /// is still correct, it merely leaks the buffers to the allocator.
+    pub fn commit(&mut self, mut delta: Delta) {
+        while let Some(rec) = delta.retraced.pop() {
+            self.arena.put_hops(rec.old_suffix);
+        }
+        self.retrace_pool.push(delta.retraced);
+        while let Some((_, removed)) = delta.shrunk.pop() {
+            for cohort in removed {
+                self.arena.put_hops(cohort.hops);
             }
-            None => debug_assert!(false, "multiset out of sync"),
         }
     }
 
     /// Traces the cohort of flow `fi` emitted at `tau` into a pooled
     /// hop buffer (no allocation in steady state).
     fn trace_into_cohort(&mut self, fi: usize, tau: TimeStep) -> Cohort {
-        let mut hops = self.hop_pool.pop().unwrap_or_default();
+        let mut hops = self.arena.take_hops();
         let end = trace_cohort(
             &self.flows[fi].table,
             tau,
@@ -817,12 +898,12 @@ impl IncrementalSimulator {
             CohortEnd::Delivered => {}
             CohortEnd::Looped { time, .. } => {
                 self.loops += 1;
-                *self.loop_times.entry(time).or_insert(0) += 1;
+                self.loop_times.inc(time);
             }
             CohortEnd::Blackholed { switch, time } => {
                 Self::mark_visit(&mut fs.visit, switch, slot, time);
                 self.blackholes += 1;
-                *self.blackhole_times.entry(time).or_insert(0) += 1;
+                self.blackhole_times.inc(time);
             }
             CohortEnd::Undelivered => self.undelivered += 1,
         }
@@ -840,12 +921,12 @@ impl IncrementalSimulator {
             CohortEnd::Delivered => {}
             CohortEnd::Looped { time, .. } => {
                 self.loops -= 1;
-                Self::multiset_remove(&mut self.loop_times, time);
+                self.loop_times.dec(time);
             }
             CohortEnd::Blackholed { switch, time } => {
                 Self::unmark_visit(&mut fs.visit, switch, slot);
                 self.blackholes -= 1;
-                Self::multiset_remove(&mut self.blackhole_times, time);
+                self.blackhole_times.dec(time);
             }
             CohortEnd::Undelivered => self.undelivered -= 1,
         }
@@ -907,31 +988,38 @@ impl IncrementalSimulator {
         new_cut: Option<TimeStep>,
         delta: &mut Delta,
     ) {
-        let fs = &self.flows[fi];
-        // No new rule at this switch ⇒ the effective rule can never
-        // change, whatever the schedule says.
-        let has_new = fs
-            .table
-            .rules
-            .get(switch.index())
-            .is_some_and(|e| e.new.is_some());
-        if !has_new {
-            return;
-        }
-        let Some(row) = fs.visit.get(switch.index()) else {
-            return;
-        };
-        let flipped =
-            |a: TimeStep| old_cut.is_some_and(|c| a >= c) != new_cut.is_some_and(|c| a >= c);
-        // One flat pass over the visit row: the consult step is stored
-        // right there, so no cohort's hop list is inspected.
-        let mut affected: Vec<(usize, TimeStep)> = Vec::new();
-        for (slot, &a) in row.iter().take(fs.cohorts.len()).enumerate() {
-            if a != NO_VISIT && flipped(a) {
-                affected.push((slot, a));
+        let mut affected = std::mem::take(&mut self.affected_scratch);
+        affected.clear();
+        {
+            let fs = &self.flows[fi];
+            // No new rule at this switch ⇒ the effective rule can never
+            // change, whatever the schedule says.
+            let has_new = fs
+                .table
+                .rules
+                .get(switch.index())
+                .is_some_and(|e| e.new.is_some());
+            let row = if has_new {
+                fs.visit.get(switch.index())
+            } else {
+                None
+            };
+            if let Some(row) = row {
+                let flipped = |a: TimeStep| {
+                    old_cut.is_some_and(|c| a >= c) != new_cut.is_some_and(|c| a >= c)
+                };
+                // One flat pass over the visit row: the consult step is
+                // stored right there, so no cohort's hop list is
+                // inspected. The slot list reuses a pooled scratch
+                // vector.
+                for (slot, &a) in row.iter().take(fs.cohorts.len()).enumerate() {
+                    if a != NO_VISIT && flipped(a) {
+                        affected.push((slot, a));
+                    }
+                }
             }
         }
-        for (slot, consult) in affected {
+        for &(slot, consult) in &affected {
             let tau = self.flows[fi].first_emit + slot as TimeStep;
             // Split point: the (unique) hop departing from `switch`,
             // or the full hop count when the cohort blackholed there.
@@ -951,8 +1039,7 @@ impl IncrementalSimulator {
             };
             self.unindex_suffix(fi, slot, pos);
             let demand = self.flows[fi].table.demand;
-            let mut old_suffix = self.hop_pool.pop().unwrap_or_default();
-            old_suffix.clear();
+            let mut old_suffix = self.arena.take_hops();
             let old_end = {
                 let (fs, ledger, stamps) =
                     (&mut self.flows[fi], &mut self.ledger, &mut self.stamps);
@@ -995,6 +1082,7 @@ impl IncrementalSimulator {
                 old_end,
             });
         }
+        self.affected_scratch = affected;
     }
 }
 

@@ -16,6 +16,7 @@
 // at construction.
 #![allow(clippy::indexing_slicing)]
 
+use crate::arena::{BitRows, SimArena, StepCounts};
 use crate::report::CongestionEvent;
 use chronus_net::{Capacity, SwitchId, TimeStep, UpdateInstance};
 use std::collections::{BTreeMap, HashMap};
@@ -97,19 +98,27 @@ impl LinkInterner {
 ///
 /// Cell `(link, t)` lives at flat index `(t − t_lo) · n_links + link`
 /// (time-major, so extending the simulation horizon appends at the
-/// high end). [`LoadLedger::add`] and [`LoadLedger::sub`] keep a count
-/// of overloaded cells and a per-step overload multiset, giving O(1)
-/// congestion verdicts and O(log steps) "any overload at time ≤ t"
-/// range queries without rescanning the surface.
-#[derive(Clone, Debug)]
+/// high end). Two `u64`-word bit-row sets shadow the surface — one bit
+/// per cell for "loaded" and one for "overloaded" — so sweeps for
+/// congestion events or load series skip empty words instead of
+/// visiting every cell. [`LoadLedger::add`] and [`LoadLedger::sub`]
+/// keep a count of overloaded cells and a dense per-step overload
+/// multiset ([`StepCounts`]), giving O(1) congestion verdicts and O(1)
+/// "any overload at time ≤ t" range queries without rescanning the
+/// surface.
+#[derive(Debug)]
 pub struct LoadLedger {
     n_links: usize,
     t_lo: TimeStep,
     steps: usize,
     loads: Vec<Capacity>,
     capacities: Vec<Capacity>,
+    /// Bit per cell: load > 0 (any step).
+    occ: BitRows,
+    /// Bit per cell: load > capacity at a step ≥ 0.
+    over: BitRows,
     overloaded_cells: usize,
-    overload_times: BTreeMap<TimeStep, usize>,
+    overload_steps: StepCounts,
     cell_visits: u64,
 }
 
@@ -117,20 +126,28 @@ impl LoadLedger {
     /// An empty ledger whose window starts at `t_lo` (the earliest
     /// emission step of any flow; loads before it cannot occur).
     pub fn new(interner: &LinkInterner, t_lo: TimeStep) -> Self {
-        Self::with_buffer(interner, t_lo, Vec::new())
+        Self::with_arena(interner, t_lo, &mut SimArena::default())
     }
 
-    /// Like [`LoadLedger::new`], recycling `buffer` as load storage.
-    pub fn with_buffer(interner: &LinkInterner, t_lo: TimeStep, mut buffer: Vec<Capacity>) -> Self {
-        buffer.clear();
+    /// Like [`LoadLedger::new`], recycling `arena`'s flat buffers as
+    /// storage (see [`crate::SimWorkspace`]).
+    pub(crate) fn with_arena(
+        interner: &LinkInterner,
+        t_lo: TimeStep,
+        arena: &mut SimArena,
+    ) -> Self {
+        let mut loads = std::mem::take(&mut arena.loads);
+        loads.clear();
         LoadLedger {
             n_links: interner.len(),
             t_lo,
             steps: 0,
-            loads: buffer,
+            loads,
             capacities: interner.links.iter().map(|l| l.capacity).collect(),
+            occ: arena.take_occ(interner.len()),
+            over: arena.take_over(interner.len()),
             overloaded_cells: 0,
-            overload_times: BTreeMap::new(),
+            overload_steps: arena.take_step_counts(),
             cell_visits: 0,
         }
     }
@@ -147,6 +164,8 @@ impl LoadLedger {
         if needed > self.steps {
             self.steps = needed;
             self.loads.resize(needed * self.n_links, 0);
+            self.occ.ensure_rows(needed);
+            self.over.ensure_rows(needed);
         }
     }
 
@@ -154,14 +173,19 @@ impl LoadLedger {
     pub fn add(&mut self, link: u32, t: TimeStep, demand: Capacity) -> Capacity {
         self.cell_visits += 1;
         self.ensure_step(t);
+        let step = (t - self.t_lo) as usize;
         let cap = self.capacities[link as usize];
-        let cell = &mut self.loads[((t - self.t_lo) as usize) * self.n_links + link as usize];
+        let cell = &mut self.loads[step * self.n_links + link as usize];
         let before = *cell;
         *cell += demand;
         let after = *cell;
+        if before == 0 && after > 0 {
+            self.occ.set(step, link as usize);
+        }
         if t >= 0 && before <= cap && after > cap {
             self.overloaded_cells += 1;
-            *self.overload_times.entry(t).or_insert(0) += 1;
+            self.overload_steps.inc(t);
+            self.over.set(step, link as usize);
         }
         after
     }
@@ -174,21 +198,20 @@ impl LoadLedger {
     pub fn sub(&mut self, link: u32, t: TimeStep, demand: Capacity) -> Capacity {
         self.cell_visits += 1;
         let i = self.idx(link, t);
+        let step = (t - self.t_lo) as usize;
         let cap = self.capacities[link as usize];
         let cell = &mut self.loads[i];
         debug_assert!(*cell >= demand, "ledger underflow: unpaired sub");
         let before = *cell;
         *cell -= demand;
         let after = *cell;
+        if before > 0 && after == 0 {
+            self.occ.clear(step, link as usize);
+        }
         if t >= 0 && before > cap && after <= cap {
             self.overloaded_cells -= 1;
-            match self.overload_times.get_mut(&t) {
-                Some(n) if *n > 1 => *n -= 1,
-                Some(_) => {
-                    self.overload_times.remove(&t);
-                }
-                None => debug_assert!(false, "overload multiset out of sync"),
-            }
+            self.overload_steps.dec(t);
+            self.over.clear(step, link as usize);
         }
         after
     }
@@ -206,9 +229,10 @@ impl LoadLedger {
         self.overloaded_cells
     }
 
-    /// `true` iff some cell at a step in `[0, t]` is overloaded.
+    /// `true` iff some cell at a step in `[0, t]` is overloaded — O(1)
+    /// via the dense overload multiset's cached minimum.
     pub fn has_overload_at_or_before(&self, t: TimeStep) -> bool {
-        self.overload_times.range(..=t).next().is_some()
+        self.overload_steps.any_at_or_before(t)
     }
 
     /// Total `add`/`sub` cell touches over the ledger's lifetime — the
@@ -220,25 +244,28 @@ impl LoadLedger {
 
     /// All congestion events currently on the surface, ordered by
     /// `(time, src, dst)` exactly like [`crate::FluidSimulator`].
+    /// Sweeps only the overload bit rows, so the cost is proportional
+    /// to the occupancy words plus the events themselves, not the
+    /// whole surface.
     pub fn congestion_events(&self, interner: &LinkInterner) -> Vec<CongestionEvent> {
         let mut events = Vec::new();
         let first = self.t_lo.max(0);
         for t in first..self.t_lo + self.steps as TimeStep {
-            let row = ((t - self.t_lo) as usize) * self.n_links;
-            for link in 0..self.n_links {
+            let step = (t - self.t_lo) as usize;
+            let row = step * self.n_links;
+            self.over.for_each_set(step, |link| {
                 let load = self.loads[row + link];
                 let cap = self.capacities[link];
-                if load > cap {
-                    let l = interner.link(link as u32);
-                    events.push(CongestionEvent {
-                        src: l.src,
-                        dst: l.dst,
-                        time: t,
-                        load,
-                        capacity: cap,
-                    });
-                }
-            }
+                debug_assert!(load > cap, "overload bit out of sync");
+                let l = interner.link(link as u32);
+                events.push(CongestionEvent {
+                    src: l.src,
+                    dst: l.dst,
+                    time: t,
+                    load,
+                    capacity: cap,
+                });
+            });
         }
         events.sort_by_key(|c| (c.time, c.src, c.dst));
         events
@@ -246,7 +273,7 @@ impl LoadLedger {
 
     /// The sparse per-link load series in the
     /// [`crate::SimulationReport::link_loads`] format (non-zero cells
-    /// only).
+    /// only, found by sweeping the occupancy bit rows).
     pub fn link_loads(
         &self,
         interner: &LinkInterner,
@@ -255,21 +282,28 @@ impl LoadLedger {
         for step in 0..self.steps {
             let t = self.t_lo + step as TimeStep;
             let row = step * self.n_links;
-            for link in 0..self.n_links {
+            self.occ.for_each_set(step, |link| {
                 let load = self.loads[row + link];
-                if load > 0 {
-                    let l = interner.link(link as u32);
-                    out.entry((l.src, l.dst)).or_default().insert(t, load);
-                }
-            }
+                debug_assert!(load > 0, "occupancy bit out of sync");
+                let l = interner.link(link as u32);
+                out.entry((l.src, l.dst)).or_default().insert(t, load);
+            });
         }
         out
     }
 
-    /// Reclaims the load buffer for reuse (see
+    /// Occupancy words (`u64`s) across the ledger's two bit-row sets.
+    pub fn occupancy_words(&self) -> u64 {
+        (self.occ.word_count() + self.over.word_count()) as u64
+    }
+
+    /// Returns the flat buffers to `arena` for reuse (see
     /// [`crate::SimWorkspace`]).
-    pub(crate) fn into_buffer(self) -> Vec<Capacity> {
-        self.loads
+    pub(crate) fn into_arena(mut self, arena: &mut SimArena) {
+        self.loads.clear();
+        arena.loads = self.loads;
+        arena.put_rows(self.occ, self.over);
+        arena.put_step_counts(self.overload_steps);
     }
 }
 

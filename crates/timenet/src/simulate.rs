@@ -1,5 +1,6 @@
 //! The exact dynamic-flow simulator: ground truth for every scheduler.
 
+use crate::arena::SimArena;
 use crate::incremental::{trace_cohort, FlowTable, TraceEnd, VisitStamps};
 use crate::ledger::{LinkInterner, LoadLedger};
 use crate::report::{BlackholeEvent, CongestionEvent, LoopEvent, SimulationReport};
@@ -95,7 +96,15 @@ impl<'a> FluidSimulator<'a> {
     /// deliberately broken schedule is how blackholes are studied); use
     /// [`Schedule::validate`] first if completeness matters.
     pub fn run(&self, schedule: &Schedule) -> SimulationReport {
-        let _span = chronus_trace::span!(
+        self.run_in(schedule, &mut SimArena::default())
+    }
+
+    /// Like [`FluidSimulator::run`], drawing every buffer (the load
+    /// surface, occupancy bit rows, visit stamps, hop scratch) from
+    /// `arena` and returning them on exit — back-to-back runs over the
+    /// same arena allocate nothing in steady state.
+    pub fn run_in(&self, schedule: &Schedule, arena: &mut SimArena) -> SimulationReport {
+        let mut span = chronus_trace::span!(
             "timenet.simulate",
             flows = self.instance.flows.len(),
             fail_fast = self.config.fail_fast
@@ -110,9 +119,10 @@ impl<'a> FluidSimulator<'a> {
             .map(|f| -(f.initial.total_delay(net).unwrap_or(0) as TimeStep))
             .min()
             .unwrap_or(0);
-        let mut ledger = LoadLedger::new(&interner, t_lo);
-        let mut stamps = VisitStamps::new(net.switch_count());
-        let mut hops = Vec::new();
+        let mut ledger = LoadLedger::with_arena(&interner, t_lo, arena);
+        let mut stamps =
+            VisitStamps::with_buffer(net.switch_count(), std::mem::take(&mut arena.stamps));
+        let mut hops = arena.take_hops();
         let mut report = SimulationReport::default();
         let makespan = schedule.makespan().unwrap_or(0).max(0);
         // A simple walk visits at most |V| switches before it must
@@ -120,75 +130,88 @@ impl<'a> FluidSimulator<'a> {
         let max_hops = net.switch_count() + 2;
         let slack = self.config.horizon_slack as TimeStep;
 
-        for flow in &self.instance.flows {
-            let mut table = FlowTable::build(self.instance, &interner, flow);
-            table.load_schedule(schedule);
-            let first_emit = -table.phi_init;
-            let last_emit = makespan + table.phi_fin + slack;
-            for tau in first_emit..=last_emit {
-                match trace_cohort(
-                    &table,
-                    tau,
-                    max_hops,
-                    &mut ledger,
-                    &mut stamps,
-                    &mut hops,
-                    self.config.fail_fast,
-                ) {
-                    TraceEnd::Delivered => {}
-                    TraceEnd::Looped { switch, time } => report.loops.push(LoopEvent {
-                        flow: flow.id,
-                        emitted_at: tau,
-                        switch,
-                        time,
-                    }),
-                    TraceEnd::Blackholed { switch, time } => {
-                        report.blackholes.push(BlackholeEvent {
+        let aborted = 'trace: {
+            for flow in &self.instance.flows {
+                let mut table = FlowTable::build(self.instance, &interner, flow);
+                table.load_schedule(schedule);
+                let first_emit = -table.phi_init;
+                let last_emit = makespan + table.phi_fin + slack;
+                for tau in first_emit..=last_emit {
+                    match trace_cohort(
+                        &table,
+                        tau,
+                        max_hops,
+                        &mut ledger,
+                        &mut stamps,
+                        &mut hops,
+                        self.config.fail_fast,
+                    ) {
+                        TraceEnd::Delivered => {}
+                        TraceEnd::Looped { switch, time } => report.loops.push(LoopEvent {
                             flow: flow.id,
                             emitted_at: tau,
                             switch,
                             time,
-                        })
-                    }
-                    TraceEnd::Undelivered => report.undelivered.push((flow.id, tau)),
-                    TraceEnd::CongestionAbort {
-                        src,
-                        dst,
-                        time,
-                        load,
-                        capacity,
-                    } => {
-                        report.congestion.push(CongestionEvent {
+                        }),
+                        TraceEnd::Blackholed { switch, time } => {
+                            report.blackholes.push(BlackholeEvent {
+                                flow: flow.id,
+                                emitted_at: tau,
+                                switch,
+                                time,
+                            })
+                        }
+                        TraceEnd::Undelivered => report.undelivered.push((flow.id, tau)),
+                        TraceEnd::CongestionAbort {
                             src,
                             dst,
                             time,
                             load,
                             capacity,
-                        });
-                        return report;
+                        } => {
+                            report.congestion.push(CongestionEvent {
+                                src,
+                                dst,
+                                time,
+                                load,
+                                capacity,
+                            });
+                            break 'trace true;
+                        }
+                    }
+                    if self.config.fail_fast
+                        && (!report.loops.is_empty()
+                            || !report.blackholes.is_empty()
+                            || !report.undelivered.is_empty())
+                    {
+                        break 'trace true;
                     }
                 }
-                if self.config.fail_fast
-                    && (!report.loops.is_empty()
-                        || !report.blackholes.is_empty()
-                        || !report.undelivered.is_empty())
-                {
-                    return report;
-                }
+            }
+            false
+        };
+
+        if !aborted {
+            // Congestion: any cell at a step ≥ 0 above capacity. Steps
+            // < 0 are the pre-update steady state, feasible by instance
+            // validation. (In fail-fast mode the inline check inside
+            // `trace_cohort` already recorded the first overload.)
+            if !self.config.fail_fast {
+                report.congestion = ledger.congestion_events(&interner);
+            }
+            if self.config.record_loads {
+                report.link_loads = ledger.link_loads(&interner);
             }
         }
 
-        // Congestion: any cell at a step ≥ 0 above capacity. Steps < 0
-        // are the pre-update steady state, feasible by instance
-        // validation. (In fail-fast mode the inline check inside
-        // `trace_cohort` already recorded the first overload.)
-        if !self.config.fail_fast {
-            report.congestion = ledger.congestion_events(&interner);
-        }
-
-        if self.config.record_loads {
-            report.link_loads = ledger.link_loads(&interner);
-        }
+        // Teardown: every buffer returns to the arena, which also
+        // refreshes the byte high-water mark and occupancy counters.
+        ledger.into_arena(arena);
+        arena.stamps = stamps.into_buffer();
+        arena.put_hops(hops);
+        arena.note_bytes(0);
+        span.record("arena_bytes", arena.high_water_bytes());
+        span.record("occupancy_words", arena.occupancy_words());
         report
     }
 
@@ -415,9 +438,10 @@ mod tests {
         let inst = shared_tail_instance(1);
         let s = Schedule::from_pairs(FlowId(0), [(sid(0), 0)]);
         let report = FluidSimulator::check(&inst, &s);
-        let times: Vec<_> = report.congestion.iter().map(|c| c.time).collect();
-        let mut sorted = times.clone();
-        sorted.sort_unstable();
-        assert_eq!(times, sorted);
+        assert!(!report.congestion.is_empty());
+        assert!(
+            report.congestion.windows(2).all(|w| w[0].time <= w[1].time),
+            "congestion events must come out time-sorted"
+        );
     }
 }

@@ -1,0 +1,163 @@
+//! Offline API-compatible shim of the `rayon` crate.
+//!
+//! Implements exactly the surface this workspace consumes — structured
+//! scoped task spawning ([`scope`]), [`join`], thread-count discovery
+//! ([`current_num_threads`]) and a minimal eager [`prelude::ParallelIterator`]
+//! subset — on top of `std::thread::scope`. There is no work-stealing
+//! pool: `scope` spawns one OS thread per task, which is the right
+//! trade-off for this workspace's usage (a handful of long-lived
+//! worker loops per parallel region, not fine-grained task soup).
+//!
+//! Closures keep rayon's shapes (`FnOnce(&Scope)`), so swapping the
+//! real crate back in is a one-line `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// The number of threads the "pool" would use: the machine's available
+/// parallelism (real rayon reports its global pool size, which
+/// defaults to the same quantity).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Scope handle passed to [`scope`] closures; mirrors `rayon::Scope`.
+///
+/// Wraps a `std::thread::Scope` reference, so every `spawn` is a real
+/// OS thread joined before [`scope`] returns — the same structured-
+/// concurrency guarantee rayon provides.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task guaranteed to finish before the enclosing
+    /// [`scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Structured parallel region: tasks spawned on the [`Scope`] all
+/// complete before `scope` returns. Panics in tasks propagate.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, returning both
+/// results. Falls back to sequential when a thread cannot be spawned.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+pub mod prelude {
+    //! Minimal eager stand-ins for rayon's parallel iterator entry
+    //! points. `par_iter` distributes contiguous chunks over scoped
+    //! threads; results preserve input order.
+
+    /// `&[T] → par_iter().map(..).collect::<Vec<_>>()` subset.
+    pub trait ParallelSlice<T: Sync> {
+        /// Applies `f` to every element, splitting the slice into one
+        /// contiguous chunk per available thread. Output order matches
+        /// input order.
+        fn par_map<R, F>(&self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(&T) -> R + Sync;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_map<R, F>(&self, f: F) -> Vec<R>
+        where
+            R: Send,
+            F: Fn(&T) -> R + Sync,
+        {
+            let threads = super::current_num_threads().max(1);
+            if threads == 1 || self.len() <= 1 {
+                return self.iter().map(&f).collect();
+            }
+            let chunk = self.len().div_ceil(threads);
+            let mut out: Vec<Option<R>> = Vec::new();
+            out.resize_with(self.len(), || None);
+            std::thread::scope(|s| {
+                let f = &f;
+                for (ci, (input, output)) in
+                    self.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+                {
+                    let _ = ci;
+                    s.spawn(move || {
+                        for (x, slot) in input.iter().zip(output.iter_mut()) {
+                            *slot = Some(f(x));
+                        }
+                    });
+                }
+            });
+            out.into_iter().flatten().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::ParallelSlice;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|inner| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    // Nested spawn through the rayon-shaped handle.
+                    inner.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = xs.par_map(|&x| x * 3);
+        assert!(ys.iter().enumerate().all(|(i, &y)| y == i as u64 * 3));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
