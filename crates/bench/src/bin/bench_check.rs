@@ -37,6 +37,8 @@
 //! The JSON is the bench's own flat hand-written format, so parsing is
 //! a hand-rolled field scan — no serde in the workspace.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 /// Sizes whose gate speedup must clear 1.0 (see module docs for why

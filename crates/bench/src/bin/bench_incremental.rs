@@ -21,6 +21,8 @@
 //! actually runs the full backend there too — its speedup is timing
 //! noise around 1.0 and `bench_check` does not gate it.
 
+#![forbid(unsafe_code)]
+
 use chronus_bench::fig10::scale_instance;
 use chronus_core::greedy::{greedy_schedule_in, GreedyConfig, GreedyOutcome};
 use chronus_core::ScheduleError;

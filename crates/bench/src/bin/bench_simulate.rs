@@ -17,6 +17,8 @@
 //!
 //! [`FlowScan`]: chronus_core::greedy::GreedyConfig::legacy_scan
 
+#![forbid(unsafe_code)]
+
 use chronus_bench::fig10::scale_instance;
 use chronus_core::greedy::{greedy_schedule_in, GreedyConfig, GreedyOutcome};
 use chronus_core::ScheduleError;

@@ -26,6 +26,8 @@
 //! informational, like `bench_check`'s `gate_nanos` series: wall-clock
 //! ratios drift with hardware, correctness gates do not.
 
+#![forbid(unsafe_code)]
+
 use chronus_clock::{HardwareClock, Nanos, ScheduledExecutor};
 use chronus_core::greedy::greedy_schedule;
 use chronus_emu::{EmuConfig, Emulator, UpdateDriver};

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 10: scheduler running time at scale.
+#![forbid(unsafe_code)]
+
 use chronus_bench::fig10::{run, PAPER_SIZES};
 use chronus_bench::util::{text_table, CsvSink, RunOptions};
 

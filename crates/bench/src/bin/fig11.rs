@@ -1,4 +1,6 @@
 //! Regenerates Fig. 11: CDF of the update time at 40 switches.
+#![forbid(unsafe_code)]
+
 use chronus_bench::fig11::{run, UpdateTimes};
 use chronus_bench::util::{CsvSink, RunOptions};
 

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 6: bandwidth consumption vs time per scheme.
+#![forbid(unsafe_code)]
+
 use chronus_bench::util::CsvSink;
 
 fn main() {

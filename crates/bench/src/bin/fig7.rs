@@ -1,4 +1,6 @@
 //! Regenerates Fig. 7: percentage of congestion-free update instances.
+#![forbid(unsafe_code)]
+
 use chronus_bench::sweep::{run_sweep, PAPER_SIZES};
 use chronus_bench::util::{text_table, CsvSink, RunOptions};
 

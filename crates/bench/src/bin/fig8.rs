@@ -1,4 +1,6 @@
 //! Regenerates Fig. 8: number of congested time-extended links.
+#![forbid(unsafe_code)]
+
 use chronus_bench::sweep::{run_sweep, PAPER_SIZES};
 use chronus_bench::util::{text_table, CsvSink, RunOptions};
 

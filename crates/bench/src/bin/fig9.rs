@@ -1,4 +1,6 @@
 //! Regenerates Fig. 9: forwarding-rule counts, Chronus vs TP.
+#![forbid(unsafe_code)]
+
 use chronus_bench::fig9::{run, PAPER_SIZES};
 use chronus_bench::util::{text_table, CsvSink, RunOptions};
 

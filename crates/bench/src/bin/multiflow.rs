@@ -1,4 +1,6 @@
 //! Extension experiment: joint vs independent multi-flow scheduling.
+#![forbid(unsafe_code)]
+
 use chronus_bench::multiflow::run;
 use chronus_bench::util::{text_table, CsvSink, RunOptions};
 

@@ -1,4 +1,6 @@
 //! Regenerates the paper's Table II.
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", chronus_bench::table2::render(2));
 }

@@ -1,4 +1,6 @@
 //! Walks through the paper's Figs. 1/2/3/5 example end to end.
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", chronus_bench::walkthrough::run());
 }

@@ -33,15 +33,21 @@ struct CountingAlloc;
 // SAFETY: delegates allocation to `System` unchanged; the counter is a
 // relaxed atomic side effect.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` to `System.alloc` untouched; the
+    // caller's layout obligations pass through unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards `ptr`/`layout` to `System.dealloc`; the caller
+    // guarantees `ptr` came from this allocator with that layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards to `System.realloc`; the caller guarantees
+    // `ptr`/`layout` validity and a nonzero `new_size`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

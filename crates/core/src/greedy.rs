@@ -178,6 +178,7 @@ impl<'a> ExactGate<'a> {
         let full_equivalent_cells =
             registry.counter("chronus_core_gate_full_equivalent_cells_total");
         let gate_ns = registry.histogram("chronus_core_gate_ns");
+        // chronus-lint: allow(det-wallclock) — GateStats wall-time stamp; observability only, never feeds the schedule
         let t0 = Instant::now();
         let backend = if incremental {
             GateBackend::Incremental(Box::new(IncrementalSimulator::with_workspace(instance, ws)))
@@ -209,6 +210,7 @@ impl<'a> ExactGate<'a> {
     /// into the incremental state without a verdict check.
     fn mirror_set(&mut self, flow: FlowId, switch: SwitchId, t: TimeStep) {
         if let GateBackend::Incremental(inc) = &mut self.backend {
+            // chronus-lint: allow(det-wallclock) — GateStats wall-time stamp; observability only, never feeds the schedule
             let t0 = Instant::now();
             let d = inc.apply(flow, switch, t);
             inc.commit(d); // never undone: recycle its undo buffers
@@ -218,6 +220,7 @@ impl<'a> ExactGate<'a> {
 
     /// One gate check of the current schedule as-is.
     fn check_current(&mut self, schedule: &Schedule) -> bool {
+        // chronus-lint: allow(det-wallclock) — GateStats wall-time stamp; observability only, never feeds the schedule
         let t0 = Instant::now();
         self.calls.inc();
         let ok = match &mut self.backend {
@@ -246,6 +249,7 @@ impl<'a> ExactGate<'a> {
         switches: &[SwitchId],
         t: TimeStep,
     ) -> bool {
+        // chronus-lint: allow(det-wallclock) — GateStats wall-time stamp; observability only, never feeds the schedule
         let t0 = Instant::now();
         self.calls.inc();
         for &v in switches {
@@ -545,10 +549,18 @@ fn greedy_loop(
     let mut idle_steps: TimeStep = 0;
     // Gate failures are sticky: nothing about a rejected candidate
     // changes until either time passes (old flow drains) or another
-    // switch commits, so skip re-testing it until then.
-    let mut failed_at: std::collections::HashMap<(usize, SwitchId), TimeStep> =
-        std::collections::HashMap::new();
+    // switch commits, so skip re-testing it until then. A BTreeMap,
+    // not a HashMap: this map is get/insert-only today, but the
+    // determinism lint (det-hash) bans owned hash containers in
+    // schedule-producing code so a future `.iter()` can never leak
+    // process-random order into the schedule (DESIGN.md §15).
+    let mut failed_at: std::collections::BTreeMap<(usize, SwitchId), TimeStep> =
+        std::collections::BTreeMap::new();
     let mut last_commit_t: TimeStep = -1;
+    // Candidate-build buffers, hoisted out of the round loop and
+    // reused across flow-turns (cleared, never reallocated).
+    let mut candidates: Vec<SwitchId> = Vec::new();
+    let mut seen: BTreeSet<SwitchId> = BTreeSet::new();
 
     while pending.iter().any(|p| !p.is_empty()) {
         let mut trace = RoundTrace {
@@ -592,9 +604,9 @@ fn greedy_loop(
                             None => creates_forwarding_loop(instance, flow, schedule, v, t),
                         })
             };
-            let mut candidates: Vec<SwitchId> = Vec::new();
+            candidates.clear();
+            seen.clear();
             if config.heads_only {
-                let mut seen: BTreeSet<SwitchId> = BTreeSet::new();
                 for v in deps.heads() {
                     if seen.insert(v) && admissible(v, &schedule) {
                         candidates.push(v);
@@ -682,7 +694,7 @@ fn greedy_loop(
                     break;
                 }
             } else {
-                for v in candidates {
+                for &v in &candidates {
                     if !pending[fi].contains(&v) {
                         continue;
                     }

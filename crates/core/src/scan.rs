@@ -216,6 +216,7 @@ impl FlowScan {
     /// iteration order, same guards, same edges — then the shared
     /// [`build_set`] merge.
     pub fn dependency_set(&self, pending: &BTreeSet<SwitchId>, t: TimeStep) -> DependencySet {
+        // chronus-lint: allow(hot-alloc) — edge list feeds build_set, which returns a freshly built DependencySet by contract
         let mut edges: Vec<(SwitchId, SwitchId)> = Vec::new();
         for &vi in pending {
             let redirect_active = vi == self.source || self.arrival_bound(vi).still_arrives_at(t);

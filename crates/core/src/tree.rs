@@ -316,6 +316,7 @@ struct Searcher<'a> {
     drain: TimeStep,
     budget: usize,
     used: usize,
+    // chronus-lint: allow(det-hash) — membership-only memo of failed subset signatures; never iterated
     failed: HashSet<u64>,
     base: Schedule,
 }
@@ -355,6 +356,7 @@ impl<'a> Searcher<'a> {
             drain: problem.drain_bound(),
             budget: cfg.max_simulations,
             used: 0,
+            // chronus-lint: allow(det-hash) — membership-only memo, see field declaration
             failed: HashSet::new(),
             base: base.clone(),
         })

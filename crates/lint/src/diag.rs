@@ -1,0 +1,179 @@
+//! Findings: the one diagnostic type every rule emits, plus the text
+//! and JSON renderers and baseline filtering.
+
+use crate::config::BaselineEntry;
+use serde_json::{Map, Value};
+
+/// How serious a finding is. Everything here currently fails the run;
+/// the distinction is for readers and for the JSON report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Breaks a correctness invariant (lock order, determinism).
+    Error,
+    /// Likely a defect but with a plausible benign reading.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One diagnostic: rule id, severity, position and message.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule id (`lock-order`, `hot-alloc`, …).
+    pub rule: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human explanation, one line.
+    pub message: String,
+}
+
+impl Finding {
+    /// `error[lock-order] crates/daemon/src/service.rs:607: …`
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}[{}] {}:{}: {}",
+            self.severity.label(),
+            self.rule,
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("rule".to_string(), Value::String(self.rule.to_string()));
+        m.insert(
+            "severity".to_string(),
+            Value::String(self.severity.label().to_string()),
+        );
+        m.insert("file".to_string(), Value::String(self.file.clone()));
+        m.insert(
+            "line".to_string(),
+            Value::from_u64_exact(u64::from(self.line)),
+        );
+        m.insert("message".to_string(), Value::String(self.message.clone()));
+        Value::Object(m)
+    }
+}
+
+/// Splits `findings` into (live, baselined) against the committed
+/// baseline. A baseline entry matches on rule + file; a nonzero line
+/// must also match exactly, so a baselined finding that moves shows
+/// up again rather than silently covering a new one nearby.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &[BaselineEntry],
+) -> (Vec<Finding>, Vec<Finding>) {
+    findings.into_iter().partition(|f| {
+        !baseline
+            .iter()
+            .any(|b| b.rule == f.rule && b.file == f.file && (b.line == 0 || b.line == f.line))
+    })
+}
+
+/// Renders the full report as a JSON object:
+/// `{ "findings": [...], "baselined": n, "total": n }`.
+pub fn render_json(live: &[Finding], baselined: usize) -> String {
+    let mut root = Map::new();
+    root.insert(
+        "findings".to_string(),
+        Value::Array(live.iter().map(Finding::to_json).collect()),
+    );
+    root.insert(
+        "baselined".to_string(),
+        Value::from_u64_exact(baselined as u64),
+    );
+    root.insert(
+        "total".to_string(),
+        Value::from_u64_exact((live.len() + baselined) as u64),
+    );
+    serde_json::to_string_pretty(&Value::Object(root)).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Sorts findings for stable output: file, line, rule.
+pub fn sort(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_format_is_file_line_clickable() {
+        let f = finding("lock-order", "crates/daemon/src/service.rs", 607);
+        assert_eq!(
+            f.render_text(),
+            "error[lock-order] crates/daemon/src/service.rs:607: m"
+        );
+    }
+
+    #[test]
+    fn baseline_matches_rule_file_line() {
+        let fs = vec![
+            finding("hot-alloc", "a.rs", 5),
+            finding("hot-alloc", "a.rs", 9),
+        ];
+        let base = vec![BaselineEntry {
+            rule: "hot-alloc".to_string(),
+            file: "a.rs".to_string(),
+            line: 5,
+        }];
+        let (live, dead) = apply_baseline(fs, &base);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].line, 9);
+        assert_eq!(dead.len(), 1);
+    }
+
+    #[test]
+    fn baseline_line_zero_matches_whole_file() {
+        let fs = vec![
+            finding("cast-paren", "b.rs", 1),
+            finding("cast-paren", "b.rs", 2),
+        ];
+        let base = vec![BaselineEntry {
+            rule: "cast-paren".to_string(),
+            file: "b.rs".to_string(),
+            line: 0,
+        }];
+        let (live, dead) = apply_baseline(fs, &base);
+        assert!(live.is_empty());
+        assert_eq!(dead.len(), 2);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let live = vec![finding("det-hash", "c.rs", 3)];
+        let json = render_json(&live, 2);
+        let v = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(v.get("total").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("findings").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+    }
+}

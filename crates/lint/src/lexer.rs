@@ -1,0 +1,449 @@
+//! A hand-rolled Rust lexer, just deep enough for the lint pass.
+//!
+//! The rules in this crate are token-level: they must never fire on
+//! text inside comments, string literals or char literals, and they
+//! must not confuse a lifetime (`'a`) with a char literal (`'a'`).
+//! This lexer handles exactly that surface — line and (nested) block
+//! comments, plain/raw/byte strings, chars vs lifetimes, numbers,
+//! identifiers and longest-match punctuation — with no external
+//! dependencies, in the same offline spirit as `shims/serde_json`.
+//!
+//! Comments are not part of the token stream; they are collected
+//! separately (with line numbers) because two rules read them: inline
+//! `chronus-lint: allow(...)` suppressions and the `// SAFETY:` audit.
+// The scanner indexes into the byte buffer it just bounds-checked;
+// `is_char_boundary`-safe because every multi-byte char is consumed
+// through `char_indices`.
+#![allow(clippy::indexing_slicing)]
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Integer or float literal.
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — distinct from [`TokKind::Char`].
+    Lifetime,
+    /// Operator or delimiter, longest-match (`::`, `<<=`, `{`, …).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The lexeme text (for [`TokKind::Str`], the raw source slice).
+    pub text: String,
+    /// 1-based source line of the lexeme's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` when the token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block) with its starting line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based line of the last character (equals `line` for `//`).
+    pub end_line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Token stream, comments excluded.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation, longest first so the scanner can take
+/// the first prefix match.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "&&", "||", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", "::", "->", "=>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Malformed input (an
+/// unterminated string, say) never panics: the scanner consumes to
+/// end-of-file and returns what it has — lint rules degrade to
+/// missing a finding, not to crashing the pass.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Newlines and other whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    out.comments.push(Comment {
+                        text: src[start..i].to_string(),
+                        line,
+                        end_line: line,
+                    });
+                    continue;
+                }
+                b'*' => {
+                    let start = i;
+                    let start_line = line;
+                    let mut depth = 1u32;
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            i += 1;
+                        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    out.comments.push(Comment {
+                        text: src[start..i].to_string(),
+                        line: start_line,
+                        end_line: line,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw / byte strings: r"…", r#"…"#, br"…", b"…".
+        if c == b'r' || c == b'b' {
+            if let Some((len, lines)) = raw_or_byte_string(&src[i..]) {
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: src[i..i + len].to_string(),
+                    line,
+                });
+                line += lines;
+                i += len;
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == b'"' {
+            let (len, lines) = quoted(&src[i..], b'"');
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: src[i..i + len].to_string(),
+                line,
+            });
+            line += lines;
+            i += len;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if let Some(len) = char_literal(&src[i..]) {
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: src[i..i + len].to_string(),
+                    line,
+                });
+                i += len;
+                continue;
+            }
+            // Lifetime: `'` followed by an identifier, no closing quote.
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_continue(bytes[j] as char) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text: src[i..j].to_string(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c as char) {
+            let start = i;
+            // Multi-byte chars only appear in identifiers/comments;
+            // walk char-wise here.
+            let mut j = i;
+            for (off, ch) in src[i..].char_indices() {
+                if off == 0 {
+                    j = i + ch.len_utf8();
+                    continue;
+                }
+                if is_ident_continue(ch) {
+                    j = i + off + ch.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Numbers (lexed loosely; lint rules never read their value).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                // `1..3` range: stop before `..`.
+                if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Number,
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Punctuation, longest match first.
+        let rest = &src[i..];
+        let mut matched = 1usize;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = p.len();
+                break;
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: src[i..i + matched].to_string(),
+            line,
+        });
+        i += matched;
+    }
+    out
+}
+
+/// Length and newline count of a quoted literal starting at `s[0] ==
+/// quote`, honoring backslash escapes.
+fn quoted(s: &str, quote: u8) -> (usize, u32) {
+    let bytes = s.as_bytes();
+    let mut i = 1usize;
+    let mut lines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                lines += 1;
+                i += 1;
+            }
+            b if b == quote => return (i + 1, lines),
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), lines)
+}
+
+/// Recognizes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` prefixes. Returns
+/// `(byte length, newline count)` or `None` when `s` is not a raw or
+/// byte string (e.g. it is just an identifier starting with r/b).
+fn raw_or_byte_string(s: &str) -> Option<(usize, u32)> {
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    if bytes.first() == Some(&b'b') {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    if !raw {
+        if i == 0 {
+            return None; // plain "…" is handled by the caller
+        }
+        // b"…": escapes apply.
+        let (len, lines) = quoted(&s[i..], b'"');
+        return Some((i + len, lines));
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    i += 1;
+    let mut lines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            lines += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some((i + 1 + hashes, lines));
+            }
+        }
+        i += 1;
+    }
+    Some((bytes.len(), lines))
+}
+
+/// Recognizes a char literal at `s[0] == '\''`. Returns its byte
+/// length, or `None` when the quote starts a lifetime instead.
+fn char_literal(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    match bytes.get(1) {
+        None => None,
+        // Escape: always a char literal — scan to the closing quote.
+        Some(b'\\') => {
+            let mut i = 2usize;
+            if bytes.get(i).is_some() {
+                i += 1; // the escaped character
+            }
+            // \u{…} and \x.. escapes: consume to the quote.
+            while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+                i += 1;
+            }
+            (bytes.get(i) == Some(&b'\'')).then_some(i + 1)
+        }
+        Some(&c) => {
+            // `'X'` where X is a single char: char literal iff a
+            // closing quote follows the (possibly multi-byte) char.
+            let ch = s[1..].chars().next()?;
+            let after = 1 + ch.len_utf8();
+            if bytes.get(after) == Some(&b'\'') && (ch != '\'' || c == b'\'') {
+                Some(after + 1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("a // HashMap in a comment\n/* Instant::now */ b");
+        assert_eq!(l.tokens.len(), 2);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.tokens[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ x");
+        assert_eq!(l.tokens.len(), 1);
+        assert!(l.tokens[0].is_ident("x"));
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let l = lex(r#"let s = "unsafe { HashMap::new() }";"#);
+        assert!(l.tokens.iter().all(|t| !t.is_ident("HashMap")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex(r##"let s = r#"has "quotes" and HashMap"#; y"##);
+        assert!(l.tokens.iter().any(|t| t.is_ident("y")));
+        assert!(l.tokens.iter().all(|t| !t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn longest_match_punct() {
+        let toks = kinds("a <<= b :: c .. d ..= e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["<<=", "::", "..", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let l = lex("let a = \"one\ntwo\";\nlet b = 1;");
+        let b = l.tokens.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(b, Some(3));
+    }
+}

@@ -1,0 +1,107 @@
+//! The `chronus-lint` binary: lints the workspace against `lint.toml`
+//! and exits nonzero on any non-baselined finding.
+//!
+//! ```text
+//! chronus-lint [--root DIR] [--config FILE] [--format text|json]
+//! ```
+//!
+//! With no `--root`, the workspace root is found by walking upward
+//! from the current directory to the nearest `lint.toml`.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+use chronus_lint::{config::LintConfig, diag, find_root, run};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Output format.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    format: Format,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        format: Format::Text,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format text|json, got {other:?}")),
+                };
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: chronus-lint [--root DIR] [--config FILE] [--format text|json]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("chronus-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+            find_root(&cwd).ok_or("no lint.toml found here or in any parent directory")?
+        }
+    };
+    let cfg_path = args.config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = LintConfig::load(&cfg_path)?;
+    let report = run(&root, &cfg)?;
+
+    match args.format {
+        Format::Json => println!("{}", diag::render_json(&report.live, report.baselined)),
+        Format::Text => {
+            for f in &report.live {
+                println!("{}", f.render_text());
+            }
+            println!(
+                "chronus-lint: {} file(s), {} finding(s), {} baselined",
+                report.files,
+                report.live.len(),
+                report.baselined
+            );
+        }
+    }
+    Ok(if report.live.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,414 @@
+//! The item model: a brace-matching scan over the token stream that
+//! recovers, for every function, its fully-qualified path
+//! (`crate::module::Type::name`), its body's token range, and whether
+//! it lives under `#[cfg(test)]` / `#[test]`. All four rule families
+//! key off this: the lock and cast rules walk function bodies, the
+//! hot-allocation rule matches paths against the manifest, and the
+//! determinism rule skips test code.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// One function item found in a file.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// Fully-qualified path: file module + inner mods + impl self
+    /// type + fn name (e.g. `core::scan::FlowScan::begin_step`).
+    pub path: String,
+    /// The bare function name.
+    pub name: String,
+    /// Token index of the body's `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (== `open` if unclosed at EOF).
+    pub close: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `#[test]` fn, or any enclosing `#[cfg(test)]` mod.
+    pub is_test: bool,
+}
+
+/// The scanned form of one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileModel {
+    /// Every function, outermost first, nested fns included.
+    pub fns: Vec<FnSpan>,
+    /// Token ranges (open brace ..= close brace) of `#[cfg(test)]`
+    /// modules, for rules that scan outside function bodies.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    /// The innermost function containing token `idx`, if any.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.open <= idx && idx <= f.close)
+            .max_by_key(|f| f.open)
+    }
+
+    /// `true` when token `idx` sits in test code (a `#[cfg(test)]`
+    /// module or a `#[test]` function).
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(o, c)| o <= idx && idx <= c)
+            || self.enclosing_fn(idx).is_some_and(|f| f.is_test)
+    }
+}
+
+/// A scope opened by `{`.
+struct Scope {
+    kind: ScopeKind,
+    /// Index into `FileModel::fns` for `Fn` scopes.
+    fn_idx: usize,
+    /// This scope (or an ancestor) is test code.
+    test: bool,
+    /// Token index of the opening `{` (for test ranges).
+    open: usize,
+}
+
+enum ScopeKind {
+    Mod(String),
+    Impl(String),
+    Fn(String),
+    Other,
+}
+
+/// Scans a lexed file into its [`FileModel`]. `module` is the file's
+/// module path from the workspace walker (e.g. `core::scan`).
+pub fn scan(lexed: &Lexed, module: &str) -> FileModel {
+    let toks = &lexed.tokens;
+    let mut model = FileModel::default();
+    let mut stack: Vec<Scope> = Vec::new();
+
+    // Attribute state accumulated since the last item keyword.
+    let mut attr_cfg_test = false;
+    let mut attr_test = false;
+    // Items seen but whose `{` has not arrived yet.
+    let mut pending_fn: Option<(String, u32, bool)> = None;
+    let mut pending_mod: Option<(String, bool)> = None;
+    let mut pending_impl: Option<String> = None;
+
+    let mut i = 0usize;
+    while let Some(t) = toks.get(i) {
+        // Attributes: `#[...]` (outer) — record cfg(test) / test;
+        // `#![...]` (inner) — skip.
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            let inner = toks.get(j).is_some_and(|n| n.is_punct("!"));
+            if inner {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|n| n.is_punct("[")) {
+                let end = match_group(toks, j, "[", "]");
+                if !inner {
+                    let has = |s: &str| {
+                        toks.get(j..=end)
+                            .is_some_and(|w| w.iter().any(|t| t.is_ident(s)))
+                    };
+                    if has("cfg") && has("test") {
+                        attr_cfg_test = true;
+                    } else if toks.get(j + 1).is_some_and(|n| n.is_ident("test"))
+                        && toks.get(j + 2).is_some_and(|n| n.is_punct("]"))
+                    {
+                        attr_test = true;
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "mod" => {
+                    if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending_mod = Some((name.text.clone(), attr_cfg_test));
+                    }
+                    attr_cfg_test = false;
+                    attr_test = false;
+                    i += 1;
+                    continue;
+                }
+                "impl" => {
+                    pending_impl = impl_self_type(toks, i);
+                    attr_cfg_test = false;
+                    attr_test = false;
+                    i += 1;
+                    continue;
+                }
+                // A trait contributes its name as a path segment just
+                // like an impl's self type (default method bodies).
+                "trait" => {
+                    if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending_impl = Some(name.text.clone());
+                    }
+                    attr_cfg_test = false;
+                    attr_test = false;
+                    i += 1;
+                    continue;
+                }
+                "fn" => {
+                    // `fn(u32) -> u32` in type position has no name.
+                    if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending_fn = Some((name.text.clone(), t.line, attr_test));
+                    }
+                    attr_cfg_test = false;
+                    attr_test = false;
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        if t.is_punct(";") {
+            // Trait-method declarations and `mod name;` never open a
+            // body; drop whatever was pending.
+            pending_fn = None;
+            pending_mod = None;
+            i += 1;
+            continue;
+        }
+
+        if t.is_punct("{") {
+            let in_test_now = stack.last().is_some_and(|s| s.test);
+            // `impl Trait` in a signature sets `pending_impl` even
+            // though the `{` opens the fn body; consuming one pending
+            // kind clears the others so stale ones can't attach to a
+            // later block.
+            if let Some((name, line, test_attr)) = pending_fn.take() {
+                pending_mod = None;
+                pending_impl = None;
+                let path = fn_path(module, &stack, &name);
+                let is_test = test_attr || in_test_now;
+                model.fns.push(FnSpan {
+                    path,
+                    name: name.clone(),
+                    open: i,
+                    close: i,
+                    line,
+                    is_test,
+                });
+                stack.push(Scope {
+                    kind: ScopeKind::Fn(name),
+                    fn_idx: model.fns.len() - 1,
+                    test: is_test,
+                    open: i,
+                });
+            } else if let Some((name, cfg_test)) = pending_mod.take() {
+                pending_impl = None;
+                stack.push(Scope {
+                    kind: ScopeKind::Mod(name),
+                    fn_idx: usize::MAX,
+                    test: cfg_test || in_test_now,
+                    open: i,
+                });
+            } else if let Some(ty) = pending_impl.take() {
+                stack.push(Scope {
+                    kind: ScopeKind::Impl(ty),
+                    fn_idx: usize::MAX,
+                    test: in_test_now,
+                    open: i,
+                });
+            } else {
+                stack.push(Scope {
+                    kind: ScopeKind::Other,
+                    fn_idx: usize::MAX,
+                    test: in_test_now,
+                    open: i,
+                });
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_punct("}") {
+            if let Some(s) = stack.pop() {
+                if let ScopeKind::Fn(_) = s.kind {
+                    if let Some(f) = model.fns.get_mut(s.fn_idx) {
+                        f.close = i;
+                    }
+                }
+                // Record a top-most cfg(test) region once.
+                let parent_test = stack.last().is_some_and(|p| p.test);
+                if s.test && !parent_test {
+                    if let ScopeKind::Mod(_) = s.kind {
+                        model.test_ranges.push((s.open, i));
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        i += 1;
+    }
+    model
+}
+
+/// Index of the punct closing the group opened at `open_idx`.
+fn match_group(toks: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// The self type of an `impl` starting at token `impl_idx`: the first
+/// identifier after a top-level `for` (trait impls), else the first
+/// identifier after the impl's generic parameters (inherent impls).
+/// HRTB `for<'a>` is skipped (its `for` is followed by `<`).
+fn impl_self_type(toks: &[Token], impl_idx: usize) -> Option<String> {
+    let mut i = impl_idx + 1;
+    // Skip `<...>` generic parameters (with `>>` closing two levels).
+    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            if t.is_punct("<") || t.is_punct("<<") {
+                depth += if t.text.len() == 2 { 2 } else { 1 };
+            } else if t.is_punct(">") || t.is_punct(">>") {
+                depth -= if t.text.len() == 2 { 2 } else { 1 };
+                if depth <= 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let mut first_after_generics: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct("{") || t.is_ident("where") {
+            break;
+        }
+        if t.is_ident("for") && !toks.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+            saw_for = true;
+            after_for = None;
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident && !t.is_ident("dyn") {
+            if saw_for {
+                if after_for.is_none() {
+                    after_for = Some(t.text.clone());
+                }
+            } else if first_after_generics.is_none() {
+                first_after_generics = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    after_for.or(first_after_generics)
+}
+
+/// Builds a fn path from the file module, the scope stack and the
+/// fn's own name: mods and impl self types contribute segments;
+/// enclosing fns contribute theirs (nested fn).
+fn fn_path(module: &str, stack: &[Scope], name: &str) -> String {
+    let mut path = module.to_string();
+    for s in stack {
+        match &s.kind {
+            ScopeKind::Mod(m) => {
+                path.push_str("::");
+                path.push_str(m);
+            }
+            ScopeKind::Impl(ty) => {
+                path.push_str("::");
+                path.push_str(ty);
+            }
+            ScopeKind::Fn(f) => {
+                path.push_str("::");
+                path.push_str(f);
+            }
+            ScopeKind::Other => {}
+        }
+    }
+    path.push_str("::");
+    path.push_str(name);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn paths(src: &str) -> Vec<(String, bool)> {
+        scan(&lex(src), "m")
+            .fns
+            .into_iter()
+            .map(|f| (f.path, f.is_test))
+            .collect()
+    }
+
+    #[test]
+    fn impl_and_mod_paths() {
+        let ps = paths(
+            "impl<'s> FlowScan<'s> { fn begin_step(&mut self) {} }\n\
+             mod inner { pub fn helper() {} }\n\
+             fn free() {}",
+        );
+        assert_eq!(
+            ps,
+            vec![
+                ("m::FlowScan::begin_step".to_string(), false),
+                ("m::inner::helper".to_string(), false),
+                ("m::free".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impl_uses_self_type() {
+        let ps = paths("impl Default for SimArena { fn default() -> Self { todo() } }");
+        assert_eq!(ps[0].0, "m::SimArena::default");
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns_and_range() {
+        let model = scan(
+            &lex("#[cfg(test)]\nmod tests { #[test] fn t() {} fn helper() {} }\nfn real() {}"),
+            "m",
+        );
+        let t = model.fns.iter().find(|f| f.name == "t").expect("t");
+        let h = model.fns.iter().find(|f| f.name == "helper").expect("h");
+        let r = model.fns.iter().find(|f| f.name == "real").expect("r");
+        assert!(t.is_test && h.is_test && !r.is_test);
+        assert_eq!(model.test_ranges.len(), 1);
+        assert!(model.in_test(t.open) && !model.in_test(r.open));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped() {
+        let ps = paths("trait T { fn decl(&self); fn with_default(&self) {} }");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].0, "m::T::with_default");
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let model = scan(&lex("fn outer() { fn inner() { let x = 1; } }"), "m");
+        let inner = model.fns.iter().find(|f| f.name == "inner").expect("inner");
+        let mid = inner.open + 1;
+        assert_eq!(
+            model.enclosing_fn(mid).map(|f| f.path.as_str()),
+            Some("m::outer::inner")
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let ps = paths("fn real(cb: fn(u32) -> u32) { let _ = cb; }");
+        assert_eq!(ps.len(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! `cast-paren`: narrowing `as` casts used bare inside arithmetic.
+//!
+//! In the arena/ledger bit-math, `a + b as usize * c` reads as
+//! `a + ((b as usize) * c)` but is one precedence slip away from a
+//! silent truncation bug — `as` binds tighter than every arithmetic
+//! operator, which surprises exactly when the cast narrows. In the
+//! configured modules, an integer `as` cast that is a bare operand of
+//! an arithmetic operator (on either side) must be parenthesized:
+//! `(b as usize) * c`.
+
+use super::FileCtx;
+use crate::config::LintConfig;
+use crate::diag::{Finding, Severity};
+use crate::lexer::{TokKind, Token};
+
+/// Operators whose operands must not be bare casts.
+const ARITH: &[&str] = &["+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"];
+
+fn is_arith(t: &Token) -> bool {
+    t.kind == TokKind::Punct && ARITH.iter().any(|o| t.text == *o)
+}
+
+/// Runs the cast rule over configured modules, test code excluded.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_test_file || !LintConfig::module_in(ctx.module, &ctx.cfg.cast_modules) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") || ctx.model.in_test(i) {
+            continue;
+        }
+        let Some(ty) = toks.get(i + 1) else { continue };
+        if ty.kind != TokKind::Ident || !ctx.cfg.cast_types.iter().any(|c| ty.is_ident(c)) {
+            continue;
+        }
+        // The token just past the cast expression: `x as usize * y`.
+        let after = toks.get(i + 2);
+        let after_arith = after.is_some_and(is_arith);
+        // The token just before the cast's operand chain:
+        // `a + b.c() as usize`.
+        let before_arith = chain_start(toks, i).is_some_and(|j| {
+            toks.get(j).is_some_and(is_arith)
+                && binary_use(toks, j)
+                && !(toks.get(j).is_some_and(|t| t.is_punct("|")) && closes_closure_params(toks, j))
+        });
+        if after_arith || before_arith {
+            ctx.emit(
+                out,
+                "cast-paren",
+                Severity::Error,
+                t.line,
+                format!(
+                    "bare `as {}` cast used as an arithmetic operand; parenthesize the cast \
+                     (`(expr as {})`) so the narrowing boundary is explicit",
+                    ty.text, ty.text
+                ),
+            );
+        }
+    }
+}
+
+/// Index of the token immediately before the postfix operand chain
+/// feeding the `as` at index `as_idx` — i.e. before `b.c()[d]` in
+/// `a + b.c()[d] as usize`. Walks left over idents, numbers,
+/// `.`/`::`, and matched `(...)`/`[...]` groups. `None` at the start
+/// of the stream.
+fn chain_start(toks: &[Token], as_idx: usize) -> Option<usize> {
+    let mut i = as_idx;
+    loop {
+        let prev_idx = i.checked_sub(1)?;
+        let prev = toks.get(prev_idx)?;
+        if prev.kind == TokKind::Ident || prev.kind == TokKind::Number {
+            // `(x) as` vs `f(x) as`: an ident before a group is part
+            // of the chain; handled by continuing the walk.
+            i = prev_idx;
+            continue;
+        }
+        if prev.is_punct(".") || prev.is_punct("::") {
+            i = prev_idx;
+            continue;
+        }
+        if prev.is_punct(")") || prev.is_punct("]") {
+            i = match_back(toks, prev_idx)?;
+            continue;
+        }
+        return Some(prev_idx);
+    }
+}
+
+/// `true` when the operator at `op_idx` is used as a *binary*
+/// operator — i.e. the token before it ends an operand. Rules out the
+/// unary readings of `*` (deref), `&` (reference) and `-` (negation),
+/// as in `|v| *v as u64` where `*` dereferences rather than
+/// multiplies.
+fn binary_use(toks: &[Token], op_idx: usize) -> bool {
+    let Some(prev) = op_idx.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return false;
+    };
+    const KEYWORDS: &[&str] = &["return", "if", "else", "match", "in", "move", "break"];
+    if prev.kind == TokKind::Ident {
+        return !KEYWORDS.iter().any(|k| prev.is_ident(k));
+    }
+    prev.kind == TokKind::Number
+        || prev.kind == TokKind::Str
+        || prev.kind == TokKind::Char
+        || prev.is_punct(")")
+        || prev.is_punct("]")
+}
+
+/// `true` when the `|` at `pipe_idx` closes a closure's parameter
+/// list (`|v| expr`) rather than acting as bitwise-or: walking left
+/// over parameter-ish tokens must reach an opening `|` that itself
+/// follows an expression-start position (`(`, `,`, `=`, `{`, `;`,
+/// `move`, `=>`) or the stream start.
+fn closes_closure_params(toks: &[Token], pipe_idx: usize) -> bool {
+    let mut i = pipe_idx;
+    loop {
+        let Some(prev_idx) = i.checked_sub(1) else {
+            return false;
+        };
+        let Some(t) = toks.get(prev_idx) else {
+            return false;
+        };
+        if t.is_punct("|") {
+            return match prev_idx.checked_sub(1).and_then(|p| toks.get(p)) {
+                None => true,
+                Some(b) => {
+                    b.is_punct("(")
+                        || b.is_punct(",")
+                        || b.is_punct("=")
+                        || b.is_punct("{")
+                        || b.is_punct(";")
+                        || b.is_punct("=>")
+                        || b.is_ident("move")
+                }
+            };
+        }
+        // Parameter-list tokens: patterns, types, separators.
+        let param_ok = t.kind == TokKind::Ident
+            || t.kind == TokKind::Lifetime
+            || t.is_punct(",")
+            || t.is_punct(":")
+            || t.is_punct("&")
+            || t.is_punct("<")
+            || t.is_punct(">")
+            || t.is_punct("::")
+            || t.is_punct("(")
+            || t.is_punct(")")
+            || t.is_punct("_");
+        if !param_ok {
+            return false;
+        }
+        i = prev_idx;
+    }
+}
+
+/// Index of the punct opening the group that closes at `close_idx`.
+fn match_back(toks: &[Token], close_idx: usize) -> Option<usize> {
+    let (open, close) = match toks.get(close_idx)?.text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    let mut i = close_idx;
+    loop {
+        let t = toks.get(i)?;
+        if t.is_punct(close) {
+            depth += 1;
+        } else if t.is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i = i.checked_sub(1)?;
+    }
+}

@@ -1,0 +1,98 @@
+//! `det-wallclock` / `det-hash`: schedule-producing code must be a
+//! pure function of its inputs.
+//!
+//! In the configured modules (`core`, `timenet`, `opt`, `net::routing`)
+//! two nondeterminism sources are denied outside test code:
+//!
+//! - **wall clock** — `Instant::now` / `SystemTime` anywhere except
+//!   the designated timing-wrapper functions (`[determinism]
+//!   timing_wrappers`) and inline-allowed `GateStats` stamp sites;
+//! - **hash containers** — constructing an owned `std::collections`
+//!   `HashMap`/`HashSet` (constructor call or owned type ascription).
+//!   Iteration order over these is randomized per process, so any
+//!   owned hash container is one `.iter()` away from nondeterministic
+//!   schedules; membership-only uses carry a justified inline allow.
+//!   Borrowed `&HashMap` parameters are exempt — the owner already
+//!   answered for them.
+
+use super::FileCtx;
+use crate::config::LintConfig;
+use crate::diag::{Finding, Severity};
+use crate::lexer::TokKind;
+
+/// Constructor idents whose `Hash*::<ctor>` call builds an owned map.
+const CTORS: &[&str] = &["new", "with_capacity", "from", "default", "from_iter"];
+
+/// Runs both determinism rules.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_test_file || !LintConfig::module_in(ctx.module, &ctx.cfg.det_modules) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.model.in_test(i) {
+            continue;
+        }
+        // Wall clock.
+        for pat in &ctx.cfg.det_wallclock {
+            let hit = match pat.split_once("::") {
+                Some((ty, m)) => {
+                    t.is_ident(ty)
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(i + 2).is_some_and(|n| n.is_ident(m))
+                }
+                None => t.is_ident(pat),
+            };
+            if hit && !in_timing_wrapper(ctx, i) {
+                ctx.emit(
+                    out,
+                    "det-wallclock",
+                    Severity::Error,
+                    t.line,
+                    format!(
+                        "`{pat}` in deterministic module `{}`; schedules must not depend on \
+                         the wall clock (move into a [determinism] timing_wrapper or add a \
+                         justified allow)",
+                        ctx.module
+                    ),
+                );
+            }
+        }
+        // Hash containers.
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            let next = toks.get(i + 1);
+            let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+            // `HashMap::new(...)` — but not path mentions like
+            // `std::collections::HashMap;` in a `use`.
+            let constructed = next.is_some_and(|n| n.is_punct("::"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|c| CTORS.iter().any(|m| c.is_ident(m)));
+            // `: HashMap<...>` owned ascription (field or local);
+            // `&HashMap<...>` borrows are exempt.
+            let owned_ascription =
+                next.is_some_and(|n| n.is_punct("<")) && prev.is_some_and(|p| p.is_punct(":"));
+            if constructed || owned_ascription {
+                ctx.emit(
+                    out,
+                    "det-hash",
+                    Severity::Error,
+                    t.line,
+                    format!(
+                        "owned `{}` in deterministic module `{}`; iteration order is \
+                         process-random — use BTreeMap/BTreeSet, or add a justified allow \
+                         if provably never iterated",
+                        t.text, ctx.module
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `true` when token `i` sits inside a designated timing wrapper fn.
+fn in_timing_wrapper(ctx: &FileCtx<'_>, i: usize) -> bool {
+    ctx.model
+        .enclosing_fn(i)
+        .is_some_and(|f| ctx.cfg.det_timing_wrappers.contains(&f.path))
+}

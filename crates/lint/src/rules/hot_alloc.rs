@@ -1,0 +1,109 @@
+//! `hot-alloc`: no allocating calls inside manifest-listed hot
+//! functions. The manifest (`[hot] functions` in `lint.toml`) names
+//! fully-qualified fn paths, with a trailing `::*` wildcard for whole
+//! impl blocks or modules; the deny list names path calls
+//! (`Vec::new`, `Box::new`), macros (`vec!`, `format!`) and methods
+//! (`.collect()`, `.clone()`, `.to_string()`). This is the static
+//! complement of the runtime `alloc_counter` pin in `crates/bench`.
+
+use super::FileCtx;
+use crate::diag::{Finding, Severity};
+use crate::lexer::TokKind;
+
+/// `true` when `path` is named by `pat` (exact, or `prefix::*`).
+pub fn manifest_matches(pat: &str, path: &str) -> bool {
+    if let Some(prefix) = pat.strip_suffix("::*") {
+        path.len() > prefix.len()
+            && path.starts_with(prefix)
+            && path.get(prefix.len()..prefix.len() + 2) == Some("::")
+    } else {
+        pat == path
+    }
+}
+
+/// Runs the hot-allocation rule over manifest-listed functions.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_test_file || ctx.cfg.hot_functions.is_empty() {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for f in &ctx.model.fns {
+        if f.is_test {
+            continue;
+        }
+        if !ctx
+            .cfg
+            .hot_functions
+            .iter()
+            .any(|p| manifest_matches(p, &f.path))
+        {
+            continue;
+        }
+        // Skip nested fns separately matched; the body scan below
+        // covers nested tokens anyway, and a nested fn that also
+        // matches would double-report.
+        let inner: Vec<(usize, usize)> = ctx
+            .model
+            .fns
+            .iter()
+            .filter(|g| g.open > f.open && g.close < f.close)
+            .map(|g| (g.open, g.close))
+            .collect();
+
+        let mut i = f.open;
+        while i <= f.close {
+            if inner.iter().any(|&(o, c)| o <= i && i <= c) {
+                i += 1;
+                continue;
+            }
+            let Some(t) = toks.get(i) else { break };
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            for pat in &ctx.cfg.hot_deny {
+                if let Some(macro_name) = pat.strip_suffix('!') {
+                    // `vec!`, `format!`.
+                    if t.is_ident(macro_name) && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+                        emit(ctx, out, f, pat, t.line);
+                    }
+                } else if let Some((ty, m)) = pat.split_once("::") {
+                    // `Vec::new`, `Box::new`, `String::new`.
+                    if t.is_ident(ty)
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(i + 2).is_some_and(|n| n.is_ident(m))
+                    {
+                        emit(ctx, out, f, pat, t.line);
+                    }
+                } else {
+                    // Method calls: `.collect(`, `.clone(`,
+                    // `.collect::<T>(` — require the leading dot so a
+                    // local named `clone` can't trip the rule.
+                    if t.is_ident(pat)
+                        && i > 0
+                        && toks.get(i - 1).is_some_and(|p| p.is_punct("."))
+                        && toks
+                            .get(i + 1)
+                            .is_some_and(|n| n.is_punct("(") || n.is_punct("::"))
+                    {
+                        emit(ctx, out, f, pat, t.line);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn emit(ctx: &FileCtx<'_>, out: &mut Vec<Finding>, f: &crate::model::FnSpan, pat: &str, line: u32) {
+    ctx.emit(
+        out,
+        "hot-alloc",
+        Severity::Error,
+        line,
+        format!(
+            "allocating call `{}` in hot function `{}` (listed in lint.toml [hot] manifest)",
+            pat, f.path
+        ),
+    );
+}

@@ -1,0 +1,291 @@
+//! `lock-order` / `lock-requires`: the declared lock partial order.
+//!
+//! An intraprocedural guard-liveness walk over each function body.
+//! Acquisitions are recognized syntactically — `lock(&x.FIELD)` (the
+//! daemon's poison-free helper), `FIELD.lock()`, `FIELD.read()` and
+//! `FIELD.write()` — for FIELD names declared as lock classes in
+//! `lint.toml`. A `let`-bound guard lives until its block closes or
+//! an explicit `drop(name)`; an unbound (temporary) guard dies at the
+//! next `;`. Acquiring a class whose declared rank is ≤ the rank of
+//! any live guard is a `lock-order` finding — the exact shape of the
+//! PR-6 WAL race (`journal` held while re-acquiring `armed`). A
+//! `lock.requires` constraint additionally demands that some class
+//! (e.g. `armed`) be live when another (e.g. `journal`) is acquired.
+
+use super::FileCtx;
+use crate::config::{LintConfig, LockOrder, LockRequires};
+use crate::diag::{Finding, Severity};
+use crate::lexer::{TokKind, Token};
+use crate::model::FnSpan;
+
+/// One live guard.
+struct Guard {
+    /// Lock class name.
+    class: String,
+    /// Binding name, `None` for a temporary.
+    name: Option<String>,
+    /// Brace depth (within the fn body) at which it was bound.
+    depth: usize,
+    /// Source line of the acquisition.
+    line: u32,
+}
+
+/// Runs the lock rules over every non-test function in scope.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_test_file {
+        return;
+    }
+    let orders: Vec<&LockOrder> = ctx
+        .cfg
+        .lock_orders
+        .iter()
+        .filter(|o| LintConfig::module_in(ctx.module, &o.modules))
+        .collect();
+    let requires: Vec<&LockRequires> = ctx
+        .cfg
+        .lock_requires
+        .iter()
+        .filter(|r| LintConfig::module_in(ctx.module, &r.modules))
+        .collect();
+    if orders.is_empty() && requires.is_empty() {
+        return;
+    }
+    for f in &ctx.model.fns {
+        if f.is_test || ctx.model.in_test(f.open) {
+            continue;
+        }
+        walk_fn(ctx, f, &orders, &requires, out);
+    }
+}
+
+/// Rank of `class` in some applicable order, if declared.
+fn rank(class: &str, orders: &[&LockOrder]) -> Option<(usize, usize)> {
+    orders
+        .iter()
+        .enumerate()
+        .find_map(|(oi, o)| o.classes.iter().position(|c| c == class).map(|r| (oi, r)))
+}
+
+fn walk_fn(
+    ctx: &FileCtx<'_>,
+    f: &FnSpan,
+    orders: &[&LockOrder],
+    requires: &[&LockRequires],
+    out: &mut Vec<Finding>,
+) {
+    let toks = &ctx.lexed.tokens;
+    let Some(body) = toks.get(f.open..=f.close) else {
+        return;
+    };
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // The binding name of the `let` statement currently open at each
+    // depth (top of stack = innermost block's current statement).
+    let mut let_stack: Vec<Option<String>> = vec![None];
+
+    let mut i = 0usize;
+    while let Some(t) = body.get(i) {
+        if t.is_punct("{") {
+            depth += 1;
+            let_stack.push(None);
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            let_stack.pop();
+            // Bound guards die with their block; temporaries also die
+            // when a block of their own statement closes (the `if let
+            // Some(x) = m.lock().get(..) { .. }` shape — the scrutinee
+            // temp does not outlive the if-let).
+            guards.retain(|g| g.depth <= depth && (g.name.is_some() || g.depth < depth));
+            i += 1;
+            continue;
+        }
+        if t.is_punct(";") {
+            if let Some(top) = let_stack.last_mut() {
+                *top = None;
+            }
+            // Temporaries die at the statement end.
+            guards.retain(|g| g.name.is_some() || g.depth < depth);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("let") {
+            // `let NAME`, `let mut NAME`, or `let (NAME, ...)` (the
+            // condvar-handoff tuple). An enum pattern — `if let
+            // Some(g) = m.lock()...` — is NOT a binding of the guard:
+            // the guard is a scrutinee temporary that dies when the
+            // if-let closes, so it stays unnamed here.
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let tuple = body.get(j).is_some_and(|n| n.is_punct("("));
+            if tuple {
+                j += 1;
+            }
+            if let Some(name) = body.get(j).filter(|n| n.kind == TokKind::Ident) {
+                let enum_pattern = !tuple
+                    && body
+                        .get(j + 1)
+                        .is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+                if !enum_pattern {
+                    if let Some(top) = let_stack.last_mut() {
+                        *top = Some(name.text.clone());
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `drop(name)` releases a bound guard early.
+        if t.is_ident("drop") && body.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            if let Some(name) = body.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                guards.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+            }
+            i += 3;
+            continue;
+        }
+        if let Some((class, line, adv)) = acquisition(body, i, orders, requires) {
+            report(ctx, f, &guards, &class, line, orders, requires, out);
+            let name = let_stack.last().and_then(Clone::clone);
+            // A rebinding of an existing guard name (condvar wait
+            // handoff) replaces the old guard, it does not nest.
+            if let Some(n) = &name {
+                guards.retain(|g| g.name.as_deref() != Some(n.as_str()));
+            }
+            guards.push(Guard {
+                class,
+                name,
+                depth,
+                line,
+            });
+            i += adv;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Recognizes a lock acquisition at `i`. Returns the class name, the
+/// source line, and how many tokens to advance.
+fn acquisition(
+    body: &[Token],
+    i: usize,
+    orders: &[&LockOrder],
+    requires: &[&LockRequires],
+) -> Option<(String, u32, usize)> {
+    let is_class = |s: &str| {
+        orders.iter().any(|o| o.classes.iter().any(|c| c == s))
+            || requires
+                .iter()
+                .any(|r| r.class == s || r.requires.iter().any(|q| q == s))
+    };
+    let t = body.get(i)?;
+    // `lock ( & path . FIELD )` — the daemon's helper.
+    if t.is_ident("lock") && body.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+        // Find the matching `)` and take the last ident before it.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut last_ident: Option<(String, u32)> = None;
+        while let Some(n) = body.get(j) {
+            if n.is_punct("(") {
+                depth += 1;
+            } else if n.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if n.kind == TokKind::Ident {
+                last_ident = Some((n.text.clone(), n.line));
+            }
+            j += 1;
+        }
+        let (field, line) = last_ident?;
+        if is_class(&field) {
+            return Some((field, line, j.saturating_sub(i).max(1)));
+        }
+        return None;
+    }
+    // `FIELD . lock ( )` / `.read()` / `.write()`.
+    if t.kind == TokKind::Ident
+        && is_class(&t.text)
+        && body.get(i + 1).is_some_and(|n| n.is_punct("."))
+    {
+        if let Some(m) = body.get(i + 2) {
+            if (m.is_ident("lock") || m.is_ident("read") || m.is_ident("write"))
+                && body.get(i + 3).is_some_and(|n| n.is_punct("("))
+            {
+                return Some((t.text.clone(), t.line, 4));
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)] // internal helper, all context needed
+fn report(
+    ctx: &FileCtx<'_>,
+    f: &FnSpan,
+    guards: &[Guard],
+    class: &str,
+    line: u32,
+    orders: &[&LockOrder],
+    requires: &[&LockRequires],
+    out: &mut Vec<Finding>,
+) {
+    if let Some((oi, new_rank)) = rank(class, orders) {
+        for g in guards {
+            let Some((goi, held_rank)) = rank(&g.class, orders) else {
+                continue;
+            };
+            if goi == oi && held_rank >= new_rank {
+                let order = match orders.get(oi) {
+                    Some(o) => o,
+                    None => continue,
+                };
+                ctx.emit(
+                    out,
+                    "lock-order",
+                    Severity::Error,
+                    line,
+                    format!(
+                        "`{}` acquired while `{}` (acquired at line {}) is still held; \
+                         declared order `{}` is {} (in `{}`)",
+                        class,
+                        g.class,
+                        g.line,
+                        order.name,
+                        order.classes.join(" -> "),
+                        f.path,
+                    ),
+                );
+            }
+        }
+    }
+    for r in requires {
+        if r.class == class {
+            let held = guards.iter().any(|g| r.requires.contains(&g.class));
+            if !held {
+                ctx.emit(
+                    out,
+                    "lock-requires",
+                    Severity::Error,
+                    line,
+                    format!(
+                        "`{}` acquired without holding {} (constraint `{}`, in `{}`)",
+                        class,
+                        r.requires
+                            .iter()
+                            .map(|q| format!("`{q}`"))
+                            .collect::<Vec<_>>()
+                            .join(" or "),
+                        r.name,
+                        f.path,
+                    ),
+                );
+            }
+        }
+    }
+}

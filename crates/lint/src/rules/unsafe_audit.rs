@@ -1,0 +1,70 @@
+//! `safety-comment` / `forbid-unsafe`: the unsafe audit.
+//!
+//! Every `unsafe` keyword (block, fn, impl, trait) must be preceded —
+//! same line or the one or two lines above, to leave room for an
+//! attribute — by a comment containing `SAFETY:` that states the
+//! obligation being discharged. This rule runs on test code too: the
+//! only real `unsafe` in the workspace is the counting allocator in
+//! `crates/bench/tests`, and its obligations deserve stating.
+//!
+//! Separately, when `[unsafe_audit] require_forbid = true`, every
+//! crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) must
+//! carry `#![forbid(unsafe_code)]` unless listed in `forbid_exempt` —
+//! keeping the workspace's zero-unsafe posture a compile error, not a
+//! convention.
+
+use super::FileCtx;
+use crate::diag::{Finding, Severity};
+
+/// Runs both audit sub-rules.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    // SAFETY comments (all code, tests included).
+    for t in &ctx.lexed.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let covered = ctx
+            .lexed
+            .comments
+            .iter()
+            .any(|c| c.text.contains("SAFETY:") && c.end_line + 3 > t.line && c.line <= t.line);
+        if !covered {
+            ctx.emit(
+                out,
+                "safety-comment",
+                Severity::Error,
+                t.line,
+                "`unsafe` without a preceding `// SAFETY:` comment stating the discharged \
+                 obligation"
+                    .to_string(),
+            );
+        }
+    }
+    // Crate-root forbid(unsafe_code).
+    if ctx.cfg.require_forbid
+        && ctx.is_crate_root
+        && !ctx.cfg.forbid_exempt.iter().any(|e| e == ctx.rel)
+        && !has_forbid(ctx)
+    {
+        ctx.emit(
+            out,
+            "forbid-unsafe",
+            Severity::Error,
+            1,
+            "crate root lacks `#![forbid(unsafe_code)]` (add it, or list the file under \
+             [unsafe_audit] forbid_exempt)"
+                .to_string(),
+        );
+    }
+}
+
+/// `true` when the token stream contains `forbid(unsafe_code` (or a
+/// deny of it, which is as strong for the audit's purposes).
+fn has_forbid(ctx: &FileCtx<'_>) -> bool {
+    let toks = &ctx.lexed.tokens;
+    toks.iter().enumerate().any(|(i, t)| {
+        (t.is_ident("forbid") || t.is_ident("deny"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("unsafe_code"))
+    })
+}

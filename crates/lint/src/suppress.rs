@@ -1,0 +1,121 @@
+//! Inline suppressions: `// chronus-lint: allow(rule-a, rule-b) — why`.
+//!
+//! An allow comment covers the line it sits on (for trailing allows)
+//! and the line after its last line (for allows placed above the
+//! code). Broader suppression belongs in `lint.toml`'s baseline, not
+//! in comments — the inline form is deliberately narrow so an allow
+//! can't drift away from the code it excuses.
+
+use crate::lexer::Comment;
+use std::collections::BTreeMap;
+
+/// The marker an allow comment must carry.
+const MARKER: &str = "chronus-lint:";
+
+/// Parsed suppressions for one file: line → allowed rule ids.
+#[derive(Clone, Debug, Default)]
+pub struct Suppressions {
+    by_line: BTreeMap<u32, Vec<String>>,
+}
+
+impl Suppressions {
+    /// Collects every allow comment in `comments`.
+    pub fn collect(comments: &[Comment]) -> Suppressions {
+        let mut s = Suppressions::default();
+        for c in comments {
+            let Some(rules) = parse_allow(&c.text) else {
+                continue;
+            };
+            // Cover the comment's own last line and the next one.
+            for line in [c.end_line, c.end_line + 1] {
+                s.by_line
+                    .entry(line)
+                    .or_default()
+                    .extend(rules.iter().cloned());
+            }
+        }
+        s
+    }
+
+    /// `true` when `rule` is allowed at `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule || r == "all"))
+    }
+}
+
+/// Extracts the rule list from `// chronus-lint: allow(a, b) — why`.
+/// Returns `None` for ordinary comments.
+fn parse_allow(text: &str) -> Option<Vec<String>> {
+    let at = text.find(MARKER)?;
+    let rest = text.get(at + MARKER.len()..)?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let rules: Vec<String> = inner
+        .get(..close)?
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    (!rules.is_empty()).then_some(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, line: u32) -> Comment {
+        Comment {
+            text: text.to_string(),
+            line,
+            end_line: line,
+        }
+    }
+
+    #[test]
+    fn allow_covers_own_and_next_line() {
+        let s = Suppressions::collect(&[comment(
+            "// chronus-lint: allow(det-wallclock) — GateStats stamp",
+            10,
+        )]);
+        assert!(s.is_allowed("det-wallclock", 10));
+        assert!(s.is_allowed("det-wallclock", 11));
+        assert!(!s.is_allowed("det-wallclock", 12));
+        assert!(!s.is_allowed("det-hash", 11));
+    }
+
+    #[test]
+    fn multiple_rules_and_reason_text() {
+        let s = Suppressions::collect(&[comment(
+            "// chronus-lint: allow(det-hash, hot-alloc) because reasons",
+            3,
+        )]);
+        assert!(s.is_allowed("det-hash", 4));
+        assert!(s.is_allowed("hot-alloc", 4));
+    }
+
+    #[test]
+    fn ordinary_comments_do_not_suppress() {
+        let s = Suppressions::collect(&[
+            comment("// mentions allow(det-hash) without the marker", 1),
+            comment("// chronus-lint: allow() empty", 2),
+        ]);
+        assert!(!s.is_allowed("det-hash", 1));
+        assert!(!s.is_allowed("det-hash", 2));
+    }
+
+    #[test]
+    fn block_comment_covers_line_after_end() {
+        let c = Comment {
+            text: "/* chronus-lint: allow(cast-paren) */".to_string(),
+            line: 5,
+            end_line: 6,
+        };
+        let s = Suppressions::collect(&[c]);
+        assert!(s.is_allowed("cast-paren", 6));
+        assert!(s.is_allowed("cast-paren", 7));
+        assert!(!s.is_allowed("cast-paren", 5));
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a grandfathered finding silenced by the baseline — and
+//! only that one; the second stamp below is new and must still fail.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let t1 = Instant::now();
+    t0.elapsed().as_nanos() + t1.elapsed().as_nanos()
+}

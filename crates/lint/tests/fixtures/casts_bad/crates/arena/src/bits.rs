@@ -1,0 +1,8 @@
+//! Fixture: bare narrowing casts as arithmetic operands.
+pub fn first_set(w: usize, word: u64) -> usize {
+    w * 64 + word.trailing_zeros() as usize
+}
+
+pub fn window_end(base: i64, steps: usize) -> i64 {
+    base + steps as i64 - 1
+}

@@ -1,0 +1,13 @@
+//! Fixture: the parenthesized twins, plus a closure whose `|` must
+//! not read as bitwise-or.
+pub fn first_set(w: usize, word: u64) -> usize {
+    w * 64 + (word.trailing_zeros() as usize)
+}
+
+pub fn window_end(base: i64, steps: usize) -> i64 {
+    base + (steps as i64) - 1
+}
+
+pub fn total(xs: &[u32]) -> u64 {
+    xs.iter().map(|v| *v as u64).sum::<u64>()
+}

@@ -1,0 +1,18 @@
+//! Fixture: wall clock and hash-ordered state in a schedule producer.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn pick(xs: &[u32]) -> u32 {
+    let t0 = Instant::now();
+    let mut weights: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *weights.entry(x).or_insert(0) += 1;
+    }
+    let mut best = 0;
+    for (&k, &w) in weights.iter() {
+        if w > best {
+            best = k;
+        }
+    }
+    best.wrapping_add(t0.elapsed().subsec_nanos())
+}

@@ -1,0 +1,20 @@
+//! Fixture: the deterministic twin — BTreeMap ordering and an inline-
+//! allowed observability stamp that never feeds the result.
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub fn pick(xs: &[u32]) -> (u32, u128) {
+    // chronus-lint: allow(det-wallclock) — timing stamp for metrics only; never feeds the schedule
+    let t0 = Instant::now();
+    let mut weights: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *weights.entry(x).or_insert(0) += 1;
+    }
+    let mut best = 0;
+    for (&k, &w) in weights.iter() {
+        if w > best {
+            best = k;
+        }
+    }
+    (best, t0.elapsed().as_nanos())
+}

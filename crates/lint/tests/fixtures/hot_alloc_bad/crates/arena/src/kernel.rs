@@ -1,0 +1,20 @@
+//! Fixture: allocations seeded into a manifest-listed hot function.
+pub struct Step {
+    acc: u64,
+}
+
+impl Step {
+    pub fn bump(&mut self, xs: &[u64]) -> u64 {
+        let mut out = Vec::new();
+        let extra = vec![0u64; 4];
+        let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+        out.extend_from_slice(&doubled);
+        self.acc += out.len() as u64 + extra.len() as u64;
+        self.acc
+    }
+
+    /// Not in the manifest: free to allocate.
+    pub fn cold_summary(&self) -> String {
+        format!("acc={}", self.acc)
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: the same kernel, allocation-free — reused buffers and one
+//! justified inline allow for an alloc-free `Vec::new`.
+pub struct Step {
+    acc: u64,
+    scratch: Vec<u64>,
+}
+
+impl Step {
+    pub fn bump(&mut self, xs: &[u64]) -> u64 {
+        self.scratch.clear();
+        for &x in xs {
+            self.scratch.push(x * 2);
+        }
+        // chronus-lint: allow(hot-alloc) — empty Vec::new is alloc-free until first push
+        let spill: Vec<u64> = Vec::new();
+        self.acc += self.scratch.len() as u64 + spill.len() as u64;
+        self.acc
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: the PR-6 WAL race, both shapes.
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap()
+}
+
+pub struct Service {
+    admission: Mutex<u32>,
+    statuses: Mutex<u32>,
+    armed: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+impl Service {
+    /// BAD: journal appended outside the armed lock — a concurrent
+    /// snapshot can observe the armed schedule without its WAL record.
+    pub fn arm(&self) {
+        let mut journal = lock(&self.journal);
+        *journal += 1;
+    }
+
+    /// BAD: armed re-acquired while the journal guard is still live —
+    /// the inverse nesting deadlocks against `arm_fixed`.
+    pub fn snapshot(&self) {
+        let armed = lock(&self.armed);
+        let journal = lock(&self.journal);
+        drop(armed);
+        let again = lock(&self.armed);
+        drop(again);
+        drop(journal);
+    }
+}

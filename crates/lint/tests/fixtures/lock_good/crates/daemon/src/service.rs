@@ -1,0 +1,37 @@
+//! Fixture: the PR-6 fix — journal strictly nested under armed, locks
+//! taken in declared order, plus the if-let scrutinee-temporary shape
+//! that must not count as a held guard after its if-let closes.
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap()
+}
+
+pub struct Service {
+    admission: Mutex<u32>,
+    statuses: Mutex<u32>,
+    armed: Mutex<Option<u32>>,
+    journal: Mutex<u32>,
+}
+
+impl Service {
+    pub fn arm(&self) {
+        let armed = lock(&self.armed);
+        let mut journal = lock(&self.journal);
+        *journal += 1;
+        drop(journal);
+        drop(armed);
+    }
+
+    pub fn admit(&self) {
+        if let Some(slot) = *lock(&self.armed) {
+            let _ = slot;
+        }
+        // The scrutinee temporary above died with its if-let: taking
+        // an earlier-ordered lock here is fine.
+        let statuses = lock(&self.statuses);
+        drop(statuses);
+        let admission = lock(&self.admission);
+        drop(admission);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: unsafe without its SAFETY story, in a crate root that
+//! also forgot `#![forbid(unsafe_code)]`.
+
+pub fn head(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}

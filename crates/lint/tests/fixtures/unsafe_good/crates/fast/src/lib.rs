@@ -1,0 +1,8 @@
+//! Fixture: audited unsafe — the crate root is exempted from the
+//! forbid requirement and every unsafe block carries its SAFETY.
+
+pub fn head(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: bounds asserted on the line above; index 0 is in range.
+    unsafe { *xs.get_unchecked(0) }
+}

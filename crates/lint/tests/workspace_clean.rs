@@ -1,0 +1,84 @@
+//! The two workspace-level guarantees behind the CI gate:
+//!
+//! 1. The committed `lint.toml` lints the real workspace clean with an
+//!    *empty* baseline — every inline allow is a reviewed, justified
+//!    escape, not a rug to sweep findings under.
+//! 2. The hot-function manifest names items that actually exist, so a
+//!    rename cannot silently shrink hot-path allocation coverage.
+
+use chronus_lint::config::LintConfig;
+use chronus_lint::rules::hot_alloc::manifest_matches;
+use chronus_lint::{lexer, model, workspace};
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    // crates/lint -> crates -> repo root, where lint.toml lives.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has two ancestors");
+    assert!(
+        root.join("lint.toml").is_file(),
+        "expected the committed lint.toml at the repo root"
+    );
+    root
+}
+
+/// The workspace lints clean under the committed config, and the
+/// committed baseline is empty (nothing grandfathered).
+#[test]
+fn workspace_lints_clean_with_empty_baseline() {
+    let root = repo_root();
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("parse committed lint.toml");
+    assert!(
+        cfg.baseline.is_empty(),
+        "the committed baseline must stay empty; fix or inline-allow new findings instead"
+    );
+    let report = chronus_lint::run(root, &cfg).expect("lint the workspace");
+    assert!(
+        report.files > 100,
+        "suspiciously few files scanned ({}); did the roots move?",
+        report.files
+    );
+    assert!(
+        report.live.is_empty(),
+        "workspace must lint clean; found:\n{}",
+        report
+            .live
+            .iter()
+            .map(|f| f.render_text())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Every entry in the `[hot] functions` manifest matches at least one
+/// real function in the scanned workspace. Catches the silent-rot
+/// failure where a kernel is renamed and its allocation checks stop
+/// applying without anyone noticing.
+#[test]
+fn hot_manifest_names_real_functions() {
+    let root = repo_root();
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("parse committed lint.toml");
+    assert!(!cfg.hot_functions.is_empty(), "manifest unexpectedly empty");
+
+    let files = workspace::collect(root, &cfg).expect("collect workspace files");
+    let mut fn_paths: Vec<String> = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.path).expect("read workspace source");
+        let lexed = lexer::lex(&src);
+        let fm = model::scan(&lexed, &f.module);
+        fn_paths.extend(fm.fns.into_iter().map(|s| s.path));
+    }
+
+    let stale: Vec<&String> = cfg
+        .hot_functions
+        .iter()
+        .filter(|pat| !fn_paths.iter().any(|p| manifest_matches(pat, p)))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "lint.toml [hot] manifest entries match no function in the workspace \
+         (renamed or removed?): {stale:?}"
+    );
+}

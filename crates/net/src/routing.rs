@@ -111,12 +111,14 @@ pub fn k_shortest_paths(net: &Network, src: SwitchId, dst: SwitchId, k: usize) -
 
             // Edges removed: the outgoing edge each previous path takes
             // after sharing this root, plus all root nodes except spur.
+            // chronus-lint: allow(det-hash) — membership-only ban set for the filtered Dijkstra; never iterated
             let mut banned_edges: HashSet<(SwitchId, SwitchId)> = HashSet::new();
             for p in &result {
                 if p.len() > i && &p.hops()[..=i] == root {
                     banned_edges.insert((p.hops()[i], p.hops()[i + 1]));
                 }
             }
+            // chronus-lint: allow(det-hash) — membership-only ban set for the filtered Dijkstra; never iterated
             let banned_nodes: HashSet<SwitchId> = root[..i].iter().copied().collect();
 
             if let Some(spur_path) =
@@ -248,6 +250,7 @@ fn loop_erased_walk(
     }
 
     let mut hops: Vec<SwitchId> = vec![src];
+    // chronus-lint: allow(det-hash) — switch -> walk-position lookup; read by key only, never iterated
     let mut index: HashMap<SwitchId, usize> = HashMap::from([(src, 0)]);
     let max_steps = 100 * n + 1_000;
     for _ in 0..max_steps {

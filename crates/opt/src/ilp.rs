@@ -125,6 +125,7 @@ impl IlpModel {
 /// expired (`budget_exceeded` distinguishes the two).
 pub fn solve_binary(model: &IlpModel, budget: Duration) -> SolveResult {
     let n = model.variables.len();
+    // chronus-lint: allow(det-wallclock) — solver budget deadline; affects only whether an answer is produced, never which
     let deadline = Instant::now() + budget;
     let mut best: Option<(i64, Vec<bool>)> = None;
     let mut assignment = vec![false; n];
@@ -140,6 +141,7 @@ pub fn solve_binary(model: &IlpModel, budget: Duration) -> SolveResult {
         deadline: Instant,
         timed_out: &mut bool,
     ) {
+        // chronus-lint: allow(det-wallclock) — budget deadline check, see `deadline`
         if *timed_out || Instant::now() > deadline {
             *timed_out = true;
             return;
@@ -303,8 +305,11 @@ pub fn build_mutp_ilp(
 
     // (3a): capacity of every time-extended link. Each variable's load
     // profile comes from simulating its schedule on its own flow.
-    use std::collections::HashMap;
-    let mut link_terms: HashMap<(u32, u32, TimeStep), Vec<(usize, i64)>> = HashMap::new();
+    // A BTreeMap so the constraint-emission loop below walks keys in
+    // sorted order directly — no collect-and-sort pass, and no chance
+    // of hash-order nondeterminism reaching the model (det-hash).
+    use std::collections::BTreeMap;
+    let mut link_terms: BTreeMap<(u32, u32, TimeStep), Vec<(usize, i64)>> = BTreeMap::new();
     for (vi, s) in var_schedules.iter().enumerate() {
         // Which flow does this variable belong to?
         let fi = flow_var_ranges
@@ -325,11 +330,7 @@ pub fn build_mutp_ilp(
             }
         }
     }
-    let mut keys: Vec<_> = link_terms.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
-        let (u, v, t) = key;
-        let terms = link_terms.remove(&key).expect("key present");
+    for ((u, v, t), terms) in link_terms {
         // Single-variable terms within one flow are mutually exclusive
         // anyway; the constraint only bites across flows or when one
         // path self-overlaps (already excluded by P(f) consistency),
@@ -365,8 +366,10 @@ pub fn ilp_optimal(
     max_makespan: TimeStep,
     budget: Duration,
 ) -> Result<(Schedule, TimeStep, chronus_verify::Certificate), ScheduleError> {
+    // chronus-lint: allow(det-wallclock) — solver budget deadline; affects only whether an answer is produced, never which
     let deadline = Instant::now() + budget;
     for m in 0..=max_makespan {
+        // chronus-lint: allow(det-wallclock) — budget deadline check, see `deadline`
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
             return Err(ScheduleError::TimedOut {

@@ -110,6 +110,7 @@ pub fn optimal_schedule_with(
 ) -> Result<OptOutcome, ScheduleError> {
     let _span = chronus_trace::span!("opt.search", flows = instance.flows.len()).entered();
     let problem = MutpProblem::new(instance)?;
+    // chronus-lint: allow(det-wallclock) — search budget deadline; affects only whether an answer is produced, never which
     let deadline = Instant::now() + cfg.budget;
 
     // Upper bound from the greedy (OPT ≤ greedy); fall back to the
@@ -190,6 +191,7 @@ pub fn optimal_schedule_with(
     };
 
     for m in 0..=ub {
+        // chronus-lint: allow(det-wallclock) — budget deadline check, see `deadline`
         if Instant::now() > deadline {
             return Err(ScheduleError::TimedOut {
                 budget_ms: cfg.budget.as_millis() as u64,
@@ -203,6 +205,7 @@ pub fn optimal_schedule_with(
             makespan: m,
             drain,
             deadline,
+            // chronus-lint: allow(det-hash) — insert/contains-only visited-state memo; never iterated
             memo: HashSet::new(),
             stats: &mut stats,
             assigned: vec![None; items.len()],
@@ -272,6 +275,7 @@ struct Searcher<'a> {
     makespan: TimeStep,
     drain: TimeStep,
     deadline: Instant,
+    // chronus-lint: allow(det-hash) — insert/contains-only visited-state memo; never iterated
     memo: HashSet<MemoKey>,
     stats: &'a mut Stats,
     /// Current assignment per item index — the search's own mirror of
@@ -365,6 +369,7 @@ impl<'a> Searcher<'a> {
         if !self.memo.insert(key) {
             return Outcome::Exhausted;
         }
+        // chronus-lint: allow(det-wallclock) — budget deadline check, see `deadline`
         if Instant::now() > self.deadline {
             return Outcome::TimedOut;
         }

@@ -247,7 +247,7 @@ impl StepCounts {
         let mut word = self.words[w] & !((1u64 << (from % WORD_BITS)) - 1);
         loop {
             if word != 0 {
-                return w * WORD_BITS + word.trailing_zeros() as usize;
+                return w * WORD_BITS + (word.trailing_zeros() as usize);
             }
             w += 1;
             debug_assert!(w < self.words.len(), "StepCounts min scan ran off");
@@ -266,7 +266,7 @@ impl StepCounts {
         };
         loop {
             if word != 0 {
-                return w * WORD_BITS + (WORD_BITS - 1 - word.leading_zeros() as usize);
+                return w * WORD_BITS + (WORD_BITS - 1 - (word.leading_zeros() as usize));
             }
             debug_assert!(w > 0, "StepCounts max scan ran off");
             w -= 1;
@@ -276,12 +276,12 @@ impl StepCounts {
 
     /// `true` iff some entry is ≤ `t` — O(1).
     pub fn any_at_or_before(&self, t: TimeStep) -> bool {
-        self.total > 0 && self.base + self.min_idx as TimeStep <= t
+        self.total > 0 && self.base + (self.min_idx as TimeStep) <= t
     }
 
     /// The largest entry, if any — O(1).
     pub fn max(&self) -> Option<TimeStep> {
-        (self.total > 0).then(|| self.base + self.max_idx as TimeStep)
+        (self.total > 0).then(|| self.base + (self.max_idx as TimeStep))
     }
 
     fn byte_size(&self) -> u64 {
@@ -363,8 +363,8 @@ impl SimArena {
     /// Folds `bytes` plus the arena-resident buffers into the
     /// high-water mark.
     pub(crate) fn note_bytes(&mut self, bytes: u64) {
-        let resident = (self.loads.capacity() * std::mem::size_of::<Capacity>()
-            + self.stamps.capacity() * std::mem::size_of::<u64>()) as u64
+        let resident = ((self.loads.capacity() * std::mem::size_of::<Capacity>()
+            + self.stamps.capacity() * std::mem::size_of::<u64>()) as u64)
             + self
                 .hop_bufs
                 .iter()

@@ -364,7 +364,7 @@ impl FlowState {
     }
 
     fn last_emit(&self) -> TimeStep {
-        self.first_emit + self.cohorts.len() as TimeStep - 1
+        self.first_emit + (self.cohorts.len() as TimeStep) - 1
     }
 }
 
@@ -716,8 +716,8 @@ impl IncrementalSimulator {
             switch,
             time: t,
             prev_sched,
-            grew: Vec::new(),
-            shrunk: Vec::new(),
+            grew: Vec::new(), // chronus-lint: allow(hot-alloc) — empty Vec::new is alloc-free until first push
+            shrunk: Vec::new(), // chronus-lint: allow(hot-alloc) — empty Vec::new is alloc-free until first push
             retraced: self.retrace_pool.pop().unwrap_or_default(),
         };
 
@@ -1020,7 +1020,7 @@ impl IncrementalSimulator {
             }
         }
         for &(slot, consult) in &affected {
-            let tau = self.flows[fi].first_emit + slot as TimeStep;
+            let tau = self.flows[fi].first_emit + (slot as TimeStep);
             // Split point: the (unique) hop departing from `switch`,
             // or the full hop count when the cohort blackholed there.
             // Everything before it consults only unchanged rules.

@@ -42,6 +42,7 @@ pub struct InternedLink {
 /// even that probe leaves the per-hop path).
 #[derive(Clone, Debug, Default)]
 pub struct LinkInterner {
+    // chronus-lint: allow(det-hash) — endpoint -> id lookup; read by key only, never iterated
     by_endpoints: HashMap<(SwitchId, SwitchId), u32>,
     links: Vec<InternedLink>,
 }
@@ -155,12 +156,12 @@ impl LoadLedger {
     #[inline]
     fn idx(&self, link: u32, t: TimeStep) -> usize {
         debug_assert!(t >= self.t_lo, "load before the ledger window");
-        (t - self.t_lo) as usize * self.n_links + link as usize
+        ((t - self.t_lo) as usize) * self.n_links + (link as usize)
     }
 
     /// Grows the window to include step `t` (zero-filled).
     fn ensure_step(&mut self, t: TimeStep) {
-        let needed = (t - self.t_lo) as usize + 1;
+        let needed = ((t - self.t_lo) as usize) + 1;
         if needed > self.steps {
             self.steps = needed;
             self.loads.resize(needed * self.n_links, 0);
@@ -175,7 +176,7 @@ impl LoadLedger {
         self.ensure_step(t);
         let step = (t - self.t_lo) as usize;
         let cap = self.capacities[link as usize];
-        let cell = &mut self.loads[step * self.n_links + link as usize];
+        let cell = &mut self.loads[step * self.n_links + (link as usize)];
         let before = *cell;
         *cell += demand;
         let after = *cell;
@@ -250,7 +251,7 @@ impl LoadLedger {
     pub fn congestion_events(&self, interner: &LinkInterner) -> Vec<CongestionEvent> {
         let mut events = Vec::new();
         let first = self.t_lo.max(0);
-        for t in first..self.t_lo + self.steps as TimeStep {
+        for t in first..self.t_lo + (self.steps as TimeStep) {
             let step = (t - self.t_lo) as usize;
             let row = step * self.n_links;
             self.over.for_each_set(step, |link| {
@@ -280,7 +281,7 @@ impl LoadLedger {
     ) -> BTreeMap<(SwitchId, SwitchId), BTreeMap<TimeStep, Capacity>> {
         let mut out: BTreeMap<(SwitchId, SwitchId), BTreeMap<TimeStep, Capacity>> = BTreeMap::new();
         for step in 0..self.steps {
-            let t = self.t_lo + step as TimeStep;
+            let t = self.t_lo + (step as TimeStep);
             let row = step * self.n_links;
             self.occ.for_each_set(step, |link| {
                 let load = self.loads[row + link];
