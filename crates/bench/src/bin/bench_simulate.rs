@@ -7,8 +7,11 @@
 //! `Path` primitives) dominating once the gate went incremental. It
 //! times the default flat [`FlowScan`]-based scan against the legacy
 //! path-walking scan (`legacy_scan: true`) on the same fig10-scale
-//! instances, in the same process — both arms share every other
-//! optimization, so `e2e_speedup` attributes to the scan alone.
+//! instances, in the same process with interleaved reps — both arms
+//! share every other optimization and see the same clock/load drift,
+//! so `e2e_speedup` attributes to the scan alone. (At n=8 the small-n
+//! cutoff sends *both* arms down the legacy walks, so that ratio is a
+//! parity check, gated at ≥0.95 by `bench_check`.)
 //!
 //! Per size it emits `flat_ns_per_op`, `legacy_ns_per_op`, their ratio
 //! `e2e_speedup`, the (asserted-identical) `makespan`, and the arena
@@ -27,33 +30,66 @@ use chronus_timenet::SimWorkspace;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-/// Repeats one configuration until 400 ms or 20 reps, whichever first
-/// (always at least once).
-fn time_scan(
-    inst: &UpdateInstance,
-    legacy_scan: bool,
-) -> (f64, Result<GreedyOutcome, ScheduleError>) {
+fn config(legacy_scan: bool) -> GreedyConfig {
     // Certification off: both arms pay it identically, and this bench
     // isolates planning cost.
-    let cfg = GreedyConfig {
+    GreedyConfig {
         legacy_scan,
         verify: chronus_verify::VerifyConfig::disabled(),
         ..Default::default()
-    };
-    let mut ws = SimWorkspace::default();
+    }
+}
+
+/// Times both arms with interleaved reps (flat, legacy, flat, legacy,
+/// …) so clock-frequency ramps and neighbour load hit the two arms
+/// equally — back-to-back arm blocks made the n=8 ratio drift ±20%
+/// even on identical code paths. Runs until an 800 ms shared budget or
+/// 2000 rep pairs, whichever first (always at least one pair), after
+/// one untimed warm-up pair that eats workspace arena growth and cold
+/// caches. Reports each arm's *fastest* rep: the minimum discards
+/// scheduler preemptions and cache-eviction spikes that land on one
+/// arm but not the other, which is what keeps the small-n parity
+/// ratio pinned near 1.0 instead of wandering ±5%.
+#[allow(clippy::type_complexity)]
+fn time_pair(
+    inst: &UpdateInstance,
+) -> (
+    (f64, Result<GreedyOutcome, ScheduleError>),
+    (f64, Result<GreedyOutcome, ScheduleError>),
+) {
+    let (cfg_flat, cfg_legacy) = (config(false), config(true));
+    let mut ws_flat = SimWorkspace::default();
+    let mut ws_legacy = SimWorkspace::default();
+    let mut last_flat = Some(greedy_schedule_in(inst, cfg_flat, &mut ws_flat));
+    let mut last_legacy = Some(greedy_schedule_in(inst, cfg_legacy, &mut ws_legacy));
     let mut reps = 0u32;
     let mut total = Duration::ZERO;
-    let mut last = None;
-    while reps == 0 || (total < Duration::from_millis(400) && reps < 20) {
+    let mut min_flat = Duration::MAX;
+    let mut min_legacy = Duration::MAX;
+    while reps == 0 || (total < Duration::from_millis(800) && reps < 2000) {
         let t0 = Instant::now();
-        let out = greedy_schedule_in(inst, cfg, &mut ws);
-        total += t0.elapsed();
+        let out = greedy_schedule_in(inst, cfg_flat, &mut ws_flat);
+        let dt = t0.elapsed();
+        total += dt;
+        min_flat = min_flat.min(dt);
+        last_flat = Some(out);
+        let t0 = Instant::now();
+        let out = greedy_schedule_in(inst, cfg_legacy, &mut ws_legacy);
+        let dt = t0.elapsed();
+        total += dt;
+        min_legacy = min_legacy.min(dt);
+        last_legacy = Some(out);
         reps += 1;
-        last = Some(out);
     }
     (
-        total.as_nanos() as f64 / f64::from(reps),
-        last.expect("at least one rep"),
+        (
+            min_flat.as_nanos() as f64,
+            last_flat.expect("at least one rep"),
+        ),
+        (
+            min_legacy.as_nanos() as f64,
+            last_legacy.expect("at least one rep"),
+        ),
     )
 }
 
@@ -61,6 +97,17 @@ fn main() {
     let sizes: &[usize] = &[8, 64, 512, 2048];
     let mut rows = String::new();
     let mut summaries = String::new();
+
+    // Process-level warm-up: the first hundred ms of a fresh process
+    // run at ramping clock speed with cold caches, which lands
+    // entirely on the first (smallest) arm and skews its ratio. Burn
+    // that in on a throwaway instance before anything is timed.
+    if let Some(inst) = (0..8).find_map(|s| scale_instance(64, 20170605 + 977 + s)) {
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(300) {
+            let _ = time_pair(&inst);
+        }
+    }
 
     for &n in sizes {
         // Same seeds as bench_incremental so makespans line up across
@@ -72,8 +119,8 @@ fn main() {
         let mut per_arm = Vec::new();
         let mut makespans = Vec::new();
         let mut arena_bytes = 0u64;
-        for (name, legacy) in [("flat", false), ("legacy", true)] {
-            let (ns, out) = time_scan(&inst, legacy);
+        let (flat_arm, legacy_arm) = time_pair(&inst);
+        for (name, legacy, (ns, out)) in [("flat", false, flat_arm), ("legacy", true, legacy_arm)] {
             match &out {
                 Ok(o) => {
                     makespans.push(o.makespan);

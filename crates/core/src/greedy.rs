@@ -82,12 +82,16 @@ pub struct GreedyConfig {
     /// Both backends return identical verdicts — this knob exists for
     /// the differential benches and as an escape hatch.
     pub incremental_gate: bool,
-    /// Below this many switches the incremental backend's bookkeeping
+    /// Below this many switches the flat-path machinery's bookkeeping
     /// costs more than it saves (BENCH_incremental.json shows a 0.58×
-    /// *slowdown* at n=8), so the gate falls back to full resimulation
-    /// even when [`GreedyConfig::incremental_gate`] is set. Both
-    /// backends produce byte-identical schedules; `GateStats::backend`
-    /// records which one ran. Set to 0 to always go incremental.
+    /// gate *slowdown* at n=8, and BENCH_simulate.json showed a 0.90×
+    /// end-to-end slowdown before the scan joined the rule), so both
+    /// the gate and the candidate scan fall back: the gate to full
+    /// resimulation even when [`GreedyConfig::incremental_gate`] is
+    /// set, and the scan to the legacy Path walks as if
+    /// [`GreedyConfig::legacy_scan`] were set. All combinations
+    /// produce byte-identical schedules; `GateStats::backend` records
+    /// which gate ran. Set to 0 to always take the flat paths.
     pub incremental_cutoff: usize,
     /// Use the legacy per-candidate dependency/loop scan (Path walks +
     /// hash lookups per check) instead of the flat [`FlowScan`]
@@ -501,8 +505,15 @@ fn greedy_loop(
     // Flat per-flow scan tables (see `scan`): built once per run,
     // snapshotted per flow-turn. `legacy_scan` keeps the original
     // Path-walking implementations around for ablation and the
-    // differential tests.
-    let mut scans: Vec<FlowScan> = if config.legacy_scan {
+    // differential tests. Below `incremental_cutoff` switches the
+    // tables cost more to build and snapshot than the direct Path
+    // walks they replace (BENCH_simulate.json showed a 0.90× e2e
+    // *slowdown* at n=8), so small instances take the legacy walks
+    // too — the same small-n rule the gate backend applies, and the
+    // two scans are proven schedule-identical by the differential
+    // proptests.
+    let legacy = config.legacy_scan || instance.network.switch_count() < config.incremental_cutoff;
+    let mut scans: Vec<FlowScan> = if legacy {
         Vec::new()
     } else {
         instance

@@ -57,7 +57,16 @@ fn assert_same_outcome(
 }
 
 fn flat_vs_legacy(inst: &UpdateInstance) {
-    let flat = run(inst, GreedyConfig::default());
+    // `incremental_cutoff: 0` forces the flat scan even on small
+    // instances — with the default cutoff both arms of the
+    // differential would take the legacy walks and prove nothing.
+    let flat = run(
+        inst,
+        GreedyConfig {
+            incremental_cutoff: 0,
+            ..Default::default()
+        },
+    );
     let legacy = run(
         inst,
         GreedyConfig {

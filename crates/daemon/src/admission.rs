@@ -249,6 +249,21 @@ impl AdmissionQueues {
         (self.high.len(), self.normal.len(), self.low.len())
     }
 
+    /// Per-tenant token-bucket levels as of `now_ns`:
+    /// `(tenant, tokens, burst, rate)` in tenant order. Refills each
+    /// bucket first so the reported level is current, not the level at
+    /// the tenant's last submission — this is the `chronusctl top`
+    /// view.
+    pub fn bucket_levels(&mut self, now_ns: Nanos) -> Vec<(String, f64, f64, f64)> {
+        self.buckets
+            .iter_mut()
+            .map(|(tenant, bucket)| {
+                bucket.refill(now_ns);
+                (tenant.clone(), bucket.tokens, bucket.burst, bucket.rate)
+            })
+            .collect()
+    }
+
     /// Total queued jobs across all classes.
     pub fn len(&self) -> usize {
         self.high.len() + self.normal.len() + self.low.len()

@@ -9,6 +9,9 @@
 //! chronusctl [--socket PATH] confirm ID
 //! chronusctl [--socket PATH] snapshot
 //! chronusctl [--socket PATH] metrics
+//! chronusctl [--socket PATH] top
+//! chronusctl [--socket PATH] tail [--filter PREFIX] [--max-events N] [--follow]
+//! chronusctl [--socket PATH] dump
 //! chronusctl [--socket PATH] drain
 //! ```
 
@@ -39,12 +42,12 @@ fn parse_args(raw: Vec<String>) -> Result<Args, String> {
         let arg = &raw[i];
         if let Some(key) = arg.strip_prefix("--") {
             match key {
-                "motivating" => {
+                "motivating" | "follow" => {
                     switches.push(key.to_string());
                     i += 1;
                 }
                 "socket" | "tenant" | "priority" | "deadline-ms" | "timeout-ms" | "reversal"
-                | "instance" => {
+                | "instance" | "filter" | "max-events" => {
                     let value = raw
                         .get(i + 1)
                         .ok_or_else(|| format!("--{key} needs a value"))?
@@ -178,6 +181,35 @@ fn run(args: &Args) -> Result<(), String> {
             // Raw Prometheus text on stdout, scrape-ready.
             print!("{}", client.metrics_text().map_err(|e| e.to_string())?);
         }
+        "top" => {
+            let top = client.top().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&top).map_err(|e| e.to_string())?
+            );
+        }
+        "tail" => {
+            let filter = option(args, "filter");
+            let max_events = match option(args, "max-events") {
+                Some(n) => n
+                    .parse()
+                    .map_err(|_| "--max-events needs a count".to_string())?,
+                None => 0,
+            };
+            let follow = args.switches.iter().any(|s| s == "follow");
+            let received = client
+                .tail(filter, max_events, follow, |event| {
+                    if let Ok(line) = serde_json::to_string(event) {
+                        println!("{line}");
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+            eprintln!("tail: {received} event(s)");
+        }
+        "dump" => {
+            let path = client.dump().map_err(|e| e.to_string())?;
+            println!("dump written to {path}");
+        }
         "drain" => {
             client.drain().map_err(|e| e.to_string())?;
             println!("daemon draining");
@@ -193,10 +225,11 @@ fn main() -> ExitCode {
         println!(
             "chronusctl — control a running chronusd\n\n\
              commands: ping, submit, status [ID], watch ID, confirm ID,\n\
-             \x20         snapshot, metrics, drain\n\
+             \x20         snapshot, metrics, top, tail, dump, drain\n\
              common flags: --socket PATH (default /tmp/chronusd.sock)\n\
              submit flags: --tenant T --priority high|normal|low --deadline-ms MS\n\
-             \x20            --motivating | --reversal N | --instance FILE"
+             \x20            --motivating | --reversal N | --instance FILE\n\
+             tail flags:   --filter PREFIX --max-events N --follow"
         );
         return ExitCode::SUCCESS;
     }

@@ -11,12 +11,24 @@
 //! it. The daemon restores armed schedules from its journal, serves
 //! line-JSON IPC on the socket until a client sends `drain`, then
 //! drains gracefully and prints the shutdown report.
+//!
+//! The flight recorder is always on: every thread records spans and
+//! instants into fixed-memory rings, and a forensic dump (Perfetto-
+//! loadable JSON under `--flight-dir`, default `SNAPSHOT_DIR/flight`)
+//! is written on cert refusals, deadline expiries, rollbacks, shed
+//! storms, SLO burn-rate crossings, panics, SIGUSR1 and
+//! `chronusctl dump`.
 
 #![forbid(unsafe_code)]
 
+use chronus_daemon::signal;
 use chronus_daemon::{run_server, Daemon, DaemonConfig};
+use chronus_trace::FlightRecorder;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
     let mut config = DaemonConfig::default();
@@ -57,7 +69,9 @@ fn main() -> ExitCode {
              flags: --config FILE --socket PATH --workers N --queue-bound N\n\
              \x20      --tenant-rate R --tenant-burst B --snapshot-dir DIR\n\
              \x20      --snapshot-interval-ms MS --step-ns NS --rearm-margin-ns NS\n\
-             \x20      --base-epoch-ns NS --cache-windows N --default-deadline-ms MS"
+             \x20      --base-epoch-ns NS --cache-windows N --default-deadline-ms MS\n\
+             \x20      --flight-dir DIR --ring-slots N --slo-latency-ms MS\n\
+             \x20      --slo-availability F --slo-burn-threshold X"
         );
         return ExitCode::SUCCESS;
     }
@@ -69,6 +83,14 @@ fn main() -> ExitCode {
         }
     };
     let socket = config.socket.clone();
+
+    // Arm the flight recorder before the daemon boots so the restore
+    // pass (and any rollback dump it triggers) is already recording.
+    FlightRecorder::enable(config.ring_slots);
+    FlightRecorder::set_dump_dir(config.flight_path());
+    FlightRecorder::install_panic_hook();
+    let sigusr1 = signal::install_sigusr1();
+
     let daemon = match Daemon::start(config) {
         Ok(d) => d,
         Err(e) => {
@@ -76,6 +98,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // SIGUSR1 → forensic dump, from a poller thread (the handler only
+    // flips a flag; nothing signal-unsafe runs in signal context).
+    let poller_stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let stop = Arc::clone(&poller_stop);
+        std::thread::Builder::new()
+            .name("chronusd-sigusr1".to_string())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if signal::take_dump_request() {
+                        match FlightRecorder::force_dump("sigusr1") {
+                            Ok(path) => eprintln!("chronusd: dump written to {}", path.display()),
+                            Err(e) => eprintln!("chronusd: dump failed: {e}"),
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            })
+            .ok()
+    };
+    if !sigusr1 {
+        eprintln!("chronusd: SIGUSR1 handler unavailable; use `chronusctl dump`");
+    }
     let restore = daemon.restore_report().clone();
     println!(
         "chronusd: restored {} armed update(s): {} re-armed, {} rolled back, \
@@ -87,7 +133,12 @@ fn main() -> ExitCode {
         restore.corrupt_lines
     );
     println!("chronusd: serving on {}", socket.display());
-    match run_server(daemon) {
+    let outcome = run_server(daemon);
+    poller_stop.store(true, Ordering::Release);
+    if let Some(handle) = poller {
+        let _ = handle.join();
+    }
+    match outcome {
         Ok(report) => {
             println!(
                 "chronusd: drained — {} planned by the engine, {} shed, \

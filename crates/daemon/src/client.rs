@@ -153,4 +153,65 @@ impl CtlClient {
             .map(str::to_string)
             .ok_or_else(|| io_err("metrics response missing text".to_string()))
     }
+
+    /// The live operational overview (`chronusctl top`).
+    pub fn top(&mut self) -> std::io::Result<Value> {
+        let response = Self::expect_ok(self.call(&Value::Object(Self::cmd("top")))?)?;
+        response
+            .get("top")
+            .cloned()
+            .ok_or_else(|| io_err("top response missing top".to_string()))
+    }
+
+    /// Asks the daemon to write a forensic flight dump; returns its
+    /// path.
+    pub fn dump(&mut self) -> std::io::Result<String> {
+        let response = Self::expect_ok(self.call(&Value::Object(Self::cmd("dump")))?)?;
+        response
+            .get("path")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| io_err("dump response missing path".to_string()))
+    }
+
+    /// Streams flight events from the daemon, invoking `on_event` per
+    /// event line until the stream's `done` footer (or EOF). Returns
+    /// the number of events received. The connection stays usable for
+    /// further calls afterwards.
+    pub fn tail(
+        &mut self,
+        filter: Option<&str>,
+        max_events: u64,
+        follow: bool,
+        mut on_event: impl FnMut(&Value),
+    ) -> std::io::Result<u64> {
+        let mut obj = Self::cmd("tail");
+        if let Some(f) = filter {
+            obj.insert("filter".to_string(), Value::from(f));
+        }
+        if max_events > 0 {
+            obj.insert("max_events".to_string(), Value::from_u64_exact(max_events));
+        }
+        if follow {
+            obj.insert("follow".to_string(), Value::Bool(true));
+        }
+        let header = self.call(&Value::Object(obj))?;
+        Self::expect_ok(header.clone())?;
+        if header.get("streaming") != Some(&Value::Bool(true)) {
+            return Err(io_err("tail response is not a stream".to_string()));
+        }
+        let mut received = 0u64;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io_err("daemon closed the tail stream".to_string()));
+            }
+            let v: Value = serde_json::from_str(&line).map_err(|e| io_err(e.to_string()))?;
+            if v.get("done") == Some(&Value::Bool(true)) {
+                return Ok(received);
+            }
+            received += 1;
+            on_event(&v);
+        }
+    }
 }

@@ -47,6 +47,19 @@ pub struct DaemonConfig {
     pub cache_windows: usize,
     /// Default planning deadline for submissions that carry none.
     pub default_deadline_ms: u64,
+    /// Per-tenant SLO: plans slower than this burn error budget.
+    pub slo_latency_ms: u64,
+    /// Per-tenant SLO availability objective in `[0, 1)`.
+    pub slo_availability: f64,
+    /// Short-window (5m) burn rate at or above this emits an instant
+    /// and fires a forensic flight dump.
+    pub slo_burn_threshold: f64,
+    /// Directory forensic flight dumps are written to; empty means
+    /// `snapshot_dir/flight`.
+    pub flight_dir: PathBuf,
+    /// Per-thread flight-ring capacity in events (power of two; the
+    /// recorder rounds up).
+    pub ring_slots: usize,
 }
 
 impl Default for DaemonConfig {
@@ -65,6 +78,11 @@ impl Default for DaemonConfig {
             base_epoch_ns: None,
             cache_windows: 256,
             default_deadline_ms: 5_000,
+            slo_latency_ms: 250,
+            slo_availability: 0.999,
+            slo_burn_threshold: 10.0,
+            flight_dir: PathBuf::new(),
+            ring_slots: 4096,
         }
     }
 }
@@ -138,6 +156,21 @@ impl DaemonConfig {
             "default_deadline_ms" => {
                 self.default_deadline_ms = value.parse().map_err(|_| bad("milliseconds"))?
             }
+            "slo_latency_ms" => {
+                self.slo_latency_ms = value.parse().map_err(|_| bad("milliseconds"))?
+            }
+            "slo_availability" => {
+                let a: f64 = value.parse().map_err(|_| bad("a fraction"))?;
+                if !(0.0..1.0).contains(&a) {
+                    return Err(bad("a fraction in [0, 1)"));
+                }
+                self.slo_availability = a;
+            }
+            "slo_burn_threshold" => {
+                self.slo_burn_threshold = value.parse().map_err(|_| bad("a burn rate"))?
+            }
+            "flight_dir" => self.flight_dir = PathBuf::from(value),
+            "ring_slots" => self.ring_slots = value.parse().map_err(|_| bad("a count"))?,
             other => return Err(format!("unknown config key `{other}`")),
         }
         Ok(())
@@ -146,6 +179,25 @@ impl DaemonConfig {
     /// The journal file inside [`DaemonConfig::snapshot_dir`].
     pub fn journal_path(&self) -> PathBuf {
         self.snapshot_dir.join("journal.jsonl")
+    }
+
+    /// Where forensic flight dumps land (`flight_dir`, defaulting to
+    /// `snapshot_dir/flight`).
+    pub fn flight_path(&self) -> PathBuf {
+        if self.flight_dir.as_os_str().is_empty() {
+            self.snapshot_dir.join("flight")
+        } else {
+            self.flight_dir.clone()
+        }
+    }
+
+    /// The SLO tracker's view of this config.
+    pub fn slo(&self) -> crate::slo::SloConfig {
+        crate::slo::SloConfig {
+            latency_ns: (self.slo_latency_ms as Nanos).saturating_mul(1_000_000),
+            availability: self.slo_availability,
+            burn_threshold: self.slo_burn_threshold,
+        }
     }
 
     /// Default planning deadline as a [`Duration`].
@@ -200,6 +252,25 @@ mod tests {
         assert_eq!(cfg.base_epoch_ns, Some(123_456_789));
         assert!(cfg.apply_flag("wrokers", "2").is_err(), "typos fail loudly");
         assert!(cfg.apply_flag("workers", "lots").is_err());
+    }
+
+    #[test]
+    fn slo_and_flight_keys_parse_and_validate() {
+        let mut cfg = DaemonConfig::default();
+        cfg.apply_flag("slo_latency_ms", "100").unwrap();
+        cfg.apply_flag("slo_availability", "0.99").unwrap();
+        cfg.apply_flag("slo_burn_threshold", "14.4").unwrap();
+        cfg.apply_flag("flight_dir", "/tmp/fl").unwrap();
+        cfg.apply_flag("ring_slots", "1024").unwrap();
+        assert_eq!(cfg.slo().latency_ns, 100_000_000);
+        assert_eq!(cfg.slo().availability, 0.99);
+        assert_eq!(cfg.flight_path(), PathBuf::from("/tmp/fl"));
+        assert_eq!(cfg.ring_slots, 1024);
+        assert!(cfg.apply_flag("slo_availability", "1.0").is_err());
+        assert!(cfg.apply_flag("slo_availability", "-0.1").is_err());
+        // Defaulted flight dir nests under the snapshot dir.
+        let d = DaemonConfig::default();
+        assert_eq!(d.flight_path(), d.snapshot_dir.join("flight"));
     }
 
     #[test]

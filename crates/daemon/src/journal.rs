@@ -46,6 +46,14 @@ pub struct ArmedRecord {
     pub certificate: Certificate,
     /// The certified timing tolerance, when the slack stage ran.
     pub slack: Option<SlackCertificate>,
+    /// The `engine.plan` trace-span id the plan was produced under
+    /// (0 when tracing was off at plan time). Restore uses it to tag
+    /// SLO histogram exemplars and forensic dumps with the exact
+    /// planning span of a rolled-back update.
+    pub span_id: u64,
+    /// Planning wall-clock nanoseconds, persisted so a post-restart
+    /// rollback can still account the update's latency to its tenant.
+    pub plan_ns: u64,
 }
 
 impl ArmedRecord {
@@ -73,6 +81,8 @@ impl ArmedRecord {
                 None => Value::Null,
             },
         );
+        obj.insert("span_id".to_string(), Value::from_u64_exact(self.span_id));
+        obj.insert("plan_ns".to_string(), Value::from_u64_exact(self.plan_ns));
         Value::Object(obj)
     }
 
@@ -106,6 +116,10 @@ impl ArmedRecord {
             Value::Null => None,
             other => Some(slack_from_value(other).map_err(|e| e.to_string())?),
         };
+        // Optional (absent in journals written before the flight
+        // recorder existed): default to "no span recorded".
+        let span_id = v.get("span_id").and_then(Value::as_u64_exact).unwrap_or(0);
+        let plan_ns = v.get("plan_ns").and_then(Value::as_u64_exact).unwrap_or(0);
         Ok(ArmedRecord {
             id,
             tenant,
@@ -116,6 +130,8 @@ impl ArmedRecord {
             schedule,
             certificate,
             slack,
+            span_id,
+            plan_ns,
         })
     }
 }
@@ -327,6 +343,8 @@ mod tests {
             schedule,
             certificate,
             slack: None,
+            span_id: 7700 + id,
+            plan_ns: 1_000 * id,
         }
     }
 
@@ -386,6 +404,29 @@ mod tests {
         let again = Journal::replay(&path).unwrap();
         assert_eq!(again.live.iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
         assert_eq!(again.corrupt_lines, 0);
+    }
+
+    #[test]
+    fn journals_without_span_fields_still_parse() {
+        // Journals written before the flight recorder existed carry no
+        // span_id/plan_ns; replay must default them, not reject.
+        let v = armed(5).to_value();
+        let text = serde_json::to_string(&v).unwrap();
+        let stripped = text
+            .replace("\"span_id\":7705,", "")
+            .replace("\"span_id\":7705", "")
+            .replace("\"plan_ns\":5000,", "")
+            .replace("\"plan_ns\":5000", "")
+            .replace(",}", "}");
+        assert_ne!(stripped, text, "fixture must actually strip the fields");
+        let v2 = serde_json::from_str(&stripped).unwrap();
+        let back = ArmedRecord::from_value(&v2).unwrap();
+        assert_eq!(back.span_id, 0);
+        assert_eq!(back.plan_ns, 0);
+        // And the full round trip preserves them.
+        let roundtrip = ArmedRecord::from_value(&armed(5).to_value()).unwrap();
+        assert_eq!(roundtrip.span_id, 7705);
+        assert_eq!(roundtrip.plan_ns, 5_000);
     }
 
     #[test]

@@ -23,8 +23,17 @@
 //!   is replayed and each in-flight update is handed to the faults
 //!   crate's re-arm-or-rollback policy — re-armed within certified
 //!   slack or rolled back, never silently lost.
+//! - **Flight recorder & introspection** ([`slo`], [`signal`], plus
+//!   the `top`/`tail`/`dump` protocol verbs): the daemon keeps the
+//!   trace crate's always-on event ring armed, tracks per-tenant SLO
+//!   burn rates over 5m/1h windows, and writes forensic dumps on
+//!   rollback, shed storms, burn-rate crossings, panics and SIGUSR1.
+//!
+//! `unsafe` is denied crate-wide with one audited, narrowly-scoped
+//! exception: the `signal(2)` FFI call in [`signal`] that routes
+//! SIGUSR1 to an atomic flag.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(
     not(test),
@@ -39,6 +48,8 @@ mod metrics;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod signal;
+pub mod slo;
 
 pub use admission::{AdmissionQueues, Priority, QueuedJob, Shed};
 pub use client::CtlClient;

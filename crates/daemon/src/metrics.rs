@@ -3,11 +3,18 @@
 //! engine's `chronus_engine_*` series on one endpoint.
 
 use chronus_trace::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// All daemon instruments, registered once at startup on a scoped
 /// [`MetricsRegistry`] (handles are lock-free on the hot path).
 pub struct DaemonMetrics {
     registry: MetricsRegistry,
+    /// Seqlock epoch over the five cache gauges: odd while
+    /// [`DaemonMetrics::set_cache`] is mid-write, even when the set is
+    /// coherent. Scrapes render under an even-epoch check so hit,
+    /// miss and eviction totals always come from one `set_cache` call
+    /// — never a torn mix of two refreshes.
+    cache_epoch: AtomicU64,
     /// Submissions received over IPC (before admission).
     pub submitted: Counter,
     /// Submissions accepted into an admission queue.
@@ -70,6 +77,25 @@ pub struct DaemonMetrics {
     pub plan_ns: Histogram,
     /// Nanoseconds from submission to a settled status.
     pub submit_to_settle_ns: Histogram,
+    /// Tail events dropped because a `chronusctl tail` client fell
+    /// behind its bounded per-poll batch.
+    pub tail_shed: Counter,
+    /// Forensic flight-record dumps written (mirrors the recorder's
+    /// own ledger onto the scrape).
+    pub flight_dumps: Gauge,
+    /// Dump triggers suppressed by the recorder's rate limit.
+    pub flight_suppressed: Gauge,
+    /// Flight-ring events lost to overwriting, summed over rings at
+    /// scrape time.
+    pub flight_dropped: Gauge,
+    /// Per-tenant SLO latency observations (ns), exemplar-tagged with
+    /// the winning `engine.plan` span id.
+    pub slo_latency_ns: Histogram,
+    /// SLO-bad events (latency objective missed, planning failed, or
+    /// the update rolled back).
+    pub slo_bad: Counter,
+    /// SLO-good events.
+    pub slo_good: Counter,
 }
 
 impl DaemonMetrics {
@@ -111,8 +137,34 @@ impl DaemonMetrics {
             queue_wait_ns: h("chronus_daemon_queue_wait_ns"),
             plan_ns: h("chronus_daemon_plan_ns"),
             submit_to_settle_ns: h("chronus_daemon_submit_to_settle_ns"),
+            tail_shed: c("chronus_daemon_tail_shed_total"),
+            flight_dumps: g("chronus_daemon_flight_dumps"),
+            flight_suppressed: g("chronus_daemon_flight_suppressed"),
+            flight_dropped: g("chronus_daemon_flight_dropped"),
+            slo_latency_ns: h("chronus_daemon_slo_latency_ns"),
+            slo_bad: c("chronus_daemon_slo_bad_total"),
+            slo_good: c("chronus_daemon_slo_good_total"),
+            cache_epoch: AtomicU64::new(0),
             registry,
         }
+    }
+
+    /// Registers (or fetches) the per-tenant burn-rate gauge for
+    /// `window` (`"5m"`/`"1h"`), value in thousandths so a Prometheus
+    /// integer gauge can carry a fractional burn rate.
+    pub fn slo_burn_gauge(&self, tenant: &str, window: &str) -> Gauge {
+        let slug: String = tenant
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.registry
+            .gauge(&format!("chronus_daemon_slo_burn_{window}_x1000_{slug}"))
     }
 
     /// The scoped registry backing every instrument.
@@ -129,13 +181,37 @@ impl DaemonMetrics {
     }
 
     /// Copies the engine's warm-cache counters onto the daemon gauges
-    /// (called right before a scrape is rendered).
+    /// (called right before a scrape is rendered). The write sits
+    /// between two epoch increments (odd while in flight) so
+    /// [`DaemonMetrics::render_consistent`] can detect and retry a
+    /// scrape that raced the copy.
     pub fn set_cache(&self, hits: u64, misses: u64, evictions: u64, entries: u64, bytes: u64) {
+        self.cache_epoch.fetch_add(1, Ordering::Release);
         self.cache_hits.set(hits as i64);
         self.cache_misses.set(misses as i64);
         self.cache_evictions.set(evictions as i64);
         self.cache_entries.set(entries as i64);
         self.cache_bytes.set(bytes as i64);
+        self.cache_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Renders the Prometheus text for this registry under the cache
+    /// seqlock: the render is retried until it lands entirely inside
+    /// one even epoch, so the five `chronus_daemon_cache_*` gauges in
+    /// the output always come from a single [`DaemonMetrics::set_cache`]
+    /// call.
+    pub fn render_consistent(&self) -> String {
+        loop {
+            let before = self.cache_epoch.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let text = self.registry.to_prometheus();
+            if self.cache_epoch.load(Ordering::Acquire) == before {
+                return text;
+            }
+        }
     }
 }
 
@@ -165,5 +241,81 @@ mod tests {
         }
         assert_eq!(snap.counter("chronus_daemon_submitted_total"), Some(1));
         assert_eq!(snap.gauge("chronus_daemon_queue_peak"), Some(6));
+    }
+
+    #[test]
+    fn slo_burn_gauge_slugs_tenant_names() {
+        let m = DaemonMetrics::new();
+        m.slo_burn_gauge("Team-A/prod", "5m").set(1500);
+        let snap = m.registry().snapshot();
+        assert_eq!(
+            snap.gauge("chronus_daemon_slo_burn_5m_x1000_team_a_prod"),
+            Some(1500)
+        );
+    }
+
+    /// Pulls the value of one `chronus_daemon_cache_*` gauge out of a
+    /// rendered Prometheus scrape.
+    fn scrape_gauge(text: &str, name: &str) -> i64 {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix(name) {
+                if let Ok(v) = rest.trim().parse::<i64>() {
+                    return v;
+                }
+            }
+        }
+        panic!("gauge {name} missing from scrape");
+    }
+
+    #[test]
+    fn scrape_never_tears_the_cache_gauges() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let m = Arc::new(DaemonMetrics::new());
+        m.set_cache(0, 0, 0, 0, 0);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    // All five gauges carry the same monotone value, so
+                    // any torn read shows up as an inequality below.
+                    m.set_cache(i, i, i, i, i);
+                }
+                i
+            })
+        };
+
+        let mut last = 0i64;
+        for _ in 0..500 {
+            let text = m.render_consistent();
+            let hits = scrape_gauge(&text, "chronus_daemon_cache_hits");
+            for name in [
+                "chronus_daemon_cache_misses",
+                "chronus_daemon_cache_evictions",
+                "chronus_daemon_cache_entries",
+                "chronus_daemon_cache_bytes",
+            ] {
+                assert_eq!(
+                    scrape_gauge(&text, name),
+                    hits,
+                    "torn scrape: {name} != hits"
+                );
+            }
+            assert!(
+                hits >= last,
+                "cache counters went backwards: {hits} < {last}"
+            );
+            last = hits;
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let final_i = writer.join().unwrap();
+        assert!(final_i > 0);
     }
 }

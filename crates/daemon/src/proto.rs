@@ -50,6 +50,22 @@ pub enum Request {
     Snapshot,
     /// Prometheus text exposition of daemon + engine metrics.
     Metrics,
+    /// Live operational overview: queue depths, token buckets, cache
+    /// hit rates, plan-latency quantiles, SLO burns, recorder stats.
+    Top,
+    /// Stream flight-ring events back to the client as they happen.
+    Tail {
+        /// Only events whose name starts with this prefix are sent
+        /// (server-side, so the wire carries what the client wants).
+        filter: Option<String>,
+        /// Stop after this many events (0 = unbounded in follow mode,
+        /// one batch otherwise).
+        max_events: u64,
+        /// Keep the connection open and poll for new events.
+        follow: bool,
+    },
+    /// Write a forensic flight dump now; answers with its path.
+    Dump,
 }
 
 /// Parses one request line.
@@ -105,6 +121,19 @@ pub fn request_from_line(line: &str) -> Result<Request, String> {
         "drain" => Ok(Request::Drain),
         "snapshot" => Ok(Request::Snapshot),
         "metrics" => Ok(Request::Metrics),
+        "top" => Ok(Request::Top),
+        "tail" => Ok(Request::Tail {
+            filter: v
+                .get("filter")
+                .and_then(Value::as_str)
+                .map(|s| s.to_string()),
+            max_events: v
+                .get("max_events")
+                .and_then(Value::as_u64_exact)
+                .unwrap_or(0),
+            follow: v.get("follow").and_then(Value::as_bool).unwrap_or(false),
+        }),
+        "dump" => Ok(Request::Dump),
         other => Err(format!("unknown cmd `{other}`")),
     }
 }
@@ -151,6 +180,26 @@ mod tests {
             Ok(Request::Watch {
                 id: 3,
                 timeout_ms: 10_000
+            })
+        );
+        assert_eq!(request_from_line(r#"{"cmd":"top"}"#), Ok(Request::Top));
+        assert_eq!(request_from_line(r#"{"cmd":"dump"}"#), Ok(Request::Dump));
+        assert_eq!(
+            request_from_line(r#"{"cmd":"tail"}"#),
+            Ok(Request::Tail {
+                filter: None,
+                max_events: 0,
+                follow: false
+            })
+        );
+        assert_eq!(
+            request_from_line(
+                r#"{"cmd":"tail","filter":"engine.plan","max_events":5,"follow":true}"#
+            ),
+            Ok(Request::Tail {
+                filter: Some("engine.plan".to_string()),
+                max_events: 5,
+                follow: true
             })
         );
         match request_from_line(r#"{"cmd":"submit","priority":"high","instance":{}}"#) {

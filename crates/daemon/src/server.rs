@@ -4,12 +4,20 @@
 use crate::proto::{self, Request};
 use crate::service::{Daemon, ShutdownReport};
 use chronus_net::codec::instance_from_value;
-use serde_json::Value;
+use chronus_trace::{FlightEvent, FlightEventKind, FlightRecorder};
+use serde_json::{Map, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Most flight events one tail poll will put on the wire; anything
+/// beyond is shed (and counted) so a slow client cannot make the
+/// server buffer without bound.
+const TAIL_BATCH: usize = 512;
+/// Poll cadence for `tail --follow`.
+const TAIL_POLL: Duration = Duration::from_millis(50);
 
 /// Serves `daemon` on its configured Unix socket until a client sends
 /// `drain`, then gracefully shuts the daemon down and returns the
@@ -70,6 +78,17 @@ fn serve_connection(
         }
         daemon.metrics().requests.inc();
         let (response, drain) = match proto::request_from_line(&line) {
+            Ok(Request::Tail {
+                filter,
+                max_events,
+                follow,
+            }) => {
+                // Tail is the one verb that streams: it owns the
+                // connection until it finishes, then the line loop
+                // resumes for the next request.
+                serve_tail(daemon, &mut writer, stop, filter, max_events, follow)?;
+                continue;
+            }
             Ok(request) => {
                 let drain = request == Request::Drain;
                 (dispatch(daemon, request), drain)
@@ -159,5 +178,121 @@ fn dispatch(daemon: &Daemon, request: Request) -> Value {
             Err(e) => proto::err_response(&format!("snapshot failed: {e}"), false),
         },
         Request::Metrics => proto::ok_response(vec![("text", Value::from(daemon.metrics_text()))]),
+        Request::Top => proto::ok_response(vec![("top", daemon.top())]),
+        Request::Dump => match daemon.dump() {
+            Ok(path) => proto::ok_response(vec![("path", Value::from(path.display().to_string()))]),
+            Err(e) => proto::err_response(&format!("dump failed: {e}"), false),
+        },
+        Request::Tail { .. } => {
+            // Handled by the streaming path in `serve_connection`;
+            // reaching here means a non-connection caller (tests)
+            // dispatched it directly.
+            proto::err_response("tail is only available over a connection", false)
+        }
     }
+}
+
+/// Encodes one flight event as a wire line.
+fn tail_event_value(e: &FlightEvent) -> Value {
+    let mut obj = Map::new();
+    obj.insert("seq".to_string(), Value::from_u64_exact(e.seq));
+    obj.insert(
+        "kind".to_string(),
+        Value::from(match e.kind {
+            FlightEventKind::Span => "span",
+            FlightEventKind::Instant => "instant",
+            FlightEventKind::Counter => "counter",
+        }),
+    );
+    obj.insert("name".to_string(), Value::from(e.name));
+    obj.insert("id".to_string(), Value::from_u64_exact(e.id));
+    obj.insert("start_ns".to_string(), Value::from_u64_exact(e.start_ns));
+    obj.insert("end_ns".to_string(), Value::from_u64_exact(e.end_ns));
+    obj.insert("tid".to_string(), Value::from_u64_exact(e.tid));
+    if let Some(parent) = e.parent {
+        obj.insert("parent".to_string(), Value::from_u64_exact(parent));
+    }
+    let mut args = Map::new();
+    for (k, v) in &e.args {
+        args.insert(k.to_string(), Value::from_u64_exact(*v));
+    }
+    obj.insert("args".to_string(), Value::Object(args));
+    Value::Object(obj)
+}
+
+/// Streams flight-ring events to one client: a `streaming` header,
+/// then one event per line (server-side name filtering), then a
+/// `done` line. Each poll ships at most [`TAIL_BATCH`] events — the
+/// overflow is shed and counted rather than buffered for a slow
+/// client. In follow mode the ring is re-polled until the client
+/// hangs up, `max_events` is reached, or the daemon drains.
+fn serve_tail(
+    daemon: &Daemon,
+    writer: &mut UnixStream,
+    stop: &AtomicBool,
+    filter: Option<String>,
+    max_events: u64,
+    follow: bool,
+) -> std::io::Result<()> {
+    let header = proto::ok_response(vec![
+        ("streaming", Value::Bool(true)),
+        ("recording", Value::Bool(FlightRecorder::is_on())),
+    ]);
+    writeln!(
+        writer,
+        "{}",
+        serde_json::to_string(&header).unwrap_or_default()
+    )?;
+    writer.flush()?;
+
+    // One-shot tail answers with the ring's recent history; follow
+    // starts at the present and streams what happens next.
+    let mut cursor = if follow {
+        FlightRecorder::events_since(0).1
+    } else {
+        0
+    };
+    let mut sent = 0u64;
+    loop {
+        let (events, next) = FlightRecorder::events_since(cursor);
+        cursor = next;
+        let mut shipped_this_poll = 0usize;
+        for event in &events {
+            if let Some(f) = &filter {
+                if !event.name.starts_with(f.as_str()) {
+                    continue;
+                }
+            }
+            if shipped_this_poll >= TAIL_BATCH {
+                daemon.metrics().tail_shed.inc();
+                continue;
+            }
+            writeln!(
+                writer,
+                "{}",
+                serde_json::to_string(&tail_event_value(event)).unwrap_or_default()
+            )?;
+            shipped_this_poll += 1;
+            sent += 1;
+            if max_events > 0 && sent >= max_events {
+                break;
+            }
+        }
+        writer.flush()?;
+        let reached_max = max_events > 0 && sent >= max_events;
+        if !follow || reached_max || stop.load(Ordering::Acquire) {
+            break;
+        }
+        std::thread::sleep(TAIL_POLL);
+    }
+    let footer = proto::ok_response(vec![
+        ("done", Value::Bool(true)),
+        ("sent", Value::from_u64_exact(sent)),
+    ]);
+    writeln!(
+        writer,
+        "{}",
+        serde_json::to_string(&footer).unwrap_or_default()
+    )?;
+    writer.flush()
 }

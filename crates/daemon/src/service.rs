@@ -15,10 +15,12 @@ use crate::admission::{AdmissionQueues, Priority, QueuedJob, Shed};
 use crate::config::DaemonConfig;
 use crate::journal::{ArmedRecord, Journal};
 use crate::metrics::DaemonMetrics;
+use crate::slo::SloTracker;
 use chronus_clock::Nanos;
 use chronus_engine::{DrainReport, Engine, UpdateRequest};
 use chronus_faults::{RecoveryAction, RecoveryPolicy, SlackBudget};
 use chronus_net::UpdateInstance;
+use chronus_trace::FlightRecorder;
 use parking_lot::RwLock;
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
@@ -157,12 +159,23 @@ struct Inner {
     journal: Mutex<Journal>,
     armed: Mutex<BTreeMap<u64, ArmedRecord>>,
     metrics: DaemonMetrics,
+    slo: Mutex<SloTracker>,
+    /// Shed-storm window: start (daemon-clock ns, truncated to u64)
+    /// and sheds seen inside it. Races on the reset only merge two
+    /// concurrent storms into one — the trigger still fires.
+    shed_window_start: AtomicU64,
+    shed_window_count: AtomicU64,
     state: AtomicU8,
     next_id: AtomicU64,
     base_ns: Nanos,
     started: Instant,
     restore: RestoreReport,
 }
+
+/// Sheds inside one window before the storm trigger fires.
+const SHED_STORM_COUNT: u64 = 8;
+/// Shed-storm window length.
+const SHED_STORM_WINDOW_NS: u64 = 1_000_000_000;
 
 impl Inner {
     fn now_ns(&self) -> Nanos {
@@ -187,6 +200,54 @@ impl Inner {
     fn publish_depths(&self, queues: &AdmissionQueues) {
         let (h, n, l) = queues.depths();
         self.metrics.set_queue_depths(h, n, l);
+    }
+
+    /// Scores one outcome against the tenant's SLO: updates the burn
+    /// gauges, tags the latency histogram with the plan span as its
+    /// exemplar, and fires the fast-burn instant + forensic dump when
+    /// the short window crosses the threshold.
+    fn record_slo(&self, tenant: &str, latency_ns: u64, ok: bool, span_id: u64) {
+        let now = self.now_ns();
+        let obs = lock(&self.slo).record(tenant, latency_ns as Nanos, ok, now);
+        self.metrics
+            .slo_latency_ns
+            .record_with_exemplar(latency_ns, span_id);
+        if obs.bad {
+            self.metrics.slo_bad.inc();
+        } else {
+            self.metrics.slo_good.inc();
+        }
+        self.metrics
+            .slo_burn_gauge(tenant, "5m")
+            .set((obs.burn.short * 1000.0) as i64);
+        self.metrics
+            .slo_burn_gauge(tenant, "1h")
+            .set((obs.burn.long * 1000.0) as i64);
+        if obs.crossed {
+            chronus_trace::instant!(
+                "daemon.slo_burn",
+                burn_x1000 = (obs.burn.short * 1000.0) as u64
+            );
+            FlightRecorder::trigger("slo-burn");
+        }
+    }
+
+    /// Counts one admission shed toward the storm window; a burst of
+    /// [`SHED_STORM_COUNT`] sheds inside one window is the overload
+    /// signature that fires a forensic dump.
+    fn note_shed(&self) {
+        let now = self.now_ns().max(0) as u64;
+        let start = self.shed_window_start.load(Ordering::Relaxed);
+        if start == 0 || now.saturating_sub(start) > SHED_STORM_WINDOW_NS {
+            self.shed_window_start.store(now, Ordering::Relaxed);
+            self.shed_window_count.store(1, Ordering::Relaxed);
+            return;
+        }
+        let sheds = self.shed_window_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if sheds == SHED_STORM_COUNT {
+            chronus_trace::instant!("daemon.shed_storm", sheds = sheds);
+            FlightRecorder::trigger("shed-storm");
+        }
     }
 
     /// One worker's lifetime: pop by priority, plan, settle. Exits
@@ -228,6 +289,7 @@ impl Inner {
         let engine_guard = self.engine.read();
         let Some(engine) = engine_guard.as_ref() else {
             self.metrics.failed.inc();
+            self.record_slo(&job.tenant, 0, false, 0);
             self.update_state(job.id, UpdateState::Failed, "engine stopped");
             return;
         };
@@ -235,9 +297,16 @@ impl Inner {
         let planned = engine.plan_one(request);
         drop(engine_guard);
         self.metrics.planned.inc();
+        let plan_ns = planned.elapsed.as_nanos() as u64;
         self.metrics
             .plan_ns
-            .record(planned.elapsed.as_nanos() as u64);
+            .record_with_exemplar(plan_ns, planned.span_id);
+        self.record_slo(
+            &job.tenant,
+            plan_ns,
+            !planned.deadline_exceeded,
+            planned.span_id,
+        );
 
         match (planned.timed_schedule(), &planned.certificate) {
             (Ok(schedule), Some(certificate)) => {
@@ -252,6 +321,8 @@ impl Inner {
                     schedule: schedule.clone(),
                     certificate: certificate.clone(),
                     slack: planned.slack.clone(),
+                    span_id: planned.span_id,
+                    plan_ns,
                 };
                 // WAL discipline: the arm record is durable before the
                 // status (and hence any IPC acknowledgment) says so. The
@@ -351,6 +422,8 @@ impl Daemon {
         // Restore pass: every live record is re-armed within its
         // certified slack or rolled back — never silently dropped.
         let policy = RecoveryPolicy::new(config.rearm_margin_ns);
+        let mut slo = SloTracker::new(config.slo());
+        let mut rollback_trigger = false;
         let mut armed = BTreeMap::new();
         let mut statuses = BTreeMap::new();
         let mut restore = RestoreReport {
@@ -389,6 +462,16 @@ impl Daemon {
             } else {
                 restore.rolled_back += 1;
                 metrics.restore_rolled_back.inc();
+                // A rollback is an availability failure for the tenant:
+                // burn it against the SLO, tagging the latency bucket
+                // with the journaled plan span so the forensic dump can
+                // tie the exemplar back to the rolled-back update.
+                slo.record(&record.tenant, record.plan_ns as Nanos, false, now_ns);
+                metrics.slo_bad.inc();
+                metrics
+                    .slo_latency_ns
+                    .record_with_exemplar(record.plan_ns, record.span_id);
+                rollback_trigger = true;
                 journal
                     .append_rollback(record.id)
                     .map_err(|e| format!("journal rollback: {e}"))?;
@@ -423,12 +506,34 @@ impl Daemon {
             journal: Mutex::new(journal),
             armed: Mutex::new(armed),
             metrics,
+            slo: Mutex::new(slo),
+            shed_window_start: AtomicU64::new(0),
+            shed_window_count: AtomicU64::new(0),
             state: AtomicU8::new(RUNNING),
             next_id: AtomicU64::new(replay.max_id),
             base_ns,
             started,
             restore,
         });
+
+        // This daemon's registry backs the process-global forensic
+        // dumps from here on (last daemon started wins, which is what
+        // restart-in-one-process tests want). Registered before the
+        // restore-rollback trigger fires so a dump taken for the
+        // rollback embeds the SLO exemplar recorded above.
+        {
+            let inner = Arc::clone(&inner);
+            FlightRecorder::set_metrics_source(Box::new(move || {
+                inner.metrics.registry().to_json()
+            }));
+        }
+        if rollback_trigger {
+            chronus_trace::instant!(
+                "daemon.restore_rollback",
+                rolled_back = inner.restore.rolled_back
+            );
+            FlightRecorder::trigger("restore-rollback");
+        }
 
         let workers = (0..worker_count)
             .map(|i| {
@@ -544,8 +649,14 @@ impl Daemon {
             Err(shed) => {
                 drop(queues);
                 match &shed {
-                    Shed::QueueFull { .. } => inner.metrics.shed_queue_full.inc(),
-                    Shed::RateLimited { .. } => inner.metrics.shed_rate_limited.inc(),
+                    Shed::QueueFull { .. } => {
+                        inner.metrics.shed_queue_full.inc();
+                        inner.note_shed();
+                    }
+                    Shed::RateLimited { .. } => {
+                        inner.metrics.shed_rate_limited.inc();
+                        inner.note_shed();
+                    }
                     Shed::Draining => inner.metrics.shed_draining.inc(),
                 }
                 lock(&inner.statuses).remove(&id);
@@ -622,8 +733,10 @@ impl Daemon {
     }
 
     /// Prometheus text exposition: the daemon's `chronus_daemon_*`
-    /// series (cache gauges refreshed from the engine) followed by the
-    /// engine's `chronus_engine_*` series.
+    /// series (cache gauges refreshed from the engine, rendered under
+    /// the cache seqlock so the five gauges are never a torn mix of
+    /// two refreshes) followed by the engine's `chronus_engine_*`
+    /// series.
     pub fn metrics_text(&self) -> String {
         let inner = &self.inner;
         let engine_text = {
@@ -643,9 +756,155 @@ impl Daemon {
                 None => String::new(),
             }
         };
-        let mut out = inner.metrics.registry().to_prometheus();
+        if FlightRecorder::is_on() {
+            inner
+                .metrics
+                .flight_dumps
+                .set(FlightRecorder::dumps_written() as i64);
+            inner
+                .metrics
+                .flight_suppressed
+                .set(FlightRecorder::dumps_suppressed() as i64);
+            let dropped: u64 = FlightRecorder::snapshot()
+                .rings
+                .iter()
+                .map(|r| r.dropped)
+                .sum();
+            inner.metrics.flight_dropped.set(dropped as i64);
+        }
+        let mut out = inner.metrics.render_consistent();
         out.push_str(&engine_text);
         out
+    }
+
+    /// The live operational overview behind `chronusctl top`: queue
+    /// depths, per-tenant token-bucket levels, warm-cache hit rates,
+    /// plan-latency quantiles, SLO burn rates and flight-recorder
+    /// health, all in one JSON object.
+    pub fn top(&self) -> Value {
+        let inner = &self.inner;
+        let now = inner.now_ns();
+        let mut obj = Map::new();
+        obj.insert(
+            "state".to_string(),
+            Value::from(match inner.state.load(Ordering::Acquire) {
+                RUNNING => "running",
+                DRAINING => "draining",
+                _ => "stopped",
+            }),
+        );
+        obj.insert(
+            "uptime_ms".to_string(),
+            Value::from_u64_exact(inner.started.elapsed().as_millis() as u64),
+        );
+
+        // Engine before admission, matching the declared lock order;
+        // the admission lock is taken once for depths and buckets.
+        let cache_report = inner.engine.read().as_ref().map(|e| e.report());
+        let ((h, n, l), levels) = {
+            let mut q = lock(&inner.admission);
+            (q.depths(), q.bucket_levels(now))
+        };
+        let mut queues = Map::new();
+        queues.insert("high".to_string(), Value::from_u64_exact(h as u64));
+        queues.insert("normal".to_string(), Value::from_u64_exact(n as u64));
+        queues.insert("low".to_string(), Value::from_u64_exact(l as u64));
+        obj.insert("queues".to_string(), Value::Object(queues));
+
+        let mut buckets = Map::new();
+        for (tenant, tokens, burst, rate) in levels {
+            let mut b = Map::new();
+            b.insert("tokens".to_string(), Value::from(tokens));
+            b.insert("burst".to_string(), Value::from(burst));
+            b.insert("rate".to_string(), Value::from(rate));
+            buckets.insert(tenant, Value::Object(b));
+        }
+        obj.insert("tenants".to_string(), Value::Object(buckets));
+
+        let mut statuses = Map::new();
+        for (state, count) in self.status_counts() {
+            statuses.insert(state.to_string(), Value::from_u64_exact(count));
+        }
+        obj.insert("updates".to_string(), Value::Object(statuses));
+        obj.insert(
+            "armed".to_string(),
+            Value::from_u64_exact(self.armed_len() as u64),
+        );
+
+        let mut cache = Map::new();
+        if let Some(report) = cache_report {
+            let lookups = report.cache_hits + report.cache_misses;
+            cache.insert("hits".to_string(), Value::from_u64_exact(report.cache_hits));
+            cache.insert(
+                "misses".to_string(),
+                Value::from_u64_exact(report.cache_misses),
+            );
+            cache.insert(
+                "entries".to_string(),
+                Value::from_u64_exact(report.cache_entries),
+            );
+            cache.insert(
+                "hit_rate".to_string(),
+                Value::from(if lookups == 0 {
+                    0.0
+                } else {
+                    report.cache_hits as f64 / lookups as f64
+                }),
+            );
+        }
+        obj.insert("cache".to_string(), Value::Object(cache));
+
+        let mut plan = Map::new();
+        for (label, q) in [("p50_ns", 0.5), ("p90_ns", 0.9), ("p99_ns", 0.99)] {
+            plan.insert(
+                label.to_string(),
+                Value::from_u64_exact(inner.metrics.plan_ns.quantile(q)),
+            );
+        }
+        obj.insert("plan_latency".to_string(), Value::Object(plan));
+
+        let mut slo = Map::new();
+        for (tenant, burn) in lock(&inner.slo).burns(now) {
+            let mut b = Map::new();
+            b.insert("burn_5m".to_string(), Value::from(burn.short));
+            b.insert("burn_1h".to_string(), Value::from(burn.long));
+            slo.insert(tenant, Value::Object(b));
+        }
+        obj.insert("slo".to_string(), Value::Object(slo));
+
+        let mut flight = Map::new();
+        flight.insert("on".to_string(), Value::Bool(FlightRecorder::is_on()));
+        if FlightRecorder::is_on() {
+            let snap = FlightRecorder::snapshot();
+            let (mut emitted, mut dropped) = (0u64, 0u64);
+            for ring in &snap.rings {
+                emitted += ring.emitted;
+                dropped += ring.dropped;
+            }
+            flight.insert(
+                "rings".to_string(),
+                Value::from_u64_exact(snap.rings.len() as u64),
+            );
+            flight.insert("events".to_string(), Value::from_u64_exact(emitted));
+            flight.insert("dropped".to_string(), Value::from_u64_exact(dropped));
+            flight.insert(
+                "dumps".to_string(),
+                Value::from_u64_exact(FlightRecorder::dumps_written()),
+            );
+            flight.insert(
+                "suppressed".to_string(),
+                Value::from_u64_exact(FlightRecorder::dumps_suppressed()),
+            );
+        }
+        obj.insert("flight".to_string(), Value::Object(flight));
+
+        Value::Object(obj)
+    }
+
+    /// Writes a forensic flight dump now (`chronusctl dump`); returns
+    /// its path.
+    pub fn dump(&self) -> std::io::Result<std::path::PathBuf> {
+        FlightRecorder::force_dump("ctl-dump")
     }
 
     /// The number of updates currently queued for planning.

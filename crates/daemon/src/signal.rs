@@ -1,0 +1,70 @@
+//! Minimal SIGUSR1 plumbing for operator-requested flight dumps.
+//!
+//! The workspace builds offline with no libc crate, so the handler is
+//! installed through a two-symbol `extern "C"` declaration of the
+//! POSIX `signal(2)` entry point. The handler itself does the only
+//! thing that is async-signal-safe here: it flips an atomic flag. A
+//! poller thread in `chronusd` notices the flag and writes the dump
+//! from normal (signal-free) context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler, drained by [`take_dump_request`].
+static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::DUMP_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGUSR1: i32 = 10;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigusr1(_signum: i32) {
+        DUMP_REQUESTED.store(true, Ordering::Release);
+    }
+
+    /// Routes SIGUSR1 to the flag-setting handler. Returns false if
+    /// the kernel refused the installation.
+    pub fn install_sigusr1() -> bool {
+        const SIG_ERR: usize = usize::MAX;
+        let handler = on_sigusr1 as extern "C" fn(i32);
+        #[allow(unsafe_code)]
+        // SAFETY: `signal` is the POSIX entry point; the handler only
+        // touches an atomic, which is async-signal-safe.
+        let prev = unsafe { signal(SIGUSR1, handler as usize) };
+        prev != SIG_ERR
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signals off unix; dump-on-demand still works via
+    /// `chronusctl dump`.
+    pub fn install_sigusr1() -> bool {
+        false
+    }
+}
+
+pub use imp::install_sigusr1;
+
+/// True exactly once per delivered SIGUSR1 (the flag is cleared on
+/// read, so a poller loop fires one dump per signal).
+pub fn take_dump_request() -> bool {
+    DUMP_REQUESTED.swap(false, Ordering::AcqRel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_drains_on_read() {
+        DUMP_REQUESTED.store(true, Ordering::Release);
+        assert!(take_dump_request());
+        assert!(!take_dump_request());
+    }
+}

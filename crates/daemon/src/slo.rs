@@ -1,0 +1,284 @@
+//! Per-tenant SLO burn-rate tracking.
+//!
+//! Each tenant gets a ring of sixty one-minute buckets counting
+//! *good* and *bad* planning outcomes. An outcome is bad when the
+//! plan missed the tenant's latency objective, failed outright, or
+//! was rolled back at restore. Burn rate over a window is the
+//! classic multi-window form:
+//!
+//! ```text
+//! burn = bad_fraction / error_budget  where  error_budget = 1 - availability
+//! ```
+//!
+//! so `burn == 1.0` means the tenant is consuming its error budget
+//! exactly at the rate that exhausts it by the end of the SLO period.
+//! Two windows (5 minutes and 1 hour) are evaluated on every record;
+//! when the *short* window crosses the configured threshold (the
+//! fast-burn page condition) the tracker reports the crossing so the
+//! daemon can emit an `instant!` and fire a forensic flight dump.
+
+use std::collections::BTreeMap;
+
+use chronus_clock::Nanos;
+
+const BUCKETS: usize = 60;
+const BUCKET_NS: Nanos = 60_000_000_000; // one minute
+const SHORT_WINDOW: usize = 5; // buckets (5m)
+const LONG_WINDOW: usize = 60; // buckets (1h)
+
+/// Latency/availability objectives shared by every tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// A plan slower than this is an SLO-bad event.
+    pub latency_ns: Nanos,
+    /// Availability objective in `[0, 1)`; the error budget is
+    /// `1 - availability`.
+    pub availability: f64,
+    /// Short-window burn rate at or above this fires a crossing.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_ns: 250_000_000, // 250ms
+            availability: 0.999,
+            burn_threshold: 10.0,
+        }
+    }
+}
+
+/// One minute of per-tenant outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Minute index (`now_ns / BUCKET_NS`) this slot currently holds;
+    /// a slot is reused once the ring laps it.
+    minute: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// The per-tenant ring plus latched crossing state (so a sustained
+/// burn produces one crossing event, not one per request).
+#[derive(Debug)]
+struct TenantSlo {
+    buckets: [Bucket; BUCKETS],
+    crossed: bool,
+}
+
+impl Default for TenantSlo {
+    fn default() -> Self {
+        TenantSlo {
+            buckets: [Bucket::default(); BUCKETS],
+            crossed: false,
+        }
+    }
+}
+
+/// Burn rates for one tenant at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRates {
+    /// Burn over the 5-minute window (the fast-page signal).
+    pub short: f64,
+    /// Burn over the 1-hour window.
+    pub long: f64,
+}
+
+/// What [`SloTracker::record`] observed, for the caller to turn into
+/// metrics/instants/dump triggers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloObservation {
+    /// Whether this outcome burned error budget.
+    pub bad: bool,
+    /// The tenant's burn rates after this outcome.
+    pub burn: BurnRates,
+    /// True exactly when this record pushed the short-window burn
+    /// across the threshold (edge, not level).
+    pub crossed: bool,
+}
+
+/// Tracks every tenant's error-budget burn over 5m/1h windows.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    tenants: BTreeMap<String, TenantSlo>,
+}
+
+impl SloTracker {
+    /// An empty tracker with the given objectives.
+    pub fn new(config: SloConfig) -> Self {
+        SloTracker {
+            config,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// The objectives this tracker scores against.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Records one planning outcome. `ok` is the caller's verdict on
+    /// everything latency can't see (failure, rollback); the latency
+    /// objective is applied here on top of it.
+    pub fn record(
+        &mut self,
+        tenant: &str,
+        latency_ns: Nanos,
+        ok: bool,
+        now_ns: Nanos,
+    ) -> SloObservation {
+        let bad = !ok || latency_ns > self.config.latency_ns;
+        let slot = self.tenants.entry(tenant.to_string()).or_default();
+        let minute = (now_ns / BUCKET_NS).max(0) as u64;
+        let index = (minute % BUCKETS as u64) as usize;
+        let Some(bucket) = slot.buckets.get_mut(index) else {
+            // Unreachable: `index < BUCKETS` by construction.
+            return SloObservation {
+                bad,
+                burn: Self::burn_of(&self.config, slot, minute),
+                crossed: false,
+            };
+        };
+        if bucket.minute != minute {
+            *bucket = Bucket {
+                minute,
+                good: 0,
+                bad: 0,
+            };
+        }
+        if bad {
+            bucket.bad += 1;
+        } else {
+            bucket.good += 1;
+        }
+        let burn = Self::burn_of(&self.config, slot, minute);
+        let above = burn.short >= self.config.burn_threshold;
+        let crossed = above && !slot.crossed;
+        slot.crossed = above;
+        SloObservation { bad, burn, crossed }
+    }
+
+    /// Burn rates for every tenant seen so far, at `now_ns`.
+    pub fn burns(&self, now_ns: Nanos) -> Vec<(String, BurnRates)> {
+        let minute = (now_ns / BUCKET_NS).max(0) as u64;
+        self.tenants
+            .iter()
+            .map(|(t, slot)| (t.clone(), Self::burn_of(&self.config, slot, minute)))
+            .collect()
+    }
+
+    fn burn_of(config: &SloConfig, slot: &TenantSlo, minute: u64) -> BurnRates {
+        BurnRates {
+            short: Self::window_burn(config, slot, minute, SHORT_WINDOW),
+            long: Self::window_burn(config, slot, minute, LONG_WINDOW),
+        }
+    }
+
+    /// Bad fraction over the last `window` minutes, divided by the
+    /// error budget. Buckets whose stamped minute falls outside the
+    /// window are stale ring slots and contribute nothing.
+    fn window_burn(config: &SloConfig, slot: &TenantSlo, minute: u64, window: usize) -> f64 {
+        let oldest = minute.saturating_sub(window as u64 - 1);
+        let (mut good, mut bad) = (0u64, 0u64);
+        for b in &slot.buckets {
+            if b.minute >= oldest && b.minute <= minute {
+                good += b.good;
+                bad += b.bad;
+            }
+        }
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - config.availability).max(1e-9);
+        (bad as f64 / total as f64) / budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            latency_ns: 1_000,
+            availability: 0.9,
+            burn_threshold: 5.0,
+        }
+    }
+
+    #[test]
+    fn all_good_burns_nothing() {
+        let mut t = SloTracker::new(cfg());
+        for i in 0..10 {
+            let obs = t.record("acme", 500, true, i * 1_000_000);
+            assert!(!obs.bad);
+            assert!(!obs.crossed);
+            assert_eq!(obs.burn.short, 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_miss_counts_as_bad() {
+        let mut t = SloTracker::new(cfg());
+        let obs = t.record("acme", 2_000, true, 0);
+        assert!(obs.bad);
+        // 1 bad / 1 total over a 0.1 budget → burn 10.
+        assert!((obs.burn.short - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_fires_once_per_excursion() {
+        let mut t = SloTracker::new(cfg());
+        // Lay down enough good traffic that one bad stays under the
+        // threshold, then flood with bad until it crosses.
+        for _ in 0..20 {
+            t.record("acme", 1, true, 0);
+        }
+        let first_bad = t.record("acme", 1, false, 0);
+        assert!(
+            first_bad.bad && !first_bad.crossed,
+            "1/21 bad is under a 5x burn"
+        );
+        let mut crossings = 0;
+        for _ in 0..40 {
+            if t.record("acme", 1, false, 0).crossed {
+                crossings += 1;
+            }
+        }
+        assert_eq!(crossings, 1, "sustained burn must latch after the edge");
+    }
+
+    #[test]
+    fn short_window_forgets_old_minutes() {
+        let mut t = SloTracker::new(cfg());
+        t.record("acme", 1, false, 0);
+        // Ten minutes later the 5m window is clean but the 1h window
+        // still remembers the failure.
+        let obs = t.record("acme", 1, true, 10 * BUCKET_NS);
+        assert_eq!(obs.burn.short, 0.0);
+        assert!(obs.burn.long > 0.0);
+    }
+
+    #[test]
+    fn ring_reuses_lapped_slots() {
+        let mut t = SloTracker::new(cfg());
+        t.record("acme", 1, false, 0);
+        // 61 minutes later the slot for minute 0 is lapped by minute
+        // 61; nothing from the old hour may leak in.
+        let obs = t.record("acme", 1, true, 61 * BUCKET_NS);
+        assert_eq!(obs.burn.long, 0.0);
+    }
+
+    #[test]
+    fn tenants_are_independent() {
+        let mut t = SloTracker::new(cfg());
+        t.record("noisy", 1, false, 0);
+        let obs = t.record("quiet", 1, true, 0);
+        assert_eq!(obs.burn.short, 0.0);
+        let burns = t.burns(0);
+        assert_eq!(burns.len(), 2);
+        assert!(burns.iter().any(|(t, b)| t == "noisy" && b.short > 0.0));
+    }
+}

@@ -998,6 +998,11 @@ impl Emulator {
             }
             fl.rollback_started = true;
             fl.stats.record_rollback();
+            // A watchdog rollback is exactly the moment a forensic
+            // dump pays for itself: capture the ring before the
+            // two-phase path overwrites it (inert unless the flight
+            // recorder is on, rate limited when it is).
+            chronus_trace::FlightRecorder::trigger("watchdog-rollback");
             let mut s: Vec<SwitchId> = fl
                 .tasks
                 .iter()

@@ -188,6 +188,11 @@ pub struct PlannedUpdate {
     /// The dilation factor applied to the shipped schedule by the
     /// slack stage (1 = the planner's schedule, undilated).
     pub dilation: TimeStep,
+    /// The `engine.plan` trace-span id this plan was produced under
+    /// (0 when neither the trace collector nor the flight recorder
+    /// was on). Callers persist it so forensic dumps and SLO
+    /// histogram exemplars can point back at the exact planning span.
+    pub span_id: u64,
 }
 
 impl PlannedUpdate {
@@ -473,6 +478,10 @@ fn plan_chain_impl(
                             request = req.id.0,
                             violation = violation.to_string()
                         );
+                        // A refused certificate is a planner/certifier
+                        // disagreement worth a forensic dump (rate
+                        // limited and inert unless the recorder is on).
+                        chronus_trace::FlightRecorder::trigger("cert-refused");
                         None
                     }
                 }
@@ -530,12 +539,17 @@ fn plan_chain_impl(
     }
 
     metrics.record_certification(verify.enabled, certificate.is_some());
+    if deadline_exceeded {
+        chronus_trace::instant!("engine.deadline_expired", request = req.id.0);
+        chronus_trace::FlightRecorder::trigger("deadline-expired");
+    }
     if plan_span.is_recording() {
         plan_span.record("winner", winner_stage.to_string());
         plan_span.record("cache_hit", cache_hit);
         plan_span.record("deadline_exceeded", deadline_exceeded);
         plan_span.record("certified", certificate.is_some());
     }
+    let span_id = plan_span.id().unwrap_or(0);
     drop(plan_span);
     let planned = PlannedUpdate {
         id: req.id,
@@ -550,6 +564,7 @@ fn plan_chain_impl(
         certificate,
         slack,
         dilation,
+        span_id,
     };
     metrics.record_completion(&planned);
     planned

@@ -260,6 +260,8 @@ pub struct LintConfig {
     pub require_forbid: bool,
     /// Crate-root paths exempt from the forbid requirement.
     pub forbid_exempt: Vec<String>,
+    /// Module prefixes where stdout/stderr macros are denied.
+    pub stdio_modules: Vec<String>,
     /// Module prefixes under the cast-parenthesization rule.
     pub cast_modules: Vec<String>,
     /// Integer type names the cast rule watches.
@@ -351,6 +353,9 @@ impl LintConfig {
         if let Some(ua) = doc.table("unsafe_audit") {
             cfg.require_forbid = matches!(ua.get("require_forbid"), Some(TomlValue::Bool(true)));
             cfg.forbid_exempt = strings(ua, "forbid_exempt");
+        }
+        if let Some(stdio) = doc.table("stdio") {
+            cfg.stdio_modules = strings(stdio, "modules");
         }
         if let Some(casts) = doc.table("casts") {
             cfg.cast_modules = strings(casts, "modules");

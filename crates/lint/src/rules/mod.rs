@@ -1,4 +1,4 @@
-//! The four rule families. Each rule is a free function over a
+//! The rule families. Each rule is a free function over a
 //! [`FileCtx`] — one lexed, scanned, suppression-resolved source file
 //! plus the workspace config — appending [`Finding`]s to a shared
 //! vector. Rules never read the filesystem; everything they need is
@@ -8,6 +8,7 @@ pub mod casts;
 pub mod determinism;
 pub mod hot_alloc;
 pub mod lock_order;
+pub mod stdio;
 pub mod unsafe_audit;
 
 use crate::config::LintConfig;
@@ -71,4 +72,5 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     determinism::check(ctx, out);
     unsafe_audit::check(ctx, out);
     casts::check(ctx, out);
+    stdio::check(ctx, out);
 }

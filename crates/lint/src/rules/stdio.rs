@@ -1,0 +1,54 @@
+//! `no-stdio`: library crates must not write to stdout/stderr.
+//!
+//! Libraries in the configured modules report through return values,
+//! metrics and the trace facade — a `println!` deep in planning code
+//! corrupts `chronusctl metrics`-style machine-readable output and
+//! bypasses the flight recorder. Denied: `println!`, `print!`,
+//! `eprintln!`, `eprint!` and `dbg!` outside test code. Binaries
+//! (`src/main.rs`, `src/bin/*.rs`) and test files are exempt — stdout
+//! is their interface.
+
+use super::FileCtx;
+use crate::config::LintConfig;
+use crate::diag::{Finding, Severity};
+use crate::lexer::TokKind;
+
+/// The denied macro names (matched as `ident` followed by `!`).
+const STDIO_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Runs the stdio rule over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.cfg.stdio_modules.is_empty()
+        || ctx.is_test_file
+        || is_bin_file(ctx.rel)
+        || !LintConfig::module_in(ctx.module, &ctx.cfg.stdio_modules)
+    {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.model.in_test(i) {
+            continue;
+        }
+        let denied = STDIO_MACROS.iter().any(|m| t.is_ident(m));
+        if denied && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            ctx.emit(
+                out,
+                "no-stdio",
+                Severity::Error,
+                t.line,
+                format!(
+                    "`{}!` in library module `{}`; libraries report through return \
+                     values, metrics or the trace facade — stdout/stderr belong to \
+                     binaries (or add a justified allow)",
+                    t.text, ctx.module
+                ),
+            );
+        }
+    }
+}
+
+/// `src/main.rs` and `src/bin/*.rs` own their stdout.
+fn is_bin_file(rel: &str) -> bool {
+    rel.ends_with("src/main.rs") || rel.contains("/src/bin/")
+}

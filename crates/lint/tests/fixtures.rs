@@ -54,6 +54,7 @@ fn bad_fixtures_reproduce_goldens() {
         "det_bad",
         "unsafe_bad",
         "casts_bad",
+        "stdio_bad",
     ] {
         let report = run_case(case);
         assert!(
@@ -74,6 +75,7 @@ fn good_fixtures_lint_clean() {
         "det_good",
         "unsafe_good",
         "casts_good",
+        "stdio_good",
     ] {
         let report = run_case(case);
         assert_golden(case, &report);

@@ -1,0 +1,19 @@
+//! Fixture: a library planner that narrates to stdout/stderr.
+
+pub fn plan(n: u32) -> u32 {
+    println!("planning {n} flows");
+    let result = n.saturating_mul(2);
+    if result == 0 {
+        eprintln!("empty plan");
+    }
+    dbg!(result)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_output_is_fine() {
+        println!("tests own their stdout");
+        assert_eq!(super::plan(2), 4);
+    }
+}

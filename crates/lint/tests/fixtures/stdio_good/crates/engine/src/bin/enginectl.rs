@@ -1,0 +1,6 @@
+//! Fixture: binaries own their stdout — never flagged.
+
+fn main() {
+    println!("enginectl: ok");
+    eprintln!("enginectl: diagnostics go to stderr");
+}

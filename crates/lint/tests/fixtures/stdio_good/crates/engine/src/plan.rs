@@ -1,0 +1,25 @@
+//! Fixture: the clean twin — the library returns data, the binary
+//! prints, and one justified allow covers a deliberate boot banner.
+
+pub fn plan(n: u32) -> Result<u32, String> {
+    let result = n.saturating_mul(2);
+    if result == 0 {
+        return Err("empty plan".to_string());
+    }
+    Ok(result)
+}
+
+pub fn banner() -> &'static str {
+    // chronus-lint: allow(no-stdio) — one-time boot banner requested by the operator
+    println!("engine ready");
+    "ready"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_output_is_fine() {
+        println!("tests own their stdout");
+        assert_eq!(super::plan(2), Ok(4));
+    }
+}

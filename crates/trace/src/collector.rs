@@ -106,22 +106,42 @@ impl Collector {
     }
 
     /// Records a zero-duration instant event parented to the current
-    /// span stack top (used by the `instant!` macro).
+    /// span stack top (used by the `instant!` macro). Feeds both the
+    /// collector sink (when installed) and the flight-recorder ring
+    /// (when on); the ring copy keeps the first two numeric fields.
     pub fn record_instant(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
-        if !Self::is_enabled() {
+        let sink = Self::is_enabled();
+        let ring = crate::ring::ring_on();
+        if !sink && !ring {
             return;
         }
         let now = crate::now_ns();
-        Self::push(SpanRecord {
-            id: Self::next_id(),
-            parent: crate::span::current_span_id(),
-            name,
-            fields,
-            start_ns: now,
-            end_ns: now,
-            thread: thread_id(),
-            kind: SpanKind::Instant,
-        });
+        let id = Self::next_id();
+        let parent = crate::span::current_span_id();
+        if ring {
+            let mut args: Vec<(&'static str, u64)> = Vec::with_capacity(2);
+            for (key, value) in &fields {
+                if args.len() == 2 {
+                    break;
+                }
+                if let Some(word) = value.as_ring_word() {
+                    args.push((key, word));
+                }
+            }
+            crate::ring::record_instant_event(name, id, parent, now, &args);
+        }
+        if sink {
+            Self::push(SpanRecord {
+                id,
+                parent,
+                name,
+                fields,
+                start_ns: now,
+                end_ns: now,
+                thread: thread_id(),
+                kind: SpanKind::Instant,
+            });
+        }
     }
 }
 

@@ -21,6 +21,18 @@ pub enum FieldValue {
 }
 
 impl FieldValue {
+    /// The value as a ring-slot word, when it fits one: integers and
+    /// bools ride along in flight-recorder slots, floats and strings
+    /// don't (the ring never allocates).
+    pub(crate) fn as_ring_word(&self) -> Option<u64> {
+        match self {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) => Some(*v as u64),
+            FieldValue::Bool(v) => Some(u64::from(*v)),
+            FieldValue::F64(_) | FieldValue::Str(_) => None,
+        }
+    }
+
     /// Encodes the value as a JSON literal (strings escaped).
     pub fn to_json(&self) -> String {
         match self {

@@ -39,6 +39,7 @@ mod collector;
 mod fields;
 mod json;
 mod metrics;
+mod ring;
 mod span;
 mod timeline;
 
@@ -47,6 +48,7 @@ pub use fields::FieldValue;
 pub use metrics::{
     Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
+pub use ring::{FlightEvent, FlightEventKind, FlightRecorder, FlightSnapshot, RingStats};
 pub use span::{EnteredSpan, Span};
 
 /// Monotonic nanoseconds since the first observability call in this
@@ -95,7 +97,7 @@ macro_rules! span {
 #[macro_export]
 macro_rules! instant {
     ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
-        if $crate::Collector::is_enabled() {
+        if $crate::Collector::is_enabled() || $crate::FlightRecorder::is_on() {
             let __chronus_fields: Vec<(&'static str, $crate::FieldValue)> =
                 vec![$((stringify!($key), $crate::FieldValue::from($val))),*];
             $crate::Collector::record_instant($name, __chronus_fields);

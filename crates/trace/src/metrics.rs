@@ -40,6 +40,10 @@ fn bucket_upper_bound(i: usize) -> u64 {
 
 struct HistogramInner {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Per-bucket span-id exemplars (0 = none): the id of the last
+    /// span whose observation landed in the bucket, so a quantile
+    /// spike links back to a concrete span in a flight-record dump.
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
     count: AtomicU64,
 }
@@ -48,6 +52,7 @@ impl HistogramInner {
     fn new() -> Self {
         HistogramInner {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
@@ -124,6 +129,20 @@ impl Histogram {
         inner.count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one observation tagged with a span id: the bucket the
+    /// value lands in remembers the span as its exemplar
+    /// (last-writer-wins), surfaced in JSON snapshots and flight-record
+    /// dumps — not in the Prometheus text format.
+    #[inline]
+    pub fn record_with_exemplar(&self, v: u64, span_id: u64) {
+        self.record(v);
+        if span_id != 0 {
+            if let Some(slot) = self.0.exemplars.get(bucket_index(v)) {
+                slot.store(span_id, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
@@ -132,6 +151,27 @@ impl Histogram {
     /// Sum of observations.
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile (0.0–1.0): the inclusive upper bound
+    /// of the first bucket whose cumulative count reaches `q * count`.
+    /// Resolution is one log₂ bucket (at most 2× the true value),
+    /// which is what `chronusctl top` renders as p50/p90/p99. Returns
+    /// 0 with no observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
     }
 }
 
@@ -154,6 +194,9 @@ pub enum MetricValue {
     Histogram {
         /// Count per log2 bucket, trailing zero buckets dropped.
         buckets: Vec<u64>,
+        /// Span-id exemplar per bucket (0 = none), same length as
+        /// `buckets`.
+        exemplars: Vec<u64>,
         /// Sum of all observations.
         sum: u64,
         /// Number of observations.
@@ -213,6 +256,7 @@ impl MetricsSnapshot {
                     buckets,
                     sum,
                     count,
+                    ..
                 } => {
                     let _ = writeln!(out, "# TYPE {name} histogram");
                     let mut cumulative = 0u64;
@@ -243,6 +287,7 @@ impl MetricsSnapshot {
                 MetricValue::Gauge(v) => gauges.push(format!("{key}:{v}")),
                 MetricValue::Histogram {
                     buckets,
+                    exemplars,
                     sum,
                     count,
                 } => {
@@ -251,8 +296,20 @@ impl MetricsSnapshot {
                         .map(u64::to_string)
                         .collect::<Vec<_>>()
                         .join(",");
+                    let exemplar_list = if exemplars.iter().any(|&e| e != 0) {
+                        format!(
+                            ",\"exemplars\":[{}]",
+                            exemplars
+                                .iter()
+                                .map(u64::to_string)
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        )
+                    } else {
+                        String::new()
+                    };
                     histograms.push(format!(
-                        "{key}:{{\"buckets\":[{bucket_list}],\"sum\":{sum},\"count\":{count}}}"
+                        "{key}:{{\"buckets\":[{bucket_list}]{exemplar_list},\"sum\":{sum},\"count\":{count}}}"
                     ));
                 }
             }
@@ -370,8 +427,15 @@ impl MetricsRegistry {
                     while buckets.last() == Some(&0) {
                         buckets.pop();
                     }
+                    let exemplars: Vec<u64> = h
+                        .exemplars
+                        .iter()
+                        .take(buckets.len())
+                        .map(|e| e.load(Ordering::Relaxed))
+                        .collect();
                     MetricValue::Histogram {
                         buckets,
+                        exemplars,
                         sum: h.sum.load(Ordering::Relaxed),
                         count: h.count.load(Ordering::Relaxed),
                     }
@@ -393,6 +457,7 @@ impl MetricsRegistry {
                 MetricValue::Gauge(v) => self.gauge(name).max(*v),
                 MetricValue::Histogram {
                     buckets,
+                    exemplars,
                     sum,
                     count,
                 } => {
@@ -400,6 +465,13 @@ impl MetricsRegistry {
                     for (i, c) in buckets.iter().enumerate() {
                         if let Some(bucket) = h.0.buckets.get(i) {
                             bucket.fetch_add(*c, Ordering::Relaxed);
+                        }
+                    }
+                    for (i, e) in exemplars.iter().enumerate() {
+                        if *e != 0 {
+                            if let Some(slot) = h.0.exemplars.get(i) {
+                                slot.store(*e, Ordering::Relaxed);
+                            }
                         }
                     }
                     h.0.sum.fetch_add(*sum, Ordering::Relaxed);

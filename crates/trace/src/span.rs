@@ -39,24 +39,42 @@ struct ActiveSpan {
     name: &'static str,
     fields: Vec<(&'static str, FieldValue)>,
     start_ns: u64,
+    /// Collector was installed at open time: keep full fields and push
+    /// a [`SpanRecord`] on drop. With only the flight-recorder ring on
+    /// this is false and the span never allocates for fields.
+    to_sink: bool,
+    /// Up to two numeric fields stashed for the ring slot.
+    ring_args: [(&'static str, u64); 2],
+    ring_argc: u8,
 }
 
 #[cfg(feature = "trace")]
 impl Span {
     /// Opens a span named `name`, parented to the thread's innermost
-    /// entered span. Recording state is decided here, once.
+    /// entered span. Recording state is decided here, once: the span
+    /// is live when a [`Collector`] is installed, when the
+    /// flight-recorder ring is on, or both.
     pub fn new(name: &'static str) -> Self {
-        if Collector::is_enabled() {
+        let to_sink = Collector::is_enabled();
+        if to_sink || crate::FlightRecorder::is_on() {
             Span(Some(ActiveSpan {
                 id: Collector::next_id(),
                 parent: current_span_id(),
                 name,
                 fields: Vec::new(),
                 start_ns: crate::now_ns(),
+                to_sink,
+                ring_args: [("", 0); 2],
+                ring_argc: 0,
             }))
         } else {
             Span(None)
         }
+    }
+
+    /// The span's process-unique id, when it is recording.
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|a| a.id)
     }
 
     /// An inert span that records nothing.
@@ -74,7 +92,17 @@ impl Span {
     /// `span!(…, key = value)` form).
     pub fn push_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
         if let Some(a) = &mut self.0 {
-            a.fields.push((key, value.into()));
+            let value = value.into();
+            if let (Some(word), true) = (value.as_ring_word(), a.ring_argc < 2) {
+                let i = a.ring_argc as usize;
+                if let Some(slot) = a.ring_args.get_mut(i) {
+                    *slot = (key, word);
+                    a.ring_argc += 1;
+                }
+            }
+            if a.to_sink {
+                a.fields.push((key, value));
+            }
         }
     }
 
@@ -116,6 +144,11 @@ impl Span {
         false
     }
 
+    /// Always `None` in a `trace`-less build.
+    pub fn id(&self) -> Option<u64> {
+        None
+    }
+
     /// No-op.
     pub fn push_field(&mut self, _key: &'static str, _value: impl Into<FieldValue>) {}
 
@@ -145,6 +178,14 @@ impl EnteredSpan {
     pub fn is_recording(&self) -> bool {
         self.span.is_recording()
     }
+
+    /// The span's process-unique id, when it is recording. Callers
+    /// that hand results across process boundaries (the daemon's
+    /// journal, SLO exemplars) persist this to link back to the span
+    /// in a flight-record dump.
+    pub fn id(&self) -> Option<u64> {
+        self.span.id()
+    }
 }
 
 #[cfg(feature = "trace")]
@@ -161,16 +202,27 @@ impl Drop for EnteredSpan {
                     stack.retain(|&id| id != a.id);
                 }
             });
-            Collector::push(SpanRecord {
-                id: a.id,
-                parent: a.parent,
-                name: a.name,
-                fields: a.fields,
-                start_ns: a.start_ns,
-                end_ns: crate::now_ns(),
-                thread: thread_id(),
-                kind: SpanKind::Complete,
-            });
+            let end_ns = crate::now_ns();
+            crate::ring::record_span_event(
+                a.name,
+                a.id,
+                a.parent,
+                a.start_ns,
+                end_ns,
+                a.ring_args.get(..a.ring_argc as usize).unwrap_or(&[]),
+            );
+            if a.to_sink {
+                Collector::push(SpanRecord {
+                    id: a.id,
+                    parent: a.parent,
+                    name: a.name,
+                    fields: a.fields,
+                    start_ns: a.start_ns,
+                    end_ns,
+                    thread: thread_id(),
+                    kind: SpanKind::Complete,
+                });
+            }
         }
     }
 }
@@ -225,6 +277,7 @@ mod tests {
         let _l = crate::collector::TEST_LOCK
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        crate::FlightRecorder::disable();
         assert!(!Collector::is_enabled());
         let span = crate::span!("t.quiet", wasted = "never evaluated");
         assert!(!span.is_recording());

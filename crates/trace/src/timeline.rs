@@ -98,6 +98,43 @@ impl TimelineExporter {
         }
     }
 
+    /// Stages a ring-recorded span as an `"X"` duration event (same
+    /// shape as [`TimelineExporter::add_span`], sourced from a
+    /// [`crate::FlightEvent`]).
+    pub fn ring_span(&mut self, event: &crate::FlightEvent, fields: &[(&str, FieldValue)]) {
+        let mut args = format!("\"span_id\":{}", event.id);
+        if let Some(parent) = event.parent {
+            args.push_str(&format!(",\"parent_id\":{parent}"));
+        }
+        for (key, value) in fields {
+            args.push_str(&format!(",{}:{}", json::string(key), value.to_json()));
+        }
+        let dur = us(event.end_ns.saturating_sub(event.start_ns));
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":1,\"tid\":{},\"args\":{{{args}}}}}",
+            json::string(event.name),
+            us(event.start_ns),
+            event.tid
+        ));
+    }
+
+    /// Stages a ring-recorded instant as a thread-scoped `"i"` event.
+    pub fn ring_instant(&mut self, event: &crate::FlightEvent, fields: &[(&str, FieldValue)]) {
+        let mut args = format!("\"span_id\":{}", event.id);
+        if let Some(parent) = event.parent {
+            args.push_str(&format!(",\"parent_id\":{parent}"));
+        }
+        for (key, value) in fields {
+            args.push_str(&format!(",{}:{}", json::string(key), value.to_json()));
+        }
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{{args}}}}}",
+            json::string(event.name),
+            us(event.start_ns),
+            event.tid
+        ));
+    }
+
     /// Stages a free-standing instant event (e.g. one discrete
     /// emulator event) on thread track `tid`.
     pub fn instant(&mut self, name: &str, ts_ns: u64, tid: u64, fields: &[(&str, FieldValue)]) {
@@ -134,6 +171,20 @@ impl TimelineExporter {
         let mut out = String::from("{\"traceEvents\":[");
         out.push_str(&self.events.join(","));
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Like [`TimelineExporter::to_json`] but with one extra top-level
+    /// key, `"chronusMeta"`, holding `meta_json` verbatim (an encoded
+    /// JSON value). Perfetto and `chrome://tracing` ignore unknown
+    /// top-level keys, so the document stays loadable; the flight
+    /// recorder uses this for its trigger/drop-ledger/metrics block.
+    pub fn to_json_with_meta(&self, meta_json: &str) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&self.events.join(","));
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"chronusMeta\":");
+        out.push_str(meta_json);
+        out.push('}');
         out
     }
 

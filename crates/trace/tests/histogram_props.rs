@@ -1,0 +1,224 @@
+//! Bucketing audit for `trace::metrics::Histogram`.
+//!
+//! The daemon's SLO quantiles are read off these log₂ buckets, so an
+//! off-by-one at a bucket edge silently skews every burn-rate number.
+//! These tests pin the edge behaviour exactly — powers of two, zero,
+//! `u64::MAX` — and the coherence invariants (cumulative bucket
+//! monotonicity, `+Inf == count`, `sum`/`count` exactness, `absorb`
+//! correctness against snapshots taken mid-recording).
+
+use chronus_trace::{MetricValue, MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Which bucket a single observation of `v` lands in, observed from
+/// the outside via a fresh registry snapshot.
+fn bucket_of(v: u64) -> usize {
+    let reg = MetricsRegistry::new();
+    reg.histogram("chronus_test_probe_ns").record(v);
+    match reg.snapshot().metrics.get("chronus_test_probe_ns") {
+        Some(MetricValue::Histogram { buckets, .. }) => {
+            let hits: Vec<usize> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(hits.len(), 1, "one observation must hit exactly one bucket");
+            hits[0]
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+/// The inclusive upper bound Prometheus advertises for bucket `i`
+/// (`le` label) — mirrors the exporter's layout: bucket 0 is exactly
+/// zero, bucket `i` spans `[2^(i-1), 2^i)`.
+fn upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[test]
+fn edges_zero_powers_of_two_and_max() {
+    // Zero has bit length 0: its own bucket.
+    assert_eq!(bucket_of(0), 0);
+    // 1 = 2^0 opens bucket 1.
+    assert_eq!(bucket_of(1), 1);
+    // Every exact power of two opens a new bucket; the value one
+    // below it closes the previous one.
+    for i in 1..63 {
+        let p = 1u64 << i;
+        assert_eq!(bucket_of(p), i + 1, "2^{i} must open bucket {}", i + 1);
+        assert_eq!(bucket_of(p - 1), i, "2^{i}-1 must stay in bucket {i}");
+        // The advertised bounds agree with the placement: the value
+        // is above its predecessor bucket's bound and at most its own.
+        assert!(p > upper_bound(i));
+        assert!(p <= upper_bound(i + 1));
+    }
+    // The top bucket is clamped: bit length 64 (and the saturated
+    // index for 2^63) both land in bucket 63, whose bound is MAX.
+    assert_eq!(bucket_of(1u64 << 63), 63);
+    assert_eq!(bucket_of(u64::MAX), 63);
+    assert_eq!(upper_bound(63), u64::MAX);
+    assert_eq!(upper_bound(64), u64::MAX);
+}
+
+/// Parses the `_bucket{le="…"} n` series for `name` out of a
+/// Prometheus exposition, in document order.
+fn cumulative_series(prom: &str, name: &str) -> Vec<(String, u64)> {
+    let prefix = format!("{name}_bucket{{le=\"");
+    prom.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix(&prefix)?;
+            let (le, count) = rest.split_once("\"} ")?;
+            Some((le.to_owned(), count.parse().ok()?))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single observation is bounded by its bucket's advertised
+    /// upper bound and above the previous bucket's.
+    fn observation_lands_inside_its_advertised_bounds(shift in 0u32..64, lo in 0u64..1024) {
+        let v = if shift == 0 { lo } else { (1u64 << (shift - 1)).saturating_add(lo) };
+        let b = bucket_of(v);
+        prop_assert!(v <= upper_bound(b));
+        if b > 0 {
+            prop_assert!(v > upper_bound(b - 1));
+        }
+    }
+
+    /// count/sum exactness and cumulative monotonicity over random
+    /// batches, including edge values.
+    fn count_sum_and_monotonicity_are_exact(
+        values in prop::collection::vec(0u64..=u64::MAX, 1..200),
+    ) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("chronus_test_batch_ns");
+        let mut expected_sum = 0u64;
+        for &v in &values {
+            h.record(v);
+            expected_sum = expected_sum.wrapping_add(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        // sum wraps modulo 2^64 by construction (AtomicU64 add).
+        prop_assert_eq!(h.sum(), expected_sum);
+        let snap = reg.snapshot();
+        match snap.metrics.get("chronus_test_batch_ns") {
+            Some(MetricValue::Histogram { buckets, count, .. }) => {
+                prop_assert_eq!(buckets.iter().sum::<u64>(), *count);
+            }
+            other => prop_assert!(false, "expected histogram, got {other:?}"),
+        }
+        let prom = snap.to_prometheus();
+        let series = cumulative_series(&prom, "chronus_test_batch_ns");
+        prop_assert!(!series.is_empty());
+        let mut prev = 0u64;
+        for (le, cumulative) in &series {
+            prop_assert!(*cumulative >= prev, "cumulative dipped at le={le}");
+            prev = *cumulative;
+        }
+        // The +Inf bucket equals the count, and no finite bucket
+        // exceeds it.
+        let inf = format!("chronus_test_batch_ns_bucket{{le=\"+Inf\"}} {}", values.len());
+        prop_assert!(prom.contains(&inf));
+        prop_assert!(prev <= values.len() as u64);
+    }
+
+    /// `absorb` faithfully reproduces a snapshot taken while the
+    /// source registry is still being hammered: whatever coherent
+    /// point-in-time state the snapshot captured, the root receives
+    /// exactly that.
+    fn absorb_reproduces_mid_recording_snapshots(seed in 0u64..10_000) {
+        let scoped = Arc::new(MetricsRegistry::new());
+        // Register up front so the mid-flight snapshot always carries
+        // the instrument (possibly with zero observations).
+        scoped.histogram("chronus_test_hammer_ns");
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|t| {
+                let scoped = Arc::clone(&scoped);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let h = scoped.histogram("chronus_test_hammer_ns");
+                    let mut v = seed.wrapping_mul(t + 1);
+                    while !stop.load(Ordering::Relaxed) {
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        h.record(v >> (v % 64));
+                    }
+                })
+            })
+            .collect();
+        // Snapshot while the writers are live, then absorb it twice
+        // into independent roots: both must match the snapshot bit
+        // for bit.
+        let snap = scoped.snapshot();
+        let root_a = MetricsRegistry::new();
+        let root_b = MetricsRegistry::new();
+        root_a.absorb(&snap);
+        root_b.absorb(&snap);
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().ok();
+        }
+        let a = root_a.snapshot();
+        prop_assert_eq!(&a, &root_b.snapshot());
+        match (snap.metrics.get("chronus_test_hammer_ns"), a.metrics.get("chronus_test_hammer_ns")) {
+            (
+                Some(MetricValue::Histogram { buckets: sb, sum: ss, count: sc, .. }),
+                Some(MetricValue::Histogram { buckets: ab, sum: as_, count: ac, .. }),
+            ) => {
+                prop_assert_eq!(sb, ab);
+                prop_assert_eq!(ss, as_);
+                prop_assert_eq!(sc, ac);
+            }
+            other => prop_assert!(false, "expected histograms, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn exemplars_surface_in_json_but_not_prometheus() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("chronus_test_slo_ns");
+    h.record_with_exemplar(900, 4242);
+    h.record(5); // plain record leaves no exemplar
+    let snap = reg.snapshot();
+    match snap.metrics.get("chronus_test_slo_ns") {
+        Some(MetricValue::Histogram {
+            buckets, exemplars, ..
+        }) => {
+            assert_eq!(exemplars.len(), buckets.len());
+            // 900 has bit length 10 → bucket 10 carries the span id.
+            assert_eq!(exemplars.get(10), Some(&4242));
+            assert_eq!(exemplars.get(3), Some(&0));
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+    let json = snap.to_json();
+    assert!(json.contains("\"exemplars\":["));
+    assert!(json.contains("4242"));
+    // The Prometheus text format stays exemplar-free so the golden
+    // line-format checker keeps passing.
+    let prom = snap.to_prometheus();
+    assert!(!prom.contains("exemplar"));
+    assert!(!prom.contains("4242"));
+
+    // Absorb carries non-zero exemplars along.
+    let root = MetricsRegistry::new();
+    root.absorb(&snap);
+    match root.snapshot().metrics.get("chronus_test_slo_ns") {
+        Some(MetricValue::Histogram { exemplars, .. }) => {
+            assert_eq!(exemplars.get(10), Some(&4242));
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+    let _ = MetricsSnapshot::default();
+}

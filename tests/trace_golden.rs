@@ -11,18 +11,37 @@
 //! CI reuses the same checker on the artifact written by
 //! `examples/trace_update.rs`: when `CHRONUS_TRACE_JSON` (and
 //! optionally `CHRONUS_TRACE_PROM`) point at files, those are
-//! validated instead of a freshly generated trace.
+//! validated instead of a freshly generated trace. Flight-record
+//! dumps get the same treatment: the `flight_dump_*` test validates
+//! the file `CHRONUS_FLIGHT_JSON` names (CI's SIGUSR1 dump) or a
+//! freshly triggered dump, plus the ring-specific invariants —
+//! time-ordered reassembly, cross-ring parent/child containment, an
+//! exact drop ledger, and a marked trigger instant.
 
 use chronus::engine::{Engine, EngineConfig};
 use chronus::net::motivating_example;
-use chronus::trace::{Collector, MetricsRegistry, TimelineExporter};
+use chronus::trace::{
+    Collector, FlightRecorder, FlightSnapshot, MetricsRegistry, TimelineExporter,
+};
 use serde_json::Value;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Parent linkage policy for [`assert_well_formed_trace`].
+#[derive(Clone, Copy, PartialEq)]
+enum Parents {
+    /// Every `parent_id` must name an exported span (collector traces
+    /// export complete batches).
+    Required,
+    /// A `parent_id` may dangle — flight rings overwrite oldest-first,
+    /// so a surviving child can outlive its dropped parent. When the
+    /// parent *is* present, containment still must hold.
+    MayDrop,
+}
 
 /// Parses `text` as trace-event JSON and checks every structural
 /// invariant; returns `(complete_spans, instants, counters)`.
-fn assert_well_formed_trace(text: &str) -> (usize, usize, usize) {
+fn assert_well_formed_trace(text: &str, parents: Parents) -> (usize, usize, usize) {
     let v: Value = serde_json::from_str(text).expect("trace JSON parses");
     let events = v
         .get("traceEvents")
@@ -87,16 +106,19 @@ fn assert_well_formed_trace(text: &str) -> (usize, usize, usize) {
             .and_then(|a| a.get("parent_id"))
             .and_then(Value::as_u64)
         {
-            let &(pstart, pend) = spans
-                .get(&parent)
-                .expect("parent_id names an exported span");
-            let ts = ev.get("ts").and_then(Value::as_f64).expect("numeric ts");
-            let end = ts + ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
-            const EPS: f64 = 1e-3;
-            assert!(
-                ts + EPS >= pstart && end <= pend + EPS,
-                "child [{ts}, {end}] escapes parent [{pstart}, {pend}]"
-            );
+            let found = spans.get(&parent);
+            if parents == Parents::Required {
+                assert!(found.is_some(), "parent_id names an exported span");
+            }
+            if let Some(&(pstart, pend)) = found {
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("numeric ts");
+                let end = ts + ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+                const EPS: f64 = 1e-3;
+                assert!(
+                    ts + EPS >= pstart && end <= pend + EPS,
+                    "child [{ts}, {end}] escapes parent [{pstart}, {pend}]"
+                );
+            }
         }
     }
     (complete, instants, counters)
@@ -185,7 +207,7 @@ fn trace_json_round_trips_through_serde_json() {
         ),
         Err(_) => (generate_trace_json(), false),
     };
-    let (complete, _instants, counters) = assert_well_formed_trace(&text);
+    let (complete, _instants, counters) = assert_well_formed_trace(&text, Parents::Required);
     assert!(complete > 0, "at least one complete span");
     if from_file {
         // The example promises link-utilization counter tracks.
@@ -228,4 +250,188 @@ fn empty_timeline_is_still_valid_json() {
         v.get("traceEvents").and_then(Value::as_array).map(Vec::len),
         Some(0)
     );
+}
+
+// ---------------------------------------------------------------------------
+// Flight-record dumps.
+// ---------------------------------------------------------------------------
+
+/// The recorder is process-global; the flight tests serialize on this
+/// and tell their events apart by name prefix.
+static FLIGHT_LOCK: Mutex<()> = Mutex::new(());
+
+fn flight_lock() -> MutexGuard<'static, ()> {
+    FLIGHT_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn ring_events(snap: &FlightSnapshot, prefix: &str) -> Vec<chronus::trace::FlightEvent> {
+    snap.events
+        .iter()
+        .filter(|e| e.name.starts_with(prefix))
+        .cloned()
+        .collect()
+}
+
+/// Checks the dump-specific invariants on parsed flight JSON: the
+/// trigger is named in `chronusMeta` and present as a marked instant,
+/// and the per-ring drop ledger balances exactly.
+fn assert_flight_dump(parsed: &Value, expect_trigger: Option<&str>) {
+    let meta = parsed.get("chronusMeta").expect("dump carries chronusMeta");
+    let trigger_name = meta
+        .get("trigger")
+        .and_then(Value::as_str)
+        .expect("meta names its trigger");
+    if let Some(expected) = expect_trigger {
+        assert_eq!(trigger_name, expected);
+    }
+    for ring in meta.get("rings").unwrap().as_array().expect("ring ledger") {
+        let emitted = ring.get("emitted").unwrap().as_u64().unwrap();
+        let recorded = ring.get("recorded").unwrap().as_u64().unwrap();
+        let dropped = ring.get("dropped").unwrap().as_u64().unwrap();
+        assert_eq!(
+            dropped,
+            emitted - recorded,
+            "ledger must balance in the dump"
+        );
+    }
+    let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    let marked: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("flightrec.trigger"))
+        .collect();
+    assert_eq!(marked.len(), 1, "exactly one marked trigger per dump");
+    assert_eq!(marked[0].get("ph").and_then(Value::as_str), Some("i"));
+    assert_eq!(
+        marked[0]
+            .get("args")
+            .and_then(|a| a.get("reason"))
+            .and_then(Value::as_str),
+        Some(trigger_name),
+        "the marked instant carries the meta trigger as its reason"
+    );
+}
+
+/// Runs nested spans on several threads at once, then checks the
+/// reassembled snapshot is globally time-ordered and every child
+/// span's interval sits inside its parent's — after the merge across
+/// thread rings.
+#[test]
+fn flight_reassembly_is_time_ordered_and_nesting_contains() {
+    let _l = flight_lock();
+    FlightRecorder::enable(256);
+    let workers: Vec<_> = (0..4u64)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..8u64 {
+                    let outer =
+                        chronus::trace::span!("gnest.outer", worker = w, iter = i).entered();
+                    {
+                        let _inner = chronus::trace::span!("gnest.inner", iter = i).entered();
+                        std::hint::black_box(w + i);
+                    }
+                    drop(outer);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let snap = FlightRecorder::snapshot();
+    let events = ring_events(&snap, "gnest.");
+    assert_eq!(events.len(), 4 * 8 * 2, "every span from every ring");
+
+    // Global time order: start_ns non-decreasing, stamp breaks ties.
+    for pair in snap.events.windows(2) {
+        if let [a, b] = pair {
+            assert!(
+                a.start_ns < b.start_ns || (a.start_ns == b.start_ns && a.seq < b.seq),
+                "snapshot not time-ordered: {} then {}",
+                a.start_ns,
+                b.start_ns
+            );
+        }
+    }
+
+    // Parent/child containment survives the merge: each inner span
+    // names its outer as parent and fits inside its interval.
+    let inners: Vec<_> = events.iter().filter(|e| e.name == "gnest.inner").collect();
+    assert_eq!(inners.len(), 32);
+    for inner in inners {
+        let parent_id = inner.parent.expect("inner span must link to its outer");
+        let parent = events
+            .iter()
+            .find(|e| e.id == parent_id)
+            .expect("parent span present in the same snapshot");
+        assert_eq!(parent.name, "gnest.outer");
+        assert_eq!(parent.tid, inner.tid, "nesting is per-thread");
+        assert!(
+            parent.start_ns <= inner.start_ns && inner.end_ns <= parent.end_ns,
+            "child [{}, {}] escapes parent [{}, {}]",
+            inner.start_ns,
+            inner.end_ns,
+            parent.start_ns,
+            parent.end_ns
+        );
+    }
+    FlightRecorder::disable();
+}
+
+/// Floods a fresh thread's ring well past capacity: the drop ledger
+/// must be exact, with `recorded` equal to the ring capacity.
+#[test]
+fn flight_drop_ledger_is_exact_after_overflow() {
+    let _l = flight_lock();
+    FlightRecorder::enable(128);
+    let overfill = 128u64 + 41;
+    let stats = std::thread::spawn(move || {
+        for i in 0..overfill {
+            let _s = chronus::trace::span!("gflood.flood", i = i).entered();
+        }
+        let snap = FlightRecorder::snapshot();
+        let my_tid = ring_events(&snap, "gflood.").first().map(|e| e.tid)?;
+        snap.rings.into_iter().find(|r| r.tid == my_tid)
+    })
+    .join()
+    .expect("flood thread panicked")
+    .expect("flood ring found");
+    assert_eq!(stats.emitted, overfill);
+    assert_eq!(stats.recorded, 128, "ring holds exactly its capacity");
+    assert_eq!(stats.dropped, stats.emitted - stats.recorded);
+    FlightRecorder::disable();
+}
+
+/// A forensic dump is a well-formed Perfetto trace (same checker as
+/// collector traces, with dropped parents tolerated) that names its
+/// trigger and balances its drop ledger. CI mode: validates the
+/// SIGUSR1 dump the daemon-smoke job captured via
+/// `CHRONUS_FLIGHT_JSON`; otherwise generates a dump in-process.
+#[test]
+fn flight_dump_validates_as_perfetto_trace() {
+    let _l = flight_lock();
+    let (text, expect_trigger) = match std::env::var("CHRONUS_FLIGHT_JSON") {
+        Ok(path) => (
+            std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("CHRONUS_FLIGHT_JSON={path}: {e}")),
+            None,
+        ),
+        Err(_) => {
+            FlightRecorder::enable(64);
+            {
+                let _s = chronus::trace::span!("gdump.dumped", case = 1u64).entered();
+            }
+            let doc = FlightRecorder::snapshot_json("golden-trigger");
+            FlightRecorder::disable();
+            (doc, Some("golden-trigger"))
+        }
+    };
+    let (complete, instants, _counters) = assert_well_formed_trace(&text, Parents::MayDrop);
+    assert!(instants > 0, "the trigger instant at minimum");
+    let parsed: Value = serde_json::from_str(&text).expect("dump parses");
+    assert_flight_dump(&parsed, expect_trigger);
+    if expect_trigger.is_some() {
+        // The in-process dump must carry the span recorded above.
+        assert!(complete > 0);
+        assert!(text.contains("\"name\":\"gdump.dumped\""));
+    }
 }
