@@ -39,6 +39,21 @@
 //! deltas against the baseline (gate wall-clock drifts with hardware,
 //! so it is CI-log information, not an assertion).
 //!
+//! A second mode, `bench_check --multiflow <baseline.json> <fresh.json>`,
+//! gates `BENCH_multiflow.json` (sharded vs joint planning):
+//!
+//! 5. **Sharded speedup floor** — the fresh `summary/2048x128` cell's
+//!    `speedup` must be ≥ 2.0. That is the cell the sharded planner
+//!    exists for (fabric-scale topology, K = 128 flows); the committed
+//!    run records ~2.9×, so the floor is well clear of noise while
+//!    still catching the planner losing its edge. Smaller cells are
+//!    printed for the log but never gated — at K = 8 the partition
+//!    overhead legitimately loses to a trivial joint run.
+//! 6. **Clean-rate pin** — `sharded_clean` and `joint_clean` must
+//!    equal the committed baseline at *every* cell. Timing drifts;
+//!    the fraction of runs that end with a sealed, `check`-clean
+//!    certificate must not.
+//!
 //! The JSON is the bench's own flat hand-written format, so parsing is
 //! a hand-rolled field scan — no serde in the workspace.
 
@@ -57,6 +72,14 @@ const ALL_SIZES: &[usize] = &[8, 64, 512, 2048];
 /// n=8 runs the legacy scan on both arms (small-n cutoff), so its
 /// floor guards against the ratio drifting below parity noise.
 const E2E_FLOORS: &[(usize, f64)] = &[(8, 0.95), (64, 1.2), (512, 3.0), (2048, 5.0)];
+
+/// Every cell `bench_multiflow` emits, as `{n}x{K}` key suffixes.
+const MULTIFLOW_CELLS: &[&str] = &["512x8", "512x32", "512x128", "2048x8", "2048x32", "2048x128"];
+
+/// The one gated multiflow cell and its sharded-speedup floor. The
+/// committed run records ~2.9× here; 2.0 catches a real regression
+/// without flaking on scheduler noise.
+const MULTIFLOW_GATE: (&str, f64) = ("2048x128", 2.0);
 
 /// Extracts `field` from the flat JSON object that follows `"key":`.
 /// Returns `None` when the key or field is missing — the caller
@@ -78,24 +101,90 @@ fn lookup(json: &str, key: &str, field: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+fn read(path: &str) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            None
+        }
+    }
+}
+
+/// `--multiflow` mode: gates `BENCH_multiflow.json` (see module docs,
+/// checks 5 and 6).
+fn check_multiflow(baseline_path: &str, fresh_path: &str) -> ExitCode {
+    let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut failures = 0u32;
+
+    let (gate_cell, floor) = MULTIFLOW_GATE;
+    let gate_key = format!("summary/{gate_cell}");
+    match lookup(&fresh, &gate_key, "speedup") {
+        Some(s) if s >= floor => println!("ok: {gate_key} speedup {s:.2} >= {floor:.2}"),
+        Some(s) => {
+            eprintln!("FAIL: {gate_key} speedup {s:.2} < {floor:.2} — sharded planner regressed");
+            failures += 1;
+        }
+        None => {
+            eprintln!("FAIL: {gate_key} speedup missing from {fresh_path}");
+            failures += 1;
+        }
+    }
+
+    for &cell in MULTIFLOW_CELLS {
+        let key = format!("summary/{cell}");
+        for field in ["sharded_clean", "joint_clean"] {
+            match (lookup(&baseline, &key, field), lookup(&fresh, &key, field)) {
+                (Some(b), Some(f)) if b == f => println!("ok: {key} {field} {f:.2} unchanged"),
+                (Some(b), Some(f)) => {
+                    eprintln!("FAIL: {key} {field} changed: baseline {b:.2}, fresh {f:.2}");
+                    failures += 1;
+                }
+                (None, _) => {
+                    eprintln!("FAIL: {key} {field} missing from baseline {baseline_path}");
+                    failures += 1;
+                }
+                (_, None) => {
+                    eprintln!("FAIL: {key} {field} missing from {fresh_path}");
+                    failures += 1;
+                }
+            }
+        }
+        // Ungated speedups: CI-log information (hardware-dependent,
+        // and small cells legitimately sit below 1.0).
+        if cell != gate_cell {
+            match lookup(&fresh, &key, "speedup") {
+                Some(s) => println!("info: {key} speedup {s:.2} (ungated)"),
+                None => println!("info: {key} speedup not recorded in {fresh_path}"),
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_check: {failures} assertion(s) failed");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all multiflow gates passed");
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (baseline_path, fresh_path, sim_paths) = match args.as_slice() {
+        [_, flag, b, f] if flag == "--multiflow" => return check_multiflow(b, f),
         [_, b, f] => (b.clone(), f.clone(), None),
         [_, b, f, sb, sf] => (b.clone(), f.clone(), Some((sb.clone(), sf.clone()))),
         _ => {
             eprintln!(
                 "usage: bench_check <baseline.json> <fresh.json> \
-                 [<sim_baseline.json> <sim_fresh.json>]"
+                 [<sim_baseline.json> <sim_fresh.json>]\n\
+                 \u{20}      bench_check --multiflow <baseline.json> <fresh.json>"
             );
             return ExitCode::FAILURE;
-        }
-    };
-    let read = |path: &str| match std::fs::read_to_string(path) {
-        Ok(s) => Some(s),
-        Err(e) => {
-            eprintln!("bench_check: cannot read {path}: {e}");
-            None
         }
     };
     let (Some(baseline), Some(fresh)) = (read(&baseline_path), read(&fresh_path)) else {

@@ -53,6 +53,7 @@ pub(crate) mod par;
 mod problem;
 pub(crate) mod scan;
 pub mod sequential;
+pub mod shard;
 pub mod tree;
 
 pub use error::ScheduleError;

@@ -130,11 +130,19 @@ impl TokenBucket {
         }
     }
 
-    fn refill(&mut self, now_ns: Nanos) {
+    /// The level the bucket would hold at `now_ns`, without touching
+    /// its state — the read path for snapshots, so an interleaved
+    /// scrape can never advance `last_ns` ahead of the admit path's
+    /// clock and steal refill time from the next `try_take`.
+    fn level_at(&self, now_ns: Nanos) -> f64 {
         let elapsed_ns = now_ns.saturating_sub(self.last_ns).max(0);
-        self.last_ns = self.last_ns.max(now_ns);
         let refill = (elapsed_ns as f64 / 1e9) * self.rate;
-        self.tokens = (self.tokens + refill).min(self.burst);
+        (self.tokens + refill).min(self.burst)
+    }
+
+    fn refill(&mut self, now_ns: Nanos) {
+        self.tokens = self.level_at(now_ns);
+        self.last_ns = self.last_ns.max(now_ns);
     }
 
     /// Takes one token, or reports seconds until one is available.
@@ -250,16 +258,21 @@ impl AdmissionQueues {
     }
 
     /// Per-tenant token-bucket levels as of `now_ns`:
-    /// `(tenant, tokens, burst, rate)` in tenant order. Refills each
-    /// bucket first so the reported level is current, not the level at
-    /// the tenant's last submission — this is the `chronusctl top`
-    /// view.
-    pub fn bucket_levels(&mut self, now_ns: Nanos) -> Vec<(String, f64, f64, f64)> {
+    /// `(tenant, tokens, burst, rate)` in tenant order. The level is
+    /// *projected* to `now_ns` without mutating any bucket, so this
+    /// `chronusctl top` view is a pure read: interleaving a snapshot
+    /// between two submissions can never change what the second one
+    /// observes.
+    pub fn bucket_levels(&self, now_ns: Nanos) -> Vec<(String, f64, f64, f64)> {
         self.buckets
-            .iter_mut()
+            .iter()
             .map(|(tenant, bucket)| {
-                bucket.refill(now_ns);
-                (tenant.clone(), bucket.tokens, bucket.burst, bucket.rate)
+                (
+                    tenant.clone(),
+                    bucket.level_at(now_ns),
+                    bucket.burst,
+                    bucket.rate,
+                )
             })
             .collect()
     }
@@ -352,6 +365,49 @@ mod tests {
         q.admit(job(2, "t", Priority::Normal), 500_000_000).unwrap();
         // Tenants are isolated: a fresh tenant gets its own burst.
         q.admit(job(3, "u", Priority::Normal), 500_000_000).unwrap();
+    }
+
+    #[test]
+    fn bucket_snapshot_never_perturbs_the_admit_path() {
+        let cfg = AdmissionConfig {
+            queue_bound: 64,
+            default_rate: 2.0, // one token every 500 ms
+            default_burst: 1.0,
+            overrides: BTreeMap::new(),
+        };
+        // Control: burn the burst, then probe the retry hint at 400 ms
+        // with no snapshot in between.
+        let mut control = AdmissionQueues::new(cfg.clone());
+        control.admit(job(1, "t", Priority::Normal), 0).unwrap();
+        let Err(Shed::RateLimited {
+            retry_after_s: expected,
+            ..
+        }) = control.admit(job(2, "t", Priority::Normal), 400_000_000)
+        else {
+            panic!("still rate limited at 400 ms");
+        };
+        // Probe: identical timeline, but a scrape lands in between —
+        // with a clock *ahead* of the admit path's next read, the way
+        // a metrics thread and a worker race on the daemon clock.
+        let mut probed = AdmissionQueues::new(cfg);
+        probed.admit(job(1, "t", Priority::Normal), 0).unwrap();
+        let snap = probed.bucket_levels(450_000_000);
+        assert_eq!(snap.len(), 1);
+        assert!((snap[0].1 - 0.9).abs() < 1e-9, "level {}", snap[0].1);
+        let Err(Shed::RateLimited {
+            retry_after_s: observed,
+            ..
+        }) = probed.admit(job(2, "t", Priority::Normal), 400_000_000)
+        else {
+            panic!("the snapshot must not have refilled the bucket");
+        };
+        assert_eq!(
+            observed.to_bits(),
+            expected.to_bits(),
+            "snapshot changed the retry hint: {observed} vs {expected}"
+        );
+        // And the bucket still refills on schedule afterwards.
+        probed.admit(job(3, "t", Priority::Normal), 500_000_000).unwrap();
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct DaemonConfig {
     pub base_epoch_ns: Option<Nanos>,
     /// Bound on the engine's memoized time-extended-network cache.
     pub cache_windows: usize,
+    /// Target shard count for the engine's sharded multi-flow
+    /// pre-stage; `0` or `1` disables sharding and every request is
+    /// planned jointly.
+    pub engine_shards: usize,
     /// Default planning deadline for submissions that carry none.
     pub default_deadline_ms: u64,
     /// Per-tenant SLO: plans slower than this burn error budget.
@@ -77,6 +81,7 @@ impl Default for DaemonConfig {
             rearm_margin_ns: 100_000,
             base_epoch_ns: None,
             cache_windows: 256,
+            engine_shards: 0,
             default_deadline_ms: 5_000,
             slo_latency_ms: 250,
             slo_availability: 0.999,
@@ -153,6 +158,7 @@ impl DaemonConfig {
                 self.base_epoch_ns = Some(value.parse().map_err(|_| bad("nanoseconds"))?)
             }
             "cache_windows" => self.cache_windows = value.parse().map_err(|_| bad("a count"))?,
+            "engine_shards" => self.engine_shards = value.parse().map_err(|_| bad("a count"))?,
             "default_deadline_ms" => {
                 self.default_deadline_ms = value.parse().map_err(|_| bad("milliseconds"))?
             }
@@ -219,9 +225,17 @@ impl DaemonConfig {
     /// with: slack certification on (the journal stores the certified
     /// tolerance) and a bounded warm cache.
     pub fn engine(&self) -> EngineConfig {
-        EngineConfig::with_workers(self.workers.max(1))
+        let cfg = EngineConfig::with_workers(self.workers.max(1))
             .with_slack(SlackPolicy::default())
-            .with_cache_capacity(self.cache_windows.max(1))
+            .with_cache_capacity(self.cache_windows.max(1));
+        if self.engine_shards > 1 {
+            cfg.with_sharding(chronus_engine::ShardingConfig {
+                shards: self.engine_shards,
+                ..chronus_engine::ShardingConfig::default()
+            })
+        } else {
+            cfg
+        }
     }
 }
 
@@ -252,6 +266,19 @@ mod tests {
         assert_eq!(cfg.base_epoch_ns, Some(123_456_789));
         assert!(cfg.apply_flag("wrokers", "2").is_err(), "typos fail loudly");
         assert!(cfg.apply_flag("workers", "lots").is_err());
+    }
+
+    #[test]
+    fn engine_shards_flag_opts_into_the_sharded_stage() {
+        let mut cfg = DaemonConfig::default();
+        assert!(cfg.engine().sharding.is_none(), "sharding off by default");
+        cfg.apply_flag("engine_shards", "8").unwrap();
+        let engine = cfg.engine();
+        assert_eq!(engine.sharding.map(|s| s.shards), Some(8));
+        // 0 and 1 both mean "plan jointly".
+        cfg.apply_flag("engine_shards", "1").unwrap();
+        assert!(cfg.engine().sharding.is_none());
+        assert!(cfg.apply_flag("engine_shards", "many").is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! The protocol is deliberately line-oriented so `chronusctl`, shell
 //! scripts and tests can speak it with nothing but a socket.
 
-use crate::admission::Priority;
+use crate::admission::{Priority, Shed};
 use serde_json::{Map, Value};
 
 /// A parsed client request.
@@ -159,6 +159,24 @@ pub fn err_response(msg: &str, shed: bool) -> Value {
     Value::Object(obj)
 }
 
+/// The wire shape of an admission refusal: [`err_response`] with the
+/// shed marker, plus a machine-readable `retry_after_s` field for
+/// rate-limit sheds carrying the token bucket's hint verbatim (the
+/// human-readable `error` text rounds it to milliseconds).
+pub fn shed_response(shed: &Shed) -> Value {
+    let mut obj = Map::new();
+    obj.insert("ok".to_string(), Value::Bool(false));
+    obj.insert(
+        "error".to_string(),
+        Value::from(shed.to_string().as_str()),
+    );
+    obj.insert("shed".to_string(), Value::Bool(true));
+    if let Shed::RateLimited { retry_after_s, .. } = shed {
+        obj.insert("retry_after_s".to_string(), Value::from(*retry_after_s));
+    }
+    Value::Object(obj)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +250,26 @@ mod tests {
         let err = err_response("queue full", true);
         assert_eq!(err.get("ok"), Some(&Value::Bool(false)));
         assert_eq!(err.get("shed"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn rate_limit_sheds_carry_the_retry_hint_verbatim() {
+        let shed = Shed::RateLimited {
+            tenant: "acme".to_string(),
+            retry_after_s: 0.123456789,
+        };
+        let v = shed_response(&shed);
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("shed"), Some(&Value::Bool(true)));
+        assert_eq!(
+            v.get("retry_after_s").and_then(Value::as_f64),
+            Some(0.123456789)
+        );
+        let text = v.get("error").and_then(Value::as_str).unwrap();
+        assert!(text.contains("retry after 0.123s"), "{text}");
+        // Non-rate-limit sheds omit the hint.
+        let full = shed_response(&Shed::Draining);
+        assert!(full.get("retry_after_s").is_none());
+        assert_eq!(full.get("shed"), Some(&Value::Bool(true)));
     }
 }

@@ -131,7 +131,7 @@ fn dispatch(daemon: &Daemon, request: Request) -> Value {
             let deadline = deadline_ms.map(Duration::from_millis);
             match daemon.submit(&tenant, priority, deadline, Arc::new(decoded)) {
                 Ok(id) => proto::ok_response(vec![("id", Value::from_u64_exact(id))]),
-                Err(shed) => proto::err_response(&shed.to_string(), true),
+                Err(shed) => proto::shed_response(&shed),
             }
         }
         Request::Status { id: Some(id) } => match daemon.status(id) {

@@ -802,7 +802,7 @@ impl Daemon {
         // the admission lock is taken once for depths and buckets.
         let cache_report = inner.engine.read().as_ref().map(|e| e.report());
         let ((h, n, l), levels) = {
-            let mut q = lock(&inner.admission);
+            let q = lock(&inner.admission);
             (q.depths(), q.bucket_levels(now))
         };
         let mut queues = Map::new();

@@ -131,6 +131,16 @@ impl SloTracker {
         let bad = !ok || latency_ns > self.config.latency_ns;
         let slot = self.tenants.entry(tenant.to_string()).or_default();
         let minute = (now_ns / BUCKET_NS).max(0) as u64;
+        // Re-evaluate the latch against the clock *before* folding in
+        // this outcome: a tenant that went idle after a crossing never
+        // records anything while its short window drains, so the latch
+        // must clear on the first outcome of the next excursion — not
+        // swallow its edge.
+        if slot.crossed
+            && Self::burn_of(&self.config, slot, minute).short < self.config.burn_threshold
+        {
+            slot.crossed = false;
+        }
         let index = (minute % BUCKETS as u64) as usize;
         let Some(bucket) = slot.buckets.get_mut(index) else {
             // Unreachable: `index < BUCKETS` by construction.
@@ -159,12 +169,23 @@ impl SloTracker {
         SloObservation { bad, burn, crossed }
     }
 
-    /// Burn rates for every tenant seen so far, at `now_ns`.
-    pub fn burns(&self, now_ns: Nanos) -> Vec<(String, BurnRates)> {
+    /// Burn rates for every tenant seen so far, at `now_ns`. The
+    /// evaluation is time-aware: a tenant whose short-window burn has
+    /// drained below the threshold is unlatched here, so an idle
+    /// recovery observed by a scrape re-arms the crossing edge even
+    /// before the tenant's next recorded outcome.
+    pub fn burns(&mut self, now_ns: Nanos) -> Vec<(String, BurnRates)> {
         let minute = (now_ns / BUCKET_NS).max(0) as u64;
+        let config = self.config;
         self.tenants
-            .iter()
-            .map(|(t, slot)| (t.clone(), Self::burn_of(&self.config, slot, minute)))
+            .iter_mut()
+            .map(|(t, slot)| {
+                let burn = Self::burn_of(&config, slot, minute);
+                if slot.crossed && burn.short < config.burn_threshold {
+                    slot.crossed = false;
+                }
+                (t.clone(), burn)
+            })
             .collect()
     }
 
@@ -248,6 +269,38 @@ mod tests {
             }
         }
         assert_eq!(crossings, 1, "sustained burn must latch after the edge");
+    }
+
+    #[test]
+    fn recrossing_after_idle_recovery_fires_again() {
+        let mut t = SloTracker::new(cfg());
+        // Flood with bad until the fast-burn edge fires and latches.
+        let crossed = (0..10).any(|_| t.record("acme", 1, false, 0).crossed);
+        assert!(crossed, "the first excursion must cross");
+        // Six idle minutes: the 5m window drains with no record() call
+        // to observe it. The first bad outcome of the next excursion
+        // is 1/1 bad (burn 10 ≥ 5) and must report a fresh edge, not
+        // be swallowed by the stale latch.
+        let obs = t.record("acme", 1, false, 6 * BUCKET_NS);
+        assert!((obs.burn.short - 10.0).abs() < 1e-9, "{}", obs.burn.short);
+        assert!(obs.crossed, "re-crossing after idle recovery must fire");
+    }
+
+    #[test]
+    fn burns_snapshot_unlatches_recovered_tenants() {
+        let mut t = SloTracker::new(cfg());
+        let crossed = (0..10).any(|_| t.record("acme", 1, false, 0).crossed);
+        assert!(crossed);
+        // A scrape six minutes later sees the drained window and
+        // re-arms the edge for the tenant.
+        let burns = t.burns(6 * BUCKET_NS);
+        assert_eq!(burns.len(), 1);
+        assert_eq!(burns[0].1.short, 0.0);
+        assert!(t.record("acme", 1, false, 6 * BUCKET_NS).crossed);
+        // While a burn still above threshold stays latched across
+        // scrapes: no duplicate edge on the next record.
+        let _ = t.burns(6 * BUCKET_NS);
+        assert!(!t.record("acme", 1, false, 6 * BUCKET_NS).crossed);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Satellite: the rate-limit shed's retry hint survives the wire.
+//!
+//! Boots the full IPC server on a temp socket, throttles one tenant
+//! to a single burst token, and asserts that the resulting
+//! `Shed::RateLimited { retry_after_s }` reaches the client both as
+//! the machine-readable `retry_after_s` response field (verbatim) and
+//! inside the error text `chronusctl` prints.
+
+use chronus_daemon::{run_server, CtlClient, Daemon, DaemonConfig, Priority};
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chronusd-ratelim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Connects with retries while the server thread binds the socket.
+fn connect(socket: &Path) -> CtlClient {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match CtlClient::connect(socket) {
+            Ok(client) => return client,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("connect {}: {e}", socket.display()),
+        }
+    }
+}
+
+#[test]
+fn retry_hint_reaches_the_wire_and_the_ctl_error() {
+    let state = temp_dir("state");
+    let socket = temp_dir("sock").join("chronusd.sock");
+    let mut config = DaemonConfig {
+        socket: socket.clone(),
+        snapshot_dir: state,
+        workers: 1,
+        ..DaemonConfig::default()
+    };
+    // One token, refilled every four seconds: the second submission
+    // sheds with a retry hint close to 4s.
+    config
+        .tenant_overrides
+        .insert("throttled".to_string(), (0.25, 1.0));
+
+    let daemon = Daemon::start(config).expect("daemon start");
+    let server = std::thread::Builder::new()
+        .name("ratelim-server".to_string())
+        .spawn(move || run_server(daemon))
+        .expect("spawn server");
+
+    let mut client = connect(&socket);
+    let instance = chronus_net::motivating_example();
+    client
+        .submit("throttled", Priority::Normal, None, &instance)
+        .expect("first request fits the burst");
+
+    // Raw wire view: the shed response carries the hint twice — as a
+    // float field (verbatim) and rounded to milliseconds inside the
+    // error text — and the two must agree.
+    let mut shed_req = serde_json::Map::new();
+    shed_req.insert("cmd".to_string(), Value::from("submit"));
+    shed_req.insert("tenant".to_string(), Value::from("throttled"));
+    shed_req.insert(
+        "instance".to_string(),
+        chronus_net::codec::instance_to_value(&instance),
+    );
+    let shed = client
+        .call(&Value::Object(shed_req))
+        .expect("shed response still arrives");
+    assert_eq!(shed.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(shed.get("shed"), Some(&Value::Bool(true)), "{shed:?}");
+    let hint = shed
+        .get("retry_after_s")
+        .and_then(Value::as_f64)
+        .expect("rate-limit shed carries retry_after_s");
+    assert!(
+        hint > 0.0 && hint <= 4.0,
+        "one token at 0.25/s refills within 4s, got {hint}"
+    );
+    let text = shed.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        text.contains(&format!("retry after {hint:.3}s")),
+        "error text must quote the same hint: {text} vs {hint}"
+    );
+
+    // Typed-client view (what `chronusctl submit` prints): the shed
+    // surfaces as an error whose message carries the hint.
+    let err = client
+        .submit("throttled", Priority::Normal, None, &instance)
+        .expect_err("still throttled");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("tenant `throttled` rate limited; retry after"),
+        "{msg}"
+    );
+
+    client.drain().expect("drain");
+    server.join().expect("server thread").expect("clean exit");
+}

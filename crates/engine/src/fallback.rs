@@ -1,8 +1,12 @@
-//! The planning fallback chain: greedy → tree → two-phase.
+//! The planning fallback chain: sharded → greedy → tree → two-phase.
 //!
-//! Every request walks the same three-stage chain, cheapest-best
-//! first:
+//! Every request walks the same chain, cheapest-best first:
 //!
+//! 0. **Sharded** (opt-in, multi-flow only) — partitions the topology,
+//!    reserves shared-link capacity per shard, and plans the shards in
+//!    parallel, composing their certificates into one sealed proof.
+//!    Runs only when the engine was configured with a
+//!    [`ShardingConfig`] and the request carries more than one flow.
 //! 1. **Greedy** (paper Algorithm 2) — the Chronus scheduler; when it
 //!    succeeds the flow migrates with no rule-space overhead.
 //! 2. **Tree** (paper Algorithm 1) — the feasibility search; slower,
@@ -26,6 +30,7 @@ use crate::metrics::EngineMetrics;
 use crate::request::{RequestId, UpdateRequest};
 use chronus_baselines::tp::{tp_plan, TpPlan};
 use chronus_core::greedy::{greedy_schedule_in, GreedyConfig};
+use chronus_core::shard::{shard_schedule_in, ShardingConfig};
 use chronus_core::tree::{check_feasibility, Feasibility};
 use chronus_net::{TimeStep, UpdateInstance};
 use chronus_timenet::{Schedule, SimWorkspace};
@@ -73,6 +78,9 @@ impl Default for SlackPolicy {
 /// A stage of the fallback chain, in chain order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Stage {
+    /// The sharded multi-flow planner (opt-in; multi-flow requests
+    /// under an engine configured with a [`ShardingConfig`]).
+    Sharded,
     /// The greedy scheduler (paper Algorithm 2).
     Greedy,
     /// The tree feasibility search (paper Algorithm 1).
@@ -83,12 +91,13 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in chain order.
-    pub const CHAIN: [Stage; 3] = [Stage::Greedy, Stage::Tree, Stage::TwoPhase];
+    pub const CHAIN: [Stage; 4] = [Stage::Sharded, Stage::Greedy, Stage::Tree, Stage::TwoPhase];
 }
 
 impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Stage::Sharded => "sharded",
             Stage::Greedy => "greedy",
             Stage::Tree => "tree",
             Stage::TwoPhase => "two-phase",
@@ -275,7 +284,7 @@ pub fn plan_with_chain_cfg(
     ws: &mut SimWorkspace,
     verify: &VerifyConfig,
 ) -> PlannedUpdate {
-    plan_chain_impl(req, cache, metrics, ws, verify, None)
+    plan_chain_impl(req, cache, metrics, ws, verify, None, None)
 }
 
 /// The full worker-side entry point: certification config plus an
@@ -288,7 +297,22 @@ pub fn plan_with_chain_slack(
     verify: &VerifyConfig,
     slack: Option<&SlackPolicy>,
 ) -> PlannedUpdate {
-    plan_chain_impl(req, cache, metrics, ws, verify, slack)
+    plan_chain_impl(req, cache, metrics, ws, verify, slack, None)
+}
+
+/// The complete worker-side entry point: certification config, slack
+/// policy, and the opt-in sharded multi-flow pre-stage. With
+/// `sharding: None` this is exactly [`plan_with_chain_slack`].
+pub fn plan_with_chain_sharded(
+    req: &UpdateRequest,
+    cache: &TimeNetCache,
+    metrics: &EngineMetrics,
+    ws: &mut SimWorkspace,
+    verify: &VerifyConfig,
+    slack: Option<&SlackPolicy>,
+    sharding: Option<&ShardingConfig>,
+) -> PlannedUpdate {
+    plan_chain_impl(req, cache, metrics, ws, verify, slack, sharding)
 }
 
 /// Like [`plan_with_chain`], but reuses caller-owned simulation
@@ -301,12 +325,13 @@ pub fn plan_with_chain_in(
     metrics: &EngineMetrics,
     ws: &mut SimWorkspace,
 ) -> PlannedUpdate {
-    plan_chain_impl(req, cache, metrics, ws, &VerifyConfig::default(), None)
+    plan_chain_impl(req, cache, metrics, ws, &VerifyConfig::default(), None, None)
 }
 
 /// The static span name for one stage's attempt.
 fn stage_span_name(stage: Stage) -> &'static str {
     match stage {
+        Stage::Sharded => "engine.stage.sharded",
         Stage::Greedy => "engine.stage.greedy",
         Stage::Tree => "engine.stage.tree",
         Stage::TwoPhase => "engine.stage.two_phase",
@@ -351,6 +376,7 @@ fn plan_chain_impl(
     ws: &mut SimWorkspace,
     verify: &VerifyConfig,
     slack_policy: Option<&SlackPolicy>,
+    sharding: Option<&ShardingConfig>,
 ) -> PlannedUpdate {
     let started = Instant::now();
     let instance = &req.instance;
@@ -369,6 +395,65 @@ fn plan_chain_impl(
     let mut attempts = Vec::with_capacity(Stage::CHAIN.len());
     let mut winner: Option<(Stage, PlanKind, Option<Certificate>)> = None;
     let mut deadline_exceeded = false;
+
+    // The opt-in sharded pre-stage: multi-flow requests are split by
+    // topology partition and planned shard-by-shard over a shared-link
+    // capacity-reservation table. The attempt is recorded only when
+    // sharding is configured, so unsharded engines keep the familiar
+    // three-stage attempt list.
+    if let Some(shard_cfg) = sharding {
+        let stage = Stage::Sharded;
+        if instance.flows.len() < 2 {
+            attempts.push(StageAttempt {
+                stage,
+                outcome: StageOutcome::Skipped("single-flow request".into()),
+                elapsed: Duration::ZERO,
+            });
+        } else if started.elapsed() >= req.deadline {
+            deadline_exceeded = true;
+            metrics.record_skip(stage);
+            attempts.push(StageAttempt {
+                stage,
+                outcome: StageOutcome::Skipped("deadline exhausted".into()),
+                elapsed: Duration::ZERO,
+            });
+        } else {
+            let stage_start = Instant::now();
+            let mut stage_span = chronus_trace::span!(stage_span_name(stage)).entered();
+            let mut cfg = *shard_cfg;
+            cfg.greedy.verify = *verify;
+            let outcome = match shard_schedule_in(instance, cfg, ws) {
+                Ok(out) => {
+                    metrics.record_shard(&out.stats);
+                    if stage_span.is_recording() {
+                        stage_span.record("shards", out.stats.shards as u64);
+                        stage_span.record("fell_back_joint", out.stats.fell_back_joint);
+                    }
+                    winner = Some((stage, PlanKind::Timed(out.schedule), out.certificate));
+                    StageOutcome::Won
+                }
+                Err(e) => StageOutcome::Failed(e.to_string()),
+            };
+            let elapsed = stage_start.elapsed();
+            if stage_span.is_recording() {
+                stage_span.record(
+                    "outcome",
+                    match &outcome {
+                        StageOutcome::Won => "won",
+                        StageOutcome::Failed(_) => "failed",
+                        StageOutcome::Skipped(_) => "skipped",
+                    },
+                );
+            }
+            drop(stage_span);
+            metrics.record_attempt(stage, &outcome, elapsed);
+            attempts.push(StageAttempt {
+                stage,
+                outcome,
+                elapsed,
+            });
+        }
+    }
 
     for stage in [Stage::Greedy, Stage::Tree] {
         if winner.is_some() {
@@ -422,7 +507,9 @@ fn plan_chain_impl(
                 }),
                 Feasibility::Unknown => StageOutcome::Failed("search budget exhausted".into()),
             },
-            Stage::TwoPhase => unreachable!("two-phase handled below"),
+            Stage::Sharded | Stage::TwoPhase => {
+                unreachable!("sharded handled above, two-phase below")
+            }
         };
         let elapsed = stage_start.elapsed();
         if stage_span.is_recording() {
@@ -592,6 +679,113 @@ mod tests {
 
     fn req(deadline: Duration) -> UpdateRequest {
         UpdateRequest::new(0, Arc::new(motivating_example()), deadline)
+    }
+
+    /// k=4 fat tree with one pod-local migration per pod — fully
+    /// pod-separable, so the sharded stage plans it without
+    /// reservations (mirrors `chronus_core::shard`'s fixture).
+    fn separable_instance() -> UpdateInstance {
+        use chronus_net::topology::{fat_tree, LinkParams};
+        use chronus_net::{Flow, FlowId, Path};
+        let net = fat_tree(
+            4,
+            LinkParams {
+                capacity: 1000,
+                delay: 1,
+            },
+        );
+        let by_name = |n: &str| {
+            net.switches()
+                .find(|&s| net.switch_name(s) == Some(n))
+                .unwrap()
+        };
+        let mut flows = Vec::new();
+        for pod in 0..4u32 {
+            let e0 = by_name(&format!("edge{}", 2 * pod));
+            let e1 = by_name(&format!("edge{}", 2 * pod + 1));
+            let a0 = by_name(&format!("agg{}", 2 * pod));
+            let a1 = by_name(&format!("agg{}", 2 * pod + 1));
+            flows.push(
+                Flow::new(
+                    FlowId(pod),
+                    100,
+                    Path::new(vec![e0, a0, e1]),
+                    Path::new(vec![e0, a1, e1]),
+                )
+                .unwrap(),
+            );
+        }
+        UpdateInstance::new(net, flows).unwrap()
+    }
+
+    #[test]
+    fn sharded_stage_wins_multi_flow_requests_when_configured() {
+        let inst = separable_instance();
+        let cache = TimeNetCache::new();
+        let metrics = EngineMetrics::new();
+        let mut ws = SimWorkspace::default();
+        let request = UpdateRequest::new(1, Arc::new(inst.clone()), Duration::from_secs(30));
+        let sharding = ShardingConfig::default();
+        let planned = plan_with_chain_sharded(
+            &request,
+            &cache,
+            &metrics,
+            &mut ws,
+            &VerifyConfig::default(),
+            None,
+            Some(&sharding),
+        );
+        assert_eq!(planned.winner, Stage::Sharded);
+        assert_eq!(planned.attempts.len(), 4);
+        for stage in [Stage::Greedy, Stage::Tree, Stage::TwoPhase] {
+            assert!(matches!(
+                planned.attempt(stage).unwrap().outcome,
+                StageOutcome::Skipped(_)
+            ));
+        }
+        // The composed certificate seals the schedule against the
+        // original joint instance.
+        let cert = planned.certificate.as_ref().expect("composed certificate");
+        assert_eq!(cert.check(&inst), Ok(()));
+        let schedule = planned.timed_schedule().expect("timed plan");
+        assert_eq!(
+            FluidSimulator::check(&inst, schedule).verdict(),
+            Verdict::Consistent
+        );
+        // Without a sharding config the attempt list stays three-stage.
+        let unsharded = plan_with_chain_slack(
+            &request,
+            &cache,
+            &metrics,
+            &mut ws,
+            &VerifyConfig::default(),
+            None,
+        );
+        assert!(unsharded.attempt(Stage::Sharded).is_none());
+        assert_eq!(unsharded.attempts.len(), 3);
+    }
+
+    #[test]
+    fn sharded_stage_skips_single_flow_requests() {
+        let cache = TimeNetCache::new();
+        let metrics = EngineMetrics::new();
+        let mut ws = SimWorkspace::default();
+        let sharding = ShardingConfig::default();
+        let planned = plan_with_chain_sharded(
+            &req(Duration::from_secs(30)),
+            &cache,
+            &metrics,
+            &mut ws,
+            &VerifyConfig::default(),
+            None,
+            Some(&sharding),
+        );
+        assert_eq!(planned.winner, Stage::Greedy);
+        assert_eq!(planned.attempts.len(), 4);
+        assert_eq!(
+            planned.attempt(Stage::Sharded).unwrap().outcome,
+            StageOutcome::Skipped("single-flow request".into())
+        );
     }
 
     #[test]

@@ -53,10 +53,13 @@ mod watchdog;
 pub use cache::{flow_signature, topology_hash, CacheKey, TimeNetCache};
 pub use fallback::{
     plan_sequential, plan_with_chain, plan_with_chain_cfg, plan_with_chain_in,
-    plan_with_chain_slack, planning_horizon, tp_flip_time, PlanError, PlanKind, PlannedUpdate,
-    SlackPolicy, Stage, StageAttempt, StageOutcome, TpBatchPlan,
+    plan_with_chain_sharded, plan_with_chain_slack, planning_horizon, tp_flip_time, PlanError,
+    PlanKind, PlannedUpdate, SlackPolicy, Stage, StageAttempt, StageOutcome, TpBatchPlan,
 };
-pub use metrics::{CertStats, EngineMetrics, PlanReport, SlackStats, StageStats};
+pub use metrics::{CertStats, EngineMetrics, PlanReport, ShardStats, SlackStats, StageStats};
 pub use pool::{DrainReport, Engine, EngineConfig, PlanTicket};
+// The sharded pre-stage's knobs travel with the engine config; re-export
+// them so `EngineConfig::with_sharding` callers need no chronus-core dep.
+pub use chronus_core::shard::ShardingConfig;
 pub use request::{RequestId, UpdateRequest};
 pub use watchdog::{UpdateWatchdog, WatchdogVerdict};

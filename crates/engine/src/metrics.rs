@@ -58,9 +58,16 @@ impl StageHandles {
 /// registry per engine.
 pub struct EngineMetrics {
     registry: MetricsRegistry,
+    sharded: StageHandles,
     greedy: StageHandles,
     tree: StageHandles,
     tp: StageHandles,
+    shard_shards_planned: Counter,
+    shard_replan_rounds: Counter,
+    shard_conflicts: Counter,
+    shard_joint_fallbacks: Counter,
+    shard_cross_links: Gauge,
+    shard_shared_links: Gauge,
     gate_incremental_checks: Counter,
     gate_full_checks: Counter,
     gate_incremental_runs: Counter,
@@ -108,9 +115,16 @@ impl EngineMetrics {
         let registry = MetricsRegistry::new();
         let counter = |name: &str| registry.counter(name);
         EngineMetrics {
+            sharded: StageHandles::new(&registry, "sharded"),
             greedy: StageHandles::new(&registry, "greedy"),
             tree: StageHandles::new(&registry, "tree"),
             tp: StageHandles::new(&registry, "two_phase"),
+            shard_shards_planned: counter("chronus_engine_shard_shards_planned_total"),
+            shard_replan_rounds: counter("chronus_engine_shard_replan_rounds_total"),
+            shard_conflicts: counter("chronus_engine_shard_conflicts_total"),
+            shard_joint_fallbacks: counter("chronus_engine_shard_joint_fallbacks_total"),
+            shard_cross_links: registry.gauge("chronus_engine_shard_cross_links"),
+            shard_shared_links: registry.gauge("chronus_engine_shard_shared_links"),
             gate_incremental_checks: counter("chronus_engine_gate_incremental_checks_total"),
             gate_full_checks: counter("chronus_engine_gate_full_checks_total"),
             gate_incremental_runs: counter("chronus_engine_gate_incremental_runs_total"),
@@ -155,10 +169,28 @@ impl EngineMetrics {
 
     fn stage(&self, stage: Stage) -> &StageHandles {
         match stage {
+            Stage::Sharded => &self.sharded,
             Stage::Greedy => &self.greedy,
             Stage::Tree => &self.tree,
             Stage::TwoPhase => &self.tp,
         }
+    }
+
+    /// Folds one sharded-stage run's statistics into the engine
+    /// totals: shards planned, replan rounds burned, reservation
+    /// conflicts, and joint fallbacks; the gauges keep the largest
+    /// partition-complexity seen.
+    pub fn record_shard(&self, stats: &chronus_core::shard::ShardStats) {
+        self.shard_shards_planned.add(stats.shards as u64);
+        self.shard_replan_rounds.add(stats.replan_rounds as u64);
+        self.shard_conflicts.add(stats.conflicts as u64);
+        if stats.fell_back_joint {
+            self.shard_joint_fallbacks.inc();
+        }
+        self.shard_cross_links
+            .max(stats.cross_links.min(i64::MAX as usize) as i64);
+        self.shard_shared_links
+            .max(stats.shared_links.min(i64::MAX as usize) as i64);
     }
 
     /// Records a stage that ran to an outcome.
@@ -267,9 +299,18 @@ impl EngineMetrics {
     /// shared cache's counters.
     pub fn report(&self, cache: &TimeNetCache) -> PlanReport {
         PlanReport {
+            sharded: self.sharded.stats(),
             greedy: self.greedy.stats(),
             tree: self.tree.stats(),
             two_phase: self.tp.stats(),
+            shard: ShardStats {
+                shards_planned: self.shard_shards_planned.get(),
+                replan_rounds: self.shard_replan_rounds.get(),
+                conflicts: self.shard_conflicts.get(),
+                joint_fallbacks: self.shard_joint_fallbacks.get(),
+                cross_links_peak: self.shard_cross_links.get().max(0) as u64,
+                shared_links_peak: self.shard_shared_links.get().max(0) as u64,
+            },
             gate: GateStats {
                 // A rollup has no single backend; report Full only
                 // when every recorded run used the full resimulator.
@@ -352,6 +393,25 @@ pub struct CertStats {
     pub skipped: u64,
 }
 
+/// Snapshot of the sharded stage's reservation counters across
+/// completed requests (all zero unless the engine was configured with
+/// a [`chronus_core::shard::ShardingConfig`]).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ShardStats {
+    /// Populated shards planned across all sharded runs.
+    pub shards_planned: u64,
+    /// Replan rounds burned beyond each run's first attempt.
+    pub replan_rounds: u64,
+    /// Reservation conflicts caught by certificate composition.
+    pub conflicts: u64,
+    /// Runs that gave up on sharding and planned jointly.
+    pub joint_fallbacks: u64,
+    /// Largest cross-shard link count any partition produced.
+    pub cross_links_peak: u64,
+    /// Largest shared-link (reservation) count any run needed.
+    pub shared_links_peak: u64,
+}
+
 /// Snapshot of the slack stage's counters across completed requests
 /// (all zero unless the engine was configured with a
 /// [`crate::SlackPolicy`]).
@@ -375,12 +435,16 @@ pub struct SlackStats {
 /// cache effectiveness, queue pressure and deadline casualties.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PlanReport {
+    /// Sharded-stage counters (all zero on unsharded engines).
+    pub sharded: StageStats,
     /// Greedy-stage counters.
     pub greedy: StageStats,
     /// Tree-stage counters.
     pub tree: StageStats,
     /// Two-phase-stage counters.
     pub two_phase: StageStats,
+    /// Sharded-stage reservation counters.
+    pub shard: ShardStats,
     /// Aggregated exact-gate counters across all greedy-stage runs:
     /// incremental vs full checks, ledger traffic, and the cell-visit
     /// volume a full re-simulation would have cost instead.
@@ -448,11 +512,16 @@ impl fmt::Display for PlanReport {
             "engine: {}/{} planned, {} deadline-degraded, queue {} (peak {})",
             self.completed, self.submitted, self.timeouts, self.queue_depth, self.queue_peak
         )?;
+        let show_sharded = self.sharded.attempts > 0 || self.sharded.skips > 0;
         for (name, s) in [
+            ("sharded", &self.sharded),
             ("greedy", &self.greedy),
             ("tree", &self.tree),
             ("two-phase", &self.two_phase),
         ] {
+            if name == "sharded" && !show_sharded {
+                continue;
+            }
             writeln!(
                 f,
                 "  {name:<9} {} attempts, {} wins, {} failures, {} skips, mean {:?}",
@@ -461,6 +530,19 @@ impl fmt::Display for PlanReport {
                 s.failures,
                 s.skips,
                 s.mean_latency()
+            )?;
+        }
+        if self.shard != ShardStats::default() {
+            writeln!(
+                f,
+                "  shards: {} planned, {} replan rounds, {} conflicts, \
+                 {} joint fallbacks (peaks: {} cross links, {} shared links)",
+                self.shard.shards_planned,
+                self.shard.replan_rounds,
+                self.shard.conflicts,
+                self.shard.joint_fallbacks,
+                self.shard.cross_links_peak,
+                self.shard.shared_links_peak
             )?;
         }
         writeln!(
@@ -554,6 +636,65 @@ mod tests {
         assert!(text.contains("greedy"), "{text}");
         assert!(text.contains("certifier: 1 issued"), "{text}");
         assert!(text.contains("timenet cache"), "{text}");
+    }
+
+    #[test]
+    fn shard_counters_roll_up_and_render_conditionally() {
+        let m = EngineMetrics::new();
+        let cache = TimeNetCache::new();
+        // An unsharded engine's report hides the sharded rows.
+        let quiet = m.report(&cache).to_string();
+        assert!(!quiet.contains("sharded"), "{quiet}");
+        assert!(!quiet.contains("shards:"), "{quiet}");
+
+        m.record_attempt(Stage::Sharded, &StageOutcome::Won, Duration::from_micros(5));
+        m.record_shard(&chronus_core::shard::ShardStats {
+            shards: 4,
+            cross_links: 16,
+            shared_links: 2,
+            replan_rounds: 1,
+            conflicts: 1,
+            fell_back_joint: false,
+        });
+        m.record_shard(&chronus_core::shard::ShardStats {
+            shards: 2,
+            cross_links: 8,
+            shared_links: 3,
+            replan_rounds: 0,
+            conflicts: 0,
+            fell_back_joint: true,
+        });
+        let r = m.report(&cache);
+        assert_eq!(r.sharded.attempts, 1);
+        assert_eq!(r.sharded.wins, 1);
+        assert_eq!(
+            r.shard,
+            ShardStats {
+                shards_planned: 6,
+                replan_rounds: 1,
+                conflicts: 1,
+                joint_fallbacks: 1,
+                cross_links_peak: 16,
+                shared_links_peak: 3,
+            }
+        );
+        let text = r.to_string();
+        assert!(text.contains("sharded"), "{text}");
+        assert!(text.contains("shards: 6 planned"), "{text}");
+        // The registry sees the same counters under their full names.
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("chronus_engine_shard_shards_planned_total"),
+            Some(6)
+        );
+        assert_eq!(
+            snap.counter("chronus_engine_shard_joint_fallbacks_total"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("chronus_engine_sharded_wins_total"),
+            Some(1)
+        );
     }
 
     #[test]

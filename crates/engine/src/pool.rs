@@ -6,9 +6,10 @@
 #![allow(clippy::expect_used)]
 
 use crate::cache::TimeNetCache;
-use crate::fallback::{plan_with_chain_slack, PlannedUpdate, SlackPolicy};
+use crate::fallback::{plan_with_chain_sharded, PlannedUpdate, SlackPolicy};
 use crate::metrics::{EngineMetrics, PlanReport};
 use crate::request::{RequestId, UpdateRequest};
+use chronus_core::shard::ShardingConfig;
 use chronus_net::UpdateInstance;
 use chronus_timenet::SimWorkspace;
 use chronus_verify::VerifyConfig;
@@ -42,6 +43,12 @@ pub struct EngineConfig {
     /// cache unbounded, which suits batch runs; long-running services
     /// should bound it.
     pub cache_capacity: Option<usize>,
+    /// Sharded multi-flow planning: when set, multi-flow requests run
+    /// the sharded pre-stage — topology partitioning plus per-shard
+    /// parallel planning over a shared-link capacity-reservation
+    /// table — before the joint greedy. `None` (the default) plans
+    /// every request jointly.
+    pub sharding: Option<ShardingConfig>,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +59,7 @@ impl Default for EngineConfig {
             verify: VerifyConfig::default(),
             slack: None,
             cache_capacity: None,
+            sharding: None,
         }
     }
 }
@@ -76,6 +84,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_cache_capacity(mut self, windows: usize) -> Self {
         self.cache_capacity = Some(windows);
+        self
+    }
+
+    /// Enables the sharded multi-flow pre-stage (builder style).
+    #[must_use]
+    pub fn with_sharding(mut self, sharding: ShardingConfig) -> Self {
+        self.sharding = Some(sharding);
         self
     }
 }
@@ -162,6 +177,7 @@ impl Engine {
                 let metrics = metrics.clone();
                 let verify = config.verify;
                 let slack = config.slack;
+                let sharding = config.sharding;
                 let draining = draining.clone();
                 let leftovers = leftovers.clone();
                 thread::Builder::new()
@@ -187,13 +203,14 @@ impl Engine {
                                 request = job.request.id.0
                             )
                             .entered();
-                            let planned = plan_with_chain_slack(
+                            let planned = plan_with_chain_sharded(
                                 &job.request,
                                 &cache,
                                 &metrics,
                                 &mut ws,
                                 &verify,
                                 slack.as_ref(),
+                                sharding.as_ref(),
                             );
                             // A dead reply channel means the batch was
                             // abandoned; planning the rest of the queue
@@ -509,6 +526,65 @@ mod tests {
         assert_eq!(report.slack.uncertifiable, 0);
         assert!(report.slack.schedules_checked > 0);
         assert!(report.to_string().contains("slack: 4 certified"));
+    }
+
+    #[test]
+    fn sharded_engine_plans_multi_flow_batches() {
+        use chronus_net::topology::{fat_tree, LinkParams};
+        use chronus_net::{Flow, FlowId, Path, UpdateInstance};
+        let net = fat_tree(
+            4,
+            LinkParams {
+                capacity: 1000,
+                delay: 1,
+            },
+        );
+        let by_name = |n: &str| {
+            net.switches()
+                .find(|&s| net.switch_name(s) == Some(n))
+                .unwrap()
+        };
+        let flows: Vec<_> = (0..4u32)
+            .map(|pod| {
+                Flow::new(
+                    FlowId(pod),
+                    100,
+                    Path::new(vec![
+                        by_name(&format!("edge{}", 2 * pod)),
+                        by_name(&format!("agg{}", 2 * pod)),
+                        by_name(&format!("edge{}", 2 * pod + 1)),
+                    ]),
+                    Path::new(vec![
+                        by_name(&format!("edge{}", 2 * pod)),
+                        by_name(&format!("agg{}", 2 * pod + 1)),
+                        by_name(&format!("edge{}", 2 * pod + 1)),
+                    ]),
+                )
+                .unwrap()
+            })
+            .collect();
+        let inst = Arc::new(UpdateInstance::new(net, flows).unwrap());
+        let engine =
+            Engine::new(EngineConfig::with_workers(2).with_sharding(ShardingConfig::default()));
+        let plans = engine.plan_instances(vec![inst.clone(); 3]);
+        for p in &plans {
+            assert_eq!(p.winner, Stage::Sharded);
+            let schedule = p.timed_schedule().expect("timed plan");
+            assert_eq!(
+                FluidSimulator::check(&inst, schedule).verdict(),
+                Verdict::Consistent
+            );
+            let cert = p.certificate.as_ref().expect("composed certificate");
+            assert_eq!(cert.check(&inst), Ok(()));
+        }
+        let report = engine.report();
+        assert_eq!(report.sharded.wins, 3);
+        assert!(report.shard.shards_planned >= 6, "{:?}", report.shard);
+        assert!(report.to_string().contains("sharded"));
+        // Single-flow requests under the same engine skip the stage
+        // and fall to greedy unchanged.
+        let single = engine.plan_instances(vec![Arc::new(motivating_example())]);
+        assert_eq!(single[0].winner, Stage::Greedy);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod ids;
 mod instance;
 mod link;
 mod network;
+pub mod partition;
 mod path;
 pub mod routing;
 pub mod topology;
@@ -64,6 +65,10 @@ pub use instance::{
 };
 pub use link::Link;
 pub use network::{Network, NetworkBuilder};
+pub use partition::{
+    network_with_capacities, partition_network, split_instance, Partition, PartitionMethod,
+    SharedLink, ShardedInstance,
+};
 pub use path::Path;
 
 /// Discrete time step used across the workspace.

@@ -178,6 +178,17 @@ impl NetworkBuilder {
         b
     }
 
+    /// Creates a builder pre-populated with `n` *unnamed* switches.
+    /// For derived planning views (shard instances, clamped-capacity
+    /// copies) that keep another network's switch numbering: skipping
+    /// `n` name allocations matters when views are minted per shard
+    /// per replan round.
+    pub fn with_unnamed_switches(n: usize) -> Self {
+        let mut b = Self::new();
+        b.names.resize(n, String::new());
+        b
+    }
+
     /// Adds a switch and returns its id.
     pub fn add_switch(&mut self, name: impl Into<String>) -> SwitchId {
         let id = SwitchId(self.names.len() as u32);

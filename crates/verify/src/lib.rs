@@ -36,6 +36,7 @@
 mod boundary;
 mod certificate;
 pub mod codec;
+mod compose;
 mod mutate;
 mod slack;
 mod sweep;
@@ -44,6 +45,7 @@ mod trace;
 pub use certificate::{
     BoundaryOrder, BoundaryWitness, Certificate, IntervalLoad, LinkBound, Violation,
 };
+pub use compose::compose_certificates;
 pub use codec::{
     certificate_from_value, certificate_to_value, slack_from_value, slack_to_value,
     violation_from_value, violation_to_value, CertCodecError,

@@ -35,12 +35,13 @@ fn main() {
     let plans = engine.plan_instances(instances.clone());
 
     // Per-flow outcome, certified against the exact simulator.
-    let mut by_stage = [0usize; 3];
+    let mut by_stage = [0usize; 4];
     for (plan, inst) in plans.iter().zip(&instances) {
         by_stage[match plan.winner {
-            Stage::Greedy => 0,
-            Stage::Tree => 1,
-            Stage::TwoPhase => 2,
+            Stage::Sharded => 0,
+            Stage::Greedy => 1,
+            Stage::Tree => 2,
+            Stage::TwoPhase => 3,
         }] += 1;
         if let Some(schedule) = plan.plan.schedule() {
             let report = FluidSimulator::check(inst, schedule);
@@ -48,8 +49,8 @@ fn main() {
         }
     }
     println!(
-        "winners: greedy {} | tree {} | two-phase {}",
-        by_stage[0], by_stage[1], by_stage[2]
+        "winners: sharded {} | greedy {} | tree {} | two-phase {}",
+        by_stage[0], by_stage[1], by_stage[2], by_stage[3]
     );
     println!("all timed schedules certified Consistent by the fluid simulator\n");
     println!("{}", engine.report());
